@@ -1,0 +1,11 @@
+//! One module per paper figure (or figure group).
+
+pub mod ablations;
+pub mod design;
+pub mod fig03_06;
+pub mod fig08;
+pub mod fig10;
+pub mod fig11_13;
+pub mod fig14_15;
+pub mod fig16_18;
+pub mod validation;

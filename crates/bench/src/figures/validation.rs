@@ -1,0 +1,127 @@
+//! Model-validation experiments.
+//!
+//! * `ber_validation` — Monte-Carlo bit errors vs the analytic OOK
+//!   model `BER = ½·erfc(√SNR/2√2)` the paper uses (§7.1). The paper
+//!   could not drive past its tag millions of times; the simulator
+//!   can, closing that loop.
+//! * `music_separation` — MUSIC vs beamforming for side-by-side tags
+//!   closer than the §5.3 spacing bound.
+
+use crate::util::{f, note, Table};
+use ros_core::encode::SpatialCode;
+use ros_core::reader::{DriveBy, ReaderConfig};
+use ros_dsp::music::music_doa;
+use ros_em::Complex64;
+
+/// Monte-Carlo BER at several interference-degraded SNR points.
+pub fn ber_validation() {
+    let mut t = Table::new(
+        "Validation — Monte-Carlo bit errors vs the analytic OOK model",
+        &[
+            "floor_rise_dB",
+            "median SNR (dB)",
+            "bit errors",
+            "bits",
+            "empirical BER",
+            "model BER",
+        ],
+    );
+    // Randomized 4-bit patterns; interference raises the floor to pull
+    // the SNR down into the region where errors are observable.
+    let patterns: Vec<[bool; 4]> = (1u8..16)
+        .map(|w| [w & 1 != 0, w & 2 != 0, w & 4 != 0, w & 8 != 0])
+        .collect();
+    for rise in [0.0, 4.0, 7.0] {
+        let mut errors = 0usize;
+        let mut total = 0usize;
+        let mut snrs = Vec::new();
+        let mut trial = 0u64;
+        for _round in 0..12 {
+            for bits in &patterns {
+                trial += 1;
+                let tag = SpatialCode {
+                    rows_per_stack: 8,
+                    ..SpatialCode::paper_4bit()
+                }
+                .encode(bits)
+                .unwrap();
+                let mut drive = DriveBy::new(tag, 3.0)
+                    .with_interference_db(rise)
+                    .with_seed(0xbe7 + trial * 31);
+                drive.half_span_m = 8.0;
+                let outcome = drive.run(&ReaderConfig::fast());
+                if let Some(dec) = &outcome.decode {
+                    snrs.push(dec.snr_db());
+                    for (got, want) in dec.bits.iter().zip(bits) {
+                        total += 1;
+                        if got != want {
+                            errors += 1;
+                        }
+                    }
+                } else {
+                    total += 4;
+                    errors += 4;
+                }
+            }
+        }
+        let med_snr = ros_dsp::stats::median(&snrs);
+        let empirical = errors as f64 / total.max(1) as f64;
+        let model = ros_dsp::stats::ook_ber(10f64.powf(med_snr / 10.0));
+        t.row(vec![
+            f(rise, 0),
+            f(med_snr, 1),
+            format!("{errors}"),
+            format!("{total}"),
+            format!("{:.3}%", empirical * 100.0),
+            format!("{:.3}%", model * 100.0),
+        ]);
+    }
+    t.emit("ber_validation");
+    note("near the ≥14 dB operating region the erfc model holds; below it, threshold and peak-search errors push the empirical rate above the ideal-OOK bound.");
+}
+
+/// MUSIC vs beamforming for two tags at sub-beamwidth separation.
+pub fn music_separation() {
+    let mut t = Table::new(
+        "Validation — MUSIC resolves sub-beamwidth tag separation",
+        &["separation (Δu)", "beamforming resolves", "MUSIC error (Δu)"],
+    );
+    let spacing = 0.5; // λ/2 array
+    let beam_res = 1.0 / 4.0 / spacing; // λ/(N·d) in u units = 0.5
+    for sep in [0.15, 0.25, 0.35, 0.55] {
+        let (u1, u2) = (-sep / 2.0, sep / 2.0);
+        // Snapshots as the radar would collect them frame to frame:
+        // per-frame random relative phases (the tags' range fringes).
+        let snaps: Vec<Vec<Complex64>> = (0..256)
+            .map(|tix| {
+                let p1 = (tix as f64 * 0.731).rem_euclid(std::f64::consts::TAU);
+                let p2 = (tix as f64 * 1.947).rem_euclid(std::f64::consts::TAU);
+                (0..4)
+                    .map(|k| {
+                        Complex64::from_polar(
+                            1.0,
+                            p1 - std::f64::consts::TAU * k as f64 * spacing * u1,
+                        ) + Complex64::from_polar(
+                            1.0,
+                            p2 - std::f64::consts::TAU * k as f64 * spacing * u2,
+                        ) + Complex64::from_polar(0.05, (tix * (k + 3)) as f64)
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut doa = music_doa(&snaps, 2, spacing);
+        doa.sort_by(|a, b| a.total_cmp(b));
+        let err = if doa.len() == 2 {
+            ((doa[0] - u1).abs() + (doa[1] - u2).abs()) / 2.0
+        } else {
+            f64::NAN
+        };
+        t.row(vec![
+            f(sep, 2),
+            format!("{}", sep > beam_res),
+            f(err, 3),
+        ]);
+    }
+    t.emit("music_separation");
+    note("beamforming needs Δu > 0.5 (→ 1.53 m at 6 m, §5.3); MUSIC locates tags at Δu ≈ 0.15.");
+}

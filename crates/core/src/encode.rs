@@ -1,0 +1,263 @@
+//! The §5.2 spatial coding scheme.
+//!
+//! `M` stack slots encode `M − 1` bits: a reference stack at the
+//! origin plus one coding slot per bit. Slot `k` (1-based) sits at
+//!
+//! ```text
+//! d_k = s_k · (M + k − 2) · δ_c        s_k = ±1 alternating
+//! ```
+//!
+//! Bit `k` is "1" when a stack is mounted in slot `k` and "0" when the
+//! slot is empty. The alternating sides and the `(M + k − 2)` index
+//! offset guarantee that every *secondary* spacing (between two coding
+//! stacks) falls outside the coding band `[d_1, d_{M−1}]`:
+//! same-side spacings are `< d_1`, opposite-side spacings `> d_{M−1}`
+//! — so secondary peaks can never masquerade as coding peaks.
+
+use crate::tag::Tag;
+use ros_em::constants::LAMBDA_CENTER_M;
+
+/// Errors from encoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EncodeError {
+    /// Bit count does not match the code's capacity (`M − 1`).
+    WrongBitCount {
+        /// Bits the caller supplied.
+        got: usize,
+        /// Bits the code supports.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::WrongBitCount { got, expected } => {
+                write!(f, "expected {expected} bits, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// A spatial code: the tag family's geometric parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpatialCode {
+    /// Maximum number of stacks `M` (capacity = `M − 1` bits).
+    pub m_stacks: usize,
+    /// Unit spacing δ_c between coding slots, in wavelengths.
+    pub delta_c_lambda: f64,
+    /// PSVAAs per stack (8, 16, or 32 in the paper's tags).
+    pub rows_per_stack: usize,
+    /// Whether stacks use §4.3 elevation beam shaping.
+    pub beam_shaped: bool,
+}
+
+impl SpatialCode {
+    /// The paper's example 4-bit code: `M = 5`, δ_c = 1.5λ (§5.2,
+    /// Fig. 10) with 32-row stacks as fabricated (Fig. 12a).
+    pub fn paper_4bit() -> Self {
+        SpatialCode {
+            m_stacks: 5,
+            delta_c_lambda: 1.5,
+            rows_per_stack: 32,
+            beam_shaped: true,
+        }
+    }
+
+    /// A general code with `bits` capacity at the paper's δ_c.
+    ///
+    /// # Panics
+    /// Panics when `bits == 0` or `rows_per_stack == 0`.
+    pub fn with_bits(bits: usize, rows_per_stack: usize) -> Self {
+        assert!(bits > 0, "a code needs at least one bit");
+        assert!(rows_per_stack > 0);
+        SpatialCode {
+            m_stacks: bits + 1,
+            delta_c_lambda: 1.5,
+            rows_per_stack,
+            beam_shaped: true,
+        }
+    }
+
+    /// Capacity in bits (`M − 1`).
+    pub fn capacity_bits(&self) -> usize {
+        self.m_stacks - 1
+    }
+
+    /// Slot position for coding bit `k` (1-based) \[m\]:
+    /// `s_k·(M + k − 2)·δ_c·λ`, sides alternating `+,−,+,−,…`.
+    pub fn slot_position_m(&self, k: usize) -> f64 {
+        assert!(
+            k >= 1 && k <= self.capacity_bits(),
+            "slot index {k} out of range 1..={}",
+            self.capacity_bits()
+        );
+        let sign = if k % 2 == 1 { 1.0 } else { -1.0 };
+        let magnitude = (self.m_stacks + k - 2) as f64 * self.delta_c_lambda;
+        sign * magnitude * LAMBDA_CENTER_M
+    }
+
+    /// Slot distances from the reference stack in wavelengths,
+    /// unsigned, in bit order.
+    pub fn slot_spacings_lambda(&self) -> Vec<f64> {
+        (1..=self.capacity_bits())
+            .map(|k| (self.m_stacks + k - 2) as f64 * self.delta_c_lambda)
+            .collect()
+    }
+
+    /// Encodes `bits` into a physical tag layout.
+    ///
+    /// Bit `k` (index `k−1`) mounts a stack in slot `k`. The reference
+    /// stack is always present.
+    pub fn encode(&self, bits: &[bool]) -> Result<Tag, EncodeError> {
+        if bits.len() != self.capacity_bits() {
+            return Err(EncodeError::WrongBitCount {
+                got: bits.len(),
+                expected: self.capacity_bits(),
+            });
+        }
+        let mut positions = vec![0.0]; // reference stack
+        for (i, &bit) in bits.iter().enumerate() {
+            if bit {
+                positions.push(self.slot_position_m(i + 1));
+            }
+        }
+        Ok(Tag::new(*self, positions, bits.to_vec()))
+    }
+
+    /// Overall tag width `D = (4M − 7)·c + 3` wavelengths (§5.3),
+    /// where `c = δ_c/λ`, i.e. the span of the outermost slots plus
+    /// one 3λ stack width.
+    pub fn width_lambda(&self) -> f64 {
+        (4.0 * self.m_stacks as f64 - 7.0) * self.delta_c_lambda + 3.0
+    }
+
+    /// Overall tag width in metres.
+    pub fn width_m(&self) -> f64 {
+        self.width_lambda() * LAMBDA_CENTER_M
+    }
+
+    /// The largest pairwise stack spacing \[m\]: slots `M−1` and `M−2`
+    /// sit on opposite sides, so `(|d_{M−1}| + |d_{M−2}|)`.
+    pub fn max_pair_spacing_m(&self) -> f64 {
+        if self.capacity_bits() == 1 {
+            return self.slot_position_m(1).abs();
+        }
+        let a = self.slot_position_m(self.capacity_bits()).abs();
+        let b = self.slot_position_m(self.capacity_bits() - 1).abs();
+        a + b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_slots() {
+        // §5.2 / Fig. 10: coding stacks at +6λ, −7.5λ, +9λ, −10.5λ.
+        let code = SpatialCode::paper_4bit();
+        let lam = LAMBDA_CENTER_M;
+        let want = [6.0, -7.5, 9.0, -10.5];
+        for (k, w) in want.iter().enumerate() {
+            let got = code.slot_position_m(k + 1) / lam;
+            assert!((got - w).abs() < 1e-9, "slot {}: {got}λ", k + 1);
+        }
+    }
+
+    #[test]
+    fn capacity_and_width() {
+        let code = SpatialCode::paper_4bit();
+        assert_eq!(code.capacity_bits(), 4);
+        // §5.3: D = 22.5λ for the 4-bit tag.
+        assert!((code.width_lambda() - 22.5).abs() < 1e-9);
+        // 6-bit tag: D = 34.5λ.
+        let six = SpatialCode {
+            m_stacks: 7,
+            ..SpatialCode::paper_4bit()
+        };
+        assert!((six.width_lambda() - 34.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn encode_all_ones() {
+        let code = SpatialCode::paper_4bit();
+        let tag = code.encode(&[true; 4]).unwrap();
+        assert_eq!(tag.stack_positions_m().len(), 5);
+        assert_eq!(tag.bits(), &[true, true, true, true]);
+    }
+
+    #[test]
+    fn encode_1010_removes_stacks() {
+        // §5.2: "to encode bits 1010, we can simply remove the two
+        // stacks at −7.5λ and −10.5λ".
+        let code = SpatialCode::paper_4bit();
+        let tag = code.encode(&[true, false, true, false]).unwrap();
+        let pos: Vec<f64> = tag
+            .stack_positions_m()
+            .iter()
+            .map(|p| p / LAMBDA_CENTER_M)
+            .collect();
+        assert_eq!(pos.len(), 3);
+        assert!((pos[0] - 0.0).abs() < 1e-9);
+        assert!((pos[1] - 6.0).abs() < 1e-9);
+        assert!((pos[2] - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn encode_wrong_length_fails() {
+        let code = SpatialCode::paper_4bit();
+        let err = code.encode(&[true, false]).unwrap_err();
+        assert_eq!(
+            err,
+            EncodeError::WrongBitCount {
+                got: 2,
+                expected: 4
+            }
+        );
+        assert!(err.to_string().contains("expected 4"));
+    }
+
+    #[test]
+    fn secondary_spacings_outside_coding_band() {
+        // The core §5.2 guarantee, checked exhaustively for several
+        // code sizes: every pairwise spacing between *coding* stacks
+        // lies strictly outside [d_1, d_{M−1}].
+        for bits in 2..=6 {
+            let code = SpatialCode::with_bits(bits, 8);
+            let d: Vec<f64> = (1..=bits).map(|k| code.slot_position_m(k)).collect();
+            let band_lo = d[0].abs() - 1e-9;
+            let band_hi = d[bits - 1].abs() + 1e-9;
+            for i in 0..bits {
+                for j in 0..bits {
+                    if i == j {
+                        continue;
+                    }
+                    let spacing = (d[i] - d[j]).abs();
+                    assert!(
+                        spacing < band_lo || spacing > band_hi,
+                        "M={}: secondary spacing {spacing} inside band [{band_lo}, {band_hi}]",
+                        bits + 1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_pair_spacing() {
+        let code = SpatialCode::paper_4bit();
+        // |+9λ| + |−10.5λ| = 19.5λ.
+        assert!((code.max_pair_spacing_m() / LAMBDA_CENTER_M - 19.5).abs() < 1e-9);
+        let one_bit = SpatialCode::with_bits(1, 8);
+        assert!(one_bit.max_pair_spacing_m() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slot_zero_invalid() {
+        SpatialCode::paper_4bit().slot_position_m(0);
+    }
+}

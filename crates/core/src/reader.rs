@@ -1,0 +1,647 @@
+//! The end-to-end drive-by reader.
+//!
+//! Ties everything together the way the paper's field experiments do
+//! (§6–§7): a vehicle-mounted radar drives past a roadside tag, detects
+//! it among clutter, spotlights it every frame, and decodes the bits.
+//!
+//! Two fidelity levels:
+//!
+//! * [`ReaderMode::Fast`] — per frame, the spotlight RSS is computed
+//!   directly from the scene echoes plus calibrated receiver noise.
+//!   Physically equivalent to the full pipeline when the tag is range-
+//!   isolated (the spotlight's single-bin DFT rejects everything else),
+//!   and ~100× cheaper. Used for parameter sweeps.
+//! * [`ReaderMode::FullPipeline`] — every strided frame is synthesized
+//!   at the IF level in both Tx modes; detection runs the §6 point-
+//!   cloud → DBSCAN → two-feature flow; decoding spotlights the
+//!   *detected* cluster centre. Used for the Fig. 11/13 experiments
+//!   and integration tests.
+
+use crate::decode::{decode, DecodeResult, DecoderConfig, RssSample};
+use crate::detector::{pick_tag, score_clusters, DetectorConfig, ScoredCluster};
+use crate::tag::Tag;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ros_em::jones::Polarization;
+use ros_em::{Complex64, Vec3};
+use ros_radar::echo::{Echo, Pose};
+use ros_radar::pointcloud::PointCloud;
+use ros_radar::radar::{FmcwRadar, RadarMode};
+use ros_scene::objects::ClutterObject;
+use ros_scene::reflector::{EchoContext, Reflector};
+use ros_scene::tracking::TrackingError;
+use ros_scene::trajectory::{LateralProfile, ManoeuvreTrajectory, Trajectory};
+use ros_scene::weather::FogLevel;
+
+/// Simulation fidelity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReaderMode {
+    /// Direct spotlight-RSS synthesis (fast, for sweeps).
+    Fast,
+    /// Full IF-level pipeline with detection.
+    FullPipeline,
+}
+
+/// Reader configuration.
+#[derive(Clone, Debug)]
+pub struct ReaderConfig {
+    /// Fidelity level.
+    pub mode: ReaderMode,
+    /// Keep every `stride`-th frame of the 1 kHz stream for decoding.
+    pub frame_stride: usize,
+    /// Keep every `detect_stride`-th *decoding* frame for the detection
+    /// point cloud (full pipeline only).
+    pub detect_stride: usize,
+    /// Decoder settings.
+    pub decoder: DecoderConfig,
+    /// Detector settings (full pipeline only).
+    pub detector: DetectorConfig,
+}
+
+impl ReaderConfig {
+    /// Fast-mode defaults for parameter sweeps.
+    pub fn fast() -> Self {
+        ReaderConfig {
+            mode: ReaderMode::Fast,
+            frame_stride: 4,
+            detect_stride: 5,
+            decoder: DecoderConfig::default(),
+            detector: DetectorConfig::default(),
+        }
+    }
+
+    /// Full-pipeline defaults.
+    pub fn full() -> Self {
+        ReaderConfig {
+            mode: ReaderMode::FullPipeline,
+            ..Self::fast()
+        }
+    }
+}
+
+/// A drive-by scenario.
+#[derive(Clone, Debug)]
+pub struct DriveBy {
+    /// The tag under test (mounted by this builder).
+    pub tag: Tag,
+    /// Additional tags (multi-tag experiments, Fig. 16a).
+    pub extra_tags: Vec<Tag>,
+    /// Roadside clutter (full-pipeline scenes, Fig. 11/13).
+    pub clutter: Vec<ClutterObject>,
+    /// Lateral radar–tag standoff \[m\].
+    pub standoff_m: f64,
+    /// Vehicle speed \[m/s\].
+    pub speed_mps: f64,
+    /// Pass half-span along the road \[m\].
+    pub half_span_m: f64,
+    /// Radar height \[m\] (tag centre height is the tag mount's z).
+    pub radar_height_m: f64,
+    /// Weather.
+    pub fog: FogLevel,
+    /// Tracking-error model.
+    pub tracking: TrackingError,
+    /// Extra interference noise over the thermal floor \[dB\]
+    /// (adjacent-radar experiments, Fig. 16b).
+    pub interference_db: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Radar instance.
+    pub radar: FmcwRadar,
+    /// Lateral manoeuvre profile of the pass (default: straight).
+    pub lateral: LateralProfile,
+    /// Two-ray ground-bounce coefficient (`None` = flat-earth off).
+    pub ground_coeff: Option<f64>,
+    /// Transient blockage events (passing traffic occluding the tag).
+    pub blockages: Vec<Blockage>,
+}
+
+/// A transient line-of-sight blockage (§7.3: "detection and decoding
+/// of a RoS tag fails when it is fully blocked by another vehicle"):
+/// between `t_start_s` and `t_end_s` of the pass, the tag's echoes are
+/// attenuated by `attenuation_db` (∞-like values for metal blockage).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Blockage {
+    /// Blockage onset \[s\] into the pass.
+    pub t_start_s: f64,
+    /// Blockage end \[s\].
+    pub t_end_s: f64,
+    /// Two-way attenuation while blocked \[dB\].
+    pub attenuation_db: f64,
+}
+
+impl DriveBy {
+    /// A standard cart pass: tag mounted at `standoff_m` from the
+    /// radar lane at matched height (1 m), vehicle at 2 m/s, ±4 m span.
+    pub fn new(tag: Tag, standoff_m: f64) -> Self {
+        let mounted = tag.mounted_at(Vec3::new(0.0, standoff_m, 1.0));
+        DriveBy {
+            tag: mounted,
+            extra_tags: Vec::new(),
+            clutter: Vec::new(),
+            standoff_m,
+            speed_mps: 2.0,
+            half_span_m: 4.0,
+            radar_height_m: 1.0,
+            fog: FogLevel::Clear,
+            tracking: TrackingError::none(),
+            interference_db: 0.0,
+            seed: 0xd21e,
+            radar: FmcwRadar::ti_eval(),
+            lateral: LateralProfile::Straight,
+            ground_coeff: None,
+            blockages: Vec::new(),
+        }
+    }
+
+    /// Adds a transient blockage event.
+    pub fn with_blockage(mut self, b: Blockage) -> Self {
+        self.blockages.push(b);
+        self
+    }
+
+    /// Enables the two-ray ground-bounce model.
+    pub fn with_ground(mut self, coeff: f64) -> Self {
+        self.ground_coeff = Some(coeff);
+        self
+    }
+
+    /// Sets the lateral manoeuvre profile (lane change, curve).
+    pub fn with_lateral(mut self, profile: LateralProfile) -> Self {
+        self.lateral = profile;
+        self
+    }
+
+    /// Sets the vehicle speed \[m/s\].
+    pub fn with_speed(mut self, mps: f64) -> Self {
+        self.speed_mps = mps;
+        self
+    }
+
+    /// Sets the radar height \[m\].
+    pub fn with_radar_height(mut self, h: f64) -> Self {
+        self.radar_height_m = h;
+        self
+    }
+
+    /// Sets the weather.
+    pub fn with_fog(mut self, fog: FogLevel) -> Self {
+        self.fog = fog;
+        self
+    }
+
+    /// Sets the tracking-error model.
+    pub fn with_tracking(mut self, t: TrackingError) -> Self {
+        self.tracking = t;
+        self
+    }
+
+    /// Adds a clutter object.
+    pub fn with_clutter(mut self, c: ClutterObject) -> Self {
+        self.clutter.push(c);
+        self
+    }
+
+    /// Populates the roadside from a scene preset (clutter placed
+    /// relative to this drive-by's standoff).
+    pub fn with_scene(mut self, preset: ros_scene::scenario::ScenePreset, seed: u64) -> Self {
+        self.clutter.extend(preset.build(self.standoff_m, seed));
+        self
+    }
+
+    /// Adds a second tag.
+    pub fn with_extra_tag(mut self, t: Tag) -> Self {
+        self.extra_tags.push(t);
+        self
+    }
+
+    /// Sets interference noise over the floor \[dB\].
+    pub fn with_interference_db(mut self, db: f64) -> Self {
+        self.interference_db = db;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn context(&self) -> EchoContext {
+        EchoContext {
+            budget: self.radar.budget,
+            fog: self.fog,
+            ground_coeff: self.ground_coeff,
+        }
+    }
+
+    fn all_reflectors(&self) -> Vec<&dyn Reflector> {
+        let mut v: Vec<&dyn Reflector> = vec![&self.tag];
+        for t in &self.extra_tags {
+            v.push(t);
+        }
+        for c in &self.clutter {
+            v.push(c);
+        }
+        v
+    }
+
+    /// Runs the scenario.
+    pub fn run(&self, cfg: &ReaderConfig) -> Outcome {
+        match cfg.mode {
+            ReaderMode::Fast => self.run_fast(cfg),
+            ReaderMode::FullPipeline => self.run_full(cfg),
+        }
+    }
+
+    /// Ground-truth radar track for this scenario.
+    pub fn track(&self, cfg: &ReaderConfig) -> (Vec<f64>, Vec<Vec3>, Vec<Vec3>) {
+        let base = Trajectory::drive_by(self.speed_mps, self.half_span_m, self.radar_height_m);
+        let traj = ManoeuvreTrajectory::new(base, self.lateral);
+        let times = base.frame_times(self.radar.chirp.frame_rate_hz, cfg.frame_stride);
+        let truth = traj.positions(&times);
+        let believed = self.tracking.apply(&truth);
+        (times, truth, believed)
+    }
+
+    fn noise_sigma(&self) -> f64 {
+        let floor_dbm = self.radar.noise_floor_dbm() + self.interference_db;
+        10f64.powf(floor_dbm / 20.0) / std::f64::consts::SQRT_2
+    }
+
+    fn run_fast(&self, cfg: &ReaderConfig) -> Outcome {
+        let (times, truth, believed) = self.track(cfg);
+        let ctx = self.context();
+        let (tx, rx) = RadarMode::PolarizationSwitched.polarizations(self.radar.array.native_pol);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let sigma = self.noise_sigma();
+
+        // Spotlight selectivity, mirrored from the full pipeline: a
+        // single-bin DFT at the tag's beat frequency plus a 4-antenna
+        // beamformer. Echoes away from the spotlighted range/azimuth
+        // are attenuated by the corresponding Dirichlet kernels.
+        let n_fft = self.radar.chirp.n_samples;
+        let n_rx = self.radar.array.n_rx;
+        let slope = self.radar.chirp.slope_hz_per_s;
+        let fs = self.radar.chirp.sample_rate_hz;
+        let lambda = self.radar.chirp.wavelength_m();
+        let spotlight_gain = |pose: Vec3, e_pos: Vec3, target: Vec3| -> f64 {
+            let p = Pose::side_looking(pose);
+            let dr = p.range_to(e_pos) - p.range_to(target);
+            let df = 2.0 * slope * dr / ros_em::constants::C;
+            let g_range = ros_em::special::dirichlet(std::f64::consts::TAU * df / fs, n_fft);
+            let du = p.azimuth_to(e_pos).sin() - p.azimuth_to(target).sin();
+            let g_az = ros_em::special::dirichlet(
+                std::f64::consts::TAU * self.radar.array.rx_spacing_m * du / lambda,
+                n_rx,
+            );
+            (g_range * g_az).abs()
+        };
+
+        // Anchor the decode centre the way detection would: the tag
+        // centre estimate is consistent with the *believed* track, so a
+        // constant tracking offset cancels (the §6 pipeline estimates
+        // the centre from the same drifted point cloud).
+        let mut best_i = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, p) in truth.iter().enumerate() {
+            let d = p.distance(self.tag.mount());
+            if d < best_d {
+                best_d = d;
+                best_i = i;
+            }
+        }
+        let center_est = self.tag.mount() + (believed[best_i] - truth[best_i]);
+
+        let mut samples = Vec::with_capacity(truth.len());
+        for ((t, pos_true), pos_believed) in times.iter().zip(&truth).zip(&believed) {
+            let block_amp = self
+                .blockages
+                .iter()
+                .filter(|b| *t >= b.t_start_s && *t <= b.t_end_s)
+                .map(|b| 10f64.powf(-b.attenuation_db / 20.0))
+                .fold(1.0, f64::min);
+            let mut rss = Complex64::ZERO;
+            for refl in self.all_reflectors() {
+                for e in refl.echoes(*pos_true, tx, rx, &ctx) {
+                    let az = Pose::side_looking(*pos_true).azimuth_to(e.pos);
+                    let g = ros_radar::frontend::radar_pattern(az);
+                    let gate = spotlight_gain(*pos_true, e.pos, self.tag.mount());
+                    rss += e.amp * (g * g * gate * block_amp);
+                }
+            }
+            rss += Complex64::new(gauss(&mut rng) * sigma, gauss(&mut rng) * sigma);
+            samples.push(RssSample {
+                radar_pos: *pos_believed,
+                rss,
+            });
+        }
+
+        let decode_result = decode(&samples, center_est, 0.0, self.tag.code(), &cfg.decoder);
+        Outcome::from_parts(samples, decode_result, None, Vec::new())
+    }
+
+    fn run_full(&self, cfg: &ReaderConfig) -> Outcome {
+        let (_, truth, believed) = self.track(cfg);
+        let ctx = self.context();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xf011);
+        let native = RadarMode::Native.polarizations(self.radar.array.native_pol);
+        let switched =
+            RadarMode::PolarizationSwitched.polarizations(self.radar.array.native_pol);
+
+        // Capture both Tx modes per decoding frame.
+        let mut switched_frames = Vec::with_capacity(truth.len());
+        let mut native_frames = Vec::new();
+        for (i, (pos_true, pos_believed)) in truth.iter().zip(&believed).enumerate() {
+            let pose_true = Pose::side_looking(*pos_true);
+            let echoes_sw = self.gather_echoes(*pos_true, switched.0, switched.1, &ctx);
+            let frame = self.radar.capture(pose_true, &echoes_sw, &mut rng);
+            switched_frames.push((frame, *pos_believed));
+            if i % cfg.detect_stride == 0 {
+                let echoes_nat = self.gather_echoes(*pos_true, native.0, native.1, &ctx);
+                let frame_nat = self.radar.capture(pose_true, &echoes_nat, &mut rng);
+                native_frames.push((frame_nat, *pos_believed));
+            }
+        }
+
+        // Detection cloud from the native-mode frames.
+        let mut cloud = PointCloud::new();
+        for (frame, pos_believed) in &native_frames {
+            let pts = self.radar.detect(frame);
+            cloud.add_frame(&pts, &Pose::side_looking(*pos_believed));
+        }
+
+        // Score clusters; the RSS probe spotlights the candidate centre
+        // across the pass in both modes, skipping frames where another
+        // cluster occupies the same range–azimuth cell (its energy
+        // would leak into the spotlight and corrupt the loss feature).
+        let range_res = self.radar.chirp.range_resolution_m();
+        let h = self.radar_height_m;
+        let clusters = score_clusters(&cloud, &cfg.detector, |members, center2d, others2d| {
+            // Cluster centroids live on the road plane; objects (and
+            // the radar) sit at the radar height.
+            let center = Vec3::new(center2d.x, center2d.y, h);
+            let others: Vec<Vec3> = others2d
+                .iter()
+                .map(|o| Vec3::new(o.x, o.y, h))
+                .collect();
+            let clear_of_neighbours = |pose_pos: Vec3| -> bool {
+                let p = Pose::side_looking(pose_pos);
+                let rc = p.range_to(center);
+                let uc = p.azimuth_to(center).sin();
+                others.iter().all(|o| {
+                    let ro = p.range_to(*o);
+                    let uo = p.azimuth_to(*o).sin();
+                    (rc - ro).abs() > 3.0 * range_res || (uc - uo).abs() > 0.45
+                })
+            };
+            // The loss feature comes from matched per-frame pairs: the
+            // native and switched captures at the *same pose* measure
+            // the same scatterers through the same spotlight window, so
+            // spotlight coverage and geometry bias cancel in the
+            // difference. Frames where another cluster shares the
+            // range–azimuth cell are skipped.
+            let _ = members;
+            // Frames with a weak native return would push the switched
+            // measurement under the noise floor and clip the loss, so
+            // only strong frames contribute to the pair statistics.
+            let floor = self.radar.noise_floor_dbm();
+            let min_native = floor + 18.0;
+            let mut nat = Vec::new();
+            let mut losses = Vec::new();
+            for (j, (frame_nat, _)) in native_frames.iter().enumerate() {
+                if !clear_of_neighbours(frame_nat.pose.pos) {
+                    continue;
+                }
+                let idx = j * cfg.detect_stride;
+                let Some((frame_sw, _)) = switched_frames.get(idx) else {
+                    break;
+                };
+                let n_dbm = 10.0
+                    * self
+                        .radar
+                        .spotlight(frame_nat, center)
+                        .norm_sqr()
+                        .max(1e-300)
+                        .log10();
+                if n_dbm < min_native {
+                    continue;
+                }
+                let s_dbm = 10.0
+                    * self
+                        .radar
+                        .spotlight(frame_sw, center)
+                        .norm_sqr()
+                        .max(1e-300)
+                        .log10();
+                nat.push(n_dbm);
+                losses.push(n_dbm - s_dbm);
+            }
+            let native = ros_dsp::stats::median(&nat);
+            let loss = ros_dsp::stats::median(&losses);
+            (native, native - loss)
+        });
+
+        let tag_center = pick_tag(&clusters).map(|c| {
+            Vec3::new(
+                c.features.center.x,
+                c.features.center.y,
+                self.radar_height_m,
+            )
+        });
+
+        // Decode by spotlighting the detected centre (fall back to the
+        // true mount if detection failed, flagged in the outcome).
+        let spot = tag_center.unwrap_or(self.tag.mount());
+        let samples: Vec<RssSample> = switched_frames
+            .iter()
+            .map(|(frame, pos_believed)| RssSample {
+                radar_pos: *pos_believed,
+                rss: self.radar.spotlight(frame, spot),
+            })
+            .collect();
+
+        let decode_result = decode(&samples, spot, 0.0, self.tag.code(), &cfg.decoder);
+
+        // Decode every tag-classified cluster independently (multi-tag
+        // advertising boards, §5.3).
+        let mut all_tags = Vec::new();
+        for c in clusters.iter().filter(|c| c.is_tag) {
+            let center = Vec3::new(
+                c.features.center.x,
+                c.features.center.y,
+                self.radar_height_m,
+            );
+            let trace: Vec<RssSample> = switched_frames
+                .iter()
+                .map(|(frame, pos_believed)| RssSample {
+                    radar_pos: *pos_believed,
+                    rss: self.radar.spotlight(frame, center),
+                })
+                .collect();
+            if let Ok(dec) = decode(&trace, center, 0.0, self.tag.code(), &cfg.decoder) {
+                all_tags.push(DecodedTag {
+                    center,
+                    decode: dec,
+                });
+            }
+        }
+
+        let mut outcome = Outcome::from_parts(samples, decode_result, tag_center, clusters);
+        outcome.all_tags = all_tags;
+        outcome
+    }
+
+    fn gather_echoes(
+        &self,
+        radar_pos: Vec3,
+        tx: Polarization,
+        rx: Polarization,
+        ctx: &EchoContext,
+    ) -> Vec<Echo> {
+        let mut echoes = Vec::new();
+        for refl in self.all_reflectors() {
+            for e in refl.echoes(radar_pos, tx, rx, ctx) {
+                echoes.push(Echo::new(e.pos, e.amp));
+            }
+        }
+        echoes
+    }
+}
+
+/// One decoded tag in a multi-tag scene.
+#[derive(Clone, Debug)]
+pub struct DecodedTag {
+    /// Detected tag centre \[m\].
+    pub center: Vec3,
+    /// Decode result for this tag.
+    pub decode: DecodeResult,
+}
+
+/// Result of a drive-by.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Decoded bits (empty when decoding failed).
+    pub bits: Vec<bool>,
+    /// Full decode diagnostics, when decoding succeeded.
+    pub decode: Option<DecodeResult>,
+    /// The detected tag centre (full pipeline; `None` in fast mode or
+    /// when detection failed).
+    pub detected_center: Option<Vec3>,
+    /// All scored clusters (full pipeline).
+    pub clusters: Vec<ScoredCluster>,
+    /// The spotlight RSS trace used for decoding.
+    pub rss_trace: Vec<RssSample>,
+    /// Every tag-classified cluster decoded independently (full
+    /// pipeline only; advertising-board scenes).
+    pub all_tags: Vec<DecodedTag>,
+}
+
+impl Outcome {
+    fn from_parts(
+        rss_trace: Vec<RssSample>,
+        decode: Result<DecodeResult, crate::decode::DecodeError>,
+        detected_center: Option<Vec3>,
+        clusters: Vec<ScoredCluster>,
+    ) -> Self {
+        let decode = decode.ok();
+        Outcome {
+            bits: decode.as_ref().map(|d| d.bits.clone()).unwrap_or_default(),
+            decode,
+            detected_center,
+            clusters,
+            rss_trace,
+            all_tags: Vec::new(),
+        }
+    }
+
+    /// Decoding SNR \[dB\], `None` when decoding failed.
+    pub fn snr_db(&self) -> Option<f64> {
+        self.decode.as_ref().map(|d| d.snr_db())
+    }
+
+    /// Median spotlight RSS across the middle half of the pass \[dBm\].
+    pub fn median_rss_dbm(&self) -> f64 {
+        let n = self.rss_trace.len();
+        if n == 0 {
+            return f64::NEG_INFINITY;
+        }
+        let mid: Vec<f64> = self.rss_trace[n / 4..(3 * n / 4).max(n / 4 + 1)]
+            .iter()
+            .map(|s| 10.0 * s.rss.norm_sqr().max(1e-300).log10())
+            .collect();
+        ros_dsp::stats::median(&mid)
+    }
+}
+
+fn gauss<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-300);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::SpatialCode;
+
+    fn tag8(bits: &[bool]) -> Tag {
+        SpatialCode {
+            rows_per_stack: 8,
+            ..SpatialCode::paper_4bit()
+        }
+        .encode(bits)
+        .unwrap()
+    }
+
+    #[test]
+    fn fast_mode_decodes_all_ones() {
+        let outcome = DriveBy::new(tag8(&[true; 4]), 2.0).run(&ReaderConfig::fast());
+        assert_eq!(outcome.bits, vec![true; 4]);
+        assert!(outcome.snr_db().unwrap() > 10.0);
+    }
+
+    #[test]
+    fn fast_mode_decodes_mixed_bits() {
+        for bits in [[true, false, true, true], [false, true, true, false]] {
+            let outcome = DriveBy::new(tag8(&bits), 2.0)
+                .with_seed(7)
+                .run(&ReaderConfig::fast());
+            assert_eq!(outcome.bits.as_slice(), &bits);
+        }
+    }
+
+    #[test]
+    fn rss_decreases_with_standoff() {
+        let near = DriveBy::new(tag8(&[true; 4]), 2.0).run(&ReaderConfig::fast());
+        let far = DriveBy::new(tag8(&[true; 4]), 4.0).run(&ReaderConfig::fast());
+        assert!(
+            near.median_rss_dbm() > far.median_rss_dbm() + 5.0,
+            "near {} far {}",
+            near.median_rss_dbm(),
+            far.median_rss_dbm()
+        );
+    }
+
+    #[test]
+    fn tracking_error_degrades_snr() {
+        let clean = DriveBy::new(tag8(&[true; 4]), 2.0).run(&ReaderConfig::fast());
+        let drifty = DriveBy::new(tag8(&[true; 4]), 2.0)
+            .with_tracking(TrackingError::drift(0.10))
+            .run(&ReaderConfig::fast());
+        let s_clean = clean.snr_db().unwrap();
+        let s_drift = drifty.snr_db().unwrap_or(0.0);
+        assert!(
+            s_clean > s_drift,
+            "clean {s_clean} dB vs 10% drift {s_drift} dB"
+        );
+    }
+
+    #[test]
+    fn interference_raises_floor_and_lowers_snr() {
+        let quiet = DriveBy::new(tag8(&[true; 4]), 2.0).run(&ReaderConfig::fast());
+        let noisy = DriveBy::new(tag8(&[true; 4]), 2.0)
+            .with_interference_db(15.0)
+            .run(&ReaderConfig::fast());
+        assert!(quiet.snr_db().unwrap() > noisy.snr_db().unwrap_or(0.0));
+    }
+}

@@ -1,0 +1,222 @@
+//! The road-sign semantic layer.
+//!
+//! Fig. 1 of the paper shows the point of it all: *"Coding Bit 1111 →
+//! Traffic Light Ahead!"*. This module maps 4-bit RoS codewords to the
+//! road-sign meanings an ITS deployment would standardize, giving
+//! applications a typed vocabulary instead of raw bit vectors.
+//!
+//! The assignment reserves codeword 0 (all slots empty — physically
+//! undetectable, §5.2) and orders the rest so that single-bit errors
+//! between *critical* signs (Stop, WrongWay) and benign ones are
+//! minimized where possible.
+
+use crate::encode::{EncodeError, SpatialCode};
+use crate::tag::Tag;
+
+/// Road-sign meanings for the 4-bit codebook.
+///
+/// ```
+/// use ros_core::signpost::RoadSign;
+/// // The paper's Fig. 1: bits 1111 mean "traffic light ahead".
+/// let sign = RoadSign::from_bits(&[true, true, true, true]).unwrap();
+/// assert_eq!(sign, RoadSign::TrafficLightAhead);
+/// assert_eq!(sign.name(), "TRAFFIC LIGHT AHEAD");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RoadSign {
+    /// Stop ahead.
+    Stop,
+    /// Yield / give way.
+    Yield,
+    /// Traffic light ahead (the paper's Fig. 1 example).
+    TrafficLightAhead,
+    /// Pedestrian crossing.
+    PedestrianCrossing,
+    /// School zone.
+    SchoolZone,
+    /// Speed limit 25 (residential).
+    SpeedLimit25,
+    /// Speed limit 45 (arterial).
+    SpeedLimit45,
+    /// Speed limit 65 (highway).
+    SpeedLimit65,
+    /// Sharp curve left.
+    CurveLeft,
+    /// Sharp curve right.
+    CurveRight,
+    /// Merge ahead.
+    Merge,
+    /// Lane ends.
+    LaneEnds,
+    /// Road work.
+    RoadWork,
+    /// Railroad crossing.
+    RailroadCrossing,
+    /// Wrong way / do not enter.
+    WrongWay,
+}
+
+impl RoadSign {
+    /// Every assigned sign, in codeword order (codewords 1..=15).
+    pub const ALL: [RoadSign; 15] = [
+        RoadSign::Stop,               // 0b0001
+        RoadSign::Yield,              // 0b0010
+        RoadSign::SpeedLimit25,       // 0b0011
+        RoadSign::PedestrianCrossing, // 0b0100
+        RoadSign::SpeedLimit45,       // 0b0101
+        RoadSign::SchoolZone,         // 0b0110
+        RoadSign::CurveLeft,          // 0b0111
+        RoadSign::RailroadCrossing,   // 0b1000
+        RoadSign::SpeedLimit65,       // 0b1001
+        RoadSign::Merge,              // 0b1010
+        RoadSign::CurveRight,         // 0b1011
+        RoadSign::LaneEnds,           // 0b1100
+        RoadSign::RoadWork,           // 0b1101
+        RoadSign::WrongWay,           // 0b1110
+        RoadSign::TrafficLightAhead,  // 0b1111 — the Fig. 1 example
+    ];
+
+    /// The 4-bit codeword (1..=15; 0 is reserved/undetectable).
+    pub fn codeword(self) -> u8 {
+        RoadSign::ALL
+            .iter()
+            .position(|&s| s == self)
+            .expect("sign in table") as u8
+            + 1
+    }
+
+    /// Looks a sign up by codeword.
+    pub fn from_codeword(word: u8) -> Option<RoadSign> {
+        if (1..=15).contains(&word) {
+            Some(RoadSign::ALL[(word - 1) as usize])
+        } else {
+            None
+        }
+    }
+
+    /// The codeword as a bit vector (slot order, LSB first).
+    pub fn bits(self) -> [bool; 4] {
+        let w = self.codeword();
+        [w & 1 != 0, w & 2 != 0, w & 4 != 0, w & 8 != 0]
+    }
+
+    /// Decodes a bit vector back to a sign.
+    pub fn from_bits(bits: &[bool]) -> Option<RoadSign> {
+        if bits.len() != 4 {
+            return None;
+        }
+        let mut w = 0u8;
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                w |= 1 << i;
+            }
+        }
+        RoadSign::from_codeword(w)
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RoadSign::Stop => "STOP",
+            RoadSign::Yield => "YIELD",
+            RoadSign::TrafficLightAhead => "TRAFFIC LIGHT AHEAD",
+            RoadSign::PedestrianCrossing => "PEDESTRIAN CROSSING",
+            RoadSign::SchoolZone => "SCHOOL ZONE",
+            RoadSign::SpeedLimit25 => "SPEED LIMIT 25",
+            RoadSign::SpeedLimit45 => "SPEED LIMIT 45",
+            RoadSign::SpeedLimit65 => "SPEED LIMIT 65",
+            RoadSign::CurveLeft => "CURVE LEFT",
+            RoadSign::CurveRight => "CURVE RIGHT",
+            RoadSign::Merge => "MERGE",
+            RoadSign::LaneEnds => "LANE ENDS",
+            RoadSign::RoadWork => "ROAD WORK",
+            RoadSign::RailroadCrossing => "RAILROAD CROSSING",
+            RoadSign::WrongWay => "WRONG WAY",
+        }
+    }
+
+    /// Whether a missed or corrupted reading of this sign is
+    /// safety-critical (deployments should double up such tags, §7.3).
+    pub fn is_critical(self) -> bool {
+        matches!(
+            self,
+            RoadSign::Stop
+                | RoadSign::WrongWay
+                | RoadSign::RailroadCrossing
+                | RoadSign::PedestrianCrossing
+        )
+    }
+
+    /// Fabricates the tag for this sign with the paper's 4-bit code.
+    pub fn fabricate(self) -> Result<Tag, EncodeError> {
+        SpatialCode::paper_4bit().encode(&self.bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codewords_bijective() {
+        for sign in RoadSign::ALL {
+            let w = sign.codeword();
+            assert_eq!(RoadSign::from_codeword(w), Some(sign));
+            assert_eq!(RoadSign::from_bits(&sign.bits()), Some(sign));
+        }
+    }
+
+    #[test]
+    fn codeword_zero_reserved() {
+        assert_eq!(RoadSign::from_codeword(0), None);
+        assert_eq!(RoadSign::from_codeword(16), None);
+        assert_eq!(RoadSign::from_bits(&[false; 4]), None);
+    }
+
+    #[test]
+    fn fig1_example_is_all_ones() {
+        // The paper's Fig. 1: bits "1111" = traffic light ahead.
+        assert_eq!(RoadSign::TrafficLightAhead.codeword(), 0b1111);
+        assert_eq!(
+            RoadSign::from_bits(&[true, true, true, true]),
+            Some(RoadSign::TrafficLightAhead)
+        );
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = RoadSign::ALL.iter().map(|s| s.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 15);
+    }
+
+    #[test]
+    fn fabricated_tag_carries_the_codeword() {
+        let tag = RoadSign::SchoolZone.fabricate().unwrap();
+        assert_eq!(tag.bits(), RoadSign::SchoolZone.bits());
+    }
+
+    #[test]
+    fn critical_signs_flagged() {
+        assert!(RoadSign::Stop.is_critical());
+        assert!(!RoadSign::SpeedLimit45.is_critical());
+    }
+
+    #[test]
+    fn over_the_air_sign_roundtrip() {
+        use crate::reader::{DriveBy, ReaderConfig};
+        for sign in [RoadSign::Stop, RoadSign::TrafficLightAhead, RoadSign::Merge] {
+            let code = SpatialCode {
+                rows_per_stack: 8,
+                ..SpatialCode::paper_4bit()
+            };
+            let tag = code.encode(&sign.bits()).unwrap();
+            let outcome = DriveBy::new(tag, 2.5)
+                .with_seed(sign.codeword() as u64)
+                .run(&ReaderConfig::fast());
+            let decoded = RoadSign::from_bits(&outcome.bits);
+            assert_eq!(decoded, Some(sign), "{}", sign.name());
+        }
+    }
+}

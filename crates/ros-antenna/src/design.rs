@@ -1,0 +1,166 @@
+//! Closed-form design rules from the paper.
+//!
+//! These are the analytic results that size every RoS tag:
+//!
+//! * §4.1 — the optimal Van Atta pair count given the radar bandwidth,
+//! * §4.3, Eq. (5) — the elevation beamwidth of a vertical stack,
+//! * §5.3, Eq. (8) — the far-field (Fraunhofer) distance,
+//! * §5.3, Eq. (9) — the Nyquist bound on vehicle speed.
+
+use ros_em::constants::LAMBDA_GUIDED_79GHZ_M;
+
+/// Maximum TL length difference (shortest vs longest) that keeps the
+/// band-edge phase misalignment below π/2 \[m\] (§4.1):
+/// `δl ≤ c_l / (4B)` with `c_l` the guided propagation speed.
+pub fn max_tl_length_difference_m(bandwidth_hz: f64, center_hz: f64) -> f64 {
+    let c_l = center_hz * guided_wavelength_at_center(center_hz);
+    c_l / (4.0 * bandwidth_hz)
+}
+
+fn guided_wavelength_at_center(center_hz: f64) -> f64 {
+    // Strip-line ε_eff is frequency-flat; scale the 79 GHz anchor.
+    LAMBDA_GUIDED_79GHZ_M * ros_em::constants::F_CENTER_HZ / center_hz
+}
+
+/// Optimal number of Van Atta antenna pairs (§4.1):
+/// `⌈δl_max / (2λg)⌉` — adjacent lines must differ by at least 2λg
+/// (the smallest λg multiple clearing the λ antenna pitch), and the
+/// total spread must stay below the misalignment bound.
+pub fn optimal_antenna_pairs(bandwidth_hz: f64, center_hz: f64) -> usize {
+    let delta_l = max_tl_length_difference_m(bandwidth_hz, center_hz);
+    let lg = guided_wavelength_at_center(center_hz);
+    ((delta_l / (2.0 * lg)).ceil() as usize).max(1)
+}
+
+/// Elevation beamwidth of a vertically stacked reflector \[rad\]
+/// (Eq. 5): `θ = 0.886·λ / (2·N·d_z)`.
+///
+/// The factor 2 relative to an ordinary array reflects the two-way
+/// (reflection) geometry: height offsets accrue phase on both the
+/// incoming and outgoing paths.
+pub fn stack_beamwidth_rad(n_rows: usize, row_pitch_m: f64, lambda_m: f64) -> f64 {
+    assert!(n_rows > 0 && row_pitch_m > 0.0);
+    0.886 * lambda_m / (2.0 * n_rows as f64 * row_pitch_m)
+}
+
+/// Tolerable radar–tag height mismatch at distance `d_m` for a stack
+/// of beamwidth `beamwidth_rad` \[m\]: `d·tan(θ/2)`.
+pub fn height_tolerance_m(beamwidth_rad: f64, d_m: f64) -> f64 {
+    d_m * (beamwidth_rad / 2.0).tan()
+}
+
+/// Fraunhofer far-field distance (Eq. 8): `d = 2·D²/λ` \[m\].
+pub fn far_field_distance_m(aperture_m: f64, lambda_m: f64) -> f64 {
+    2.0 * aperture_m * aperture_m / lambda_m
+}
+
+/// Maximum vehicle speed the spatial code supports \[m/s\] (Eq. 9).
+///
+/// The RCS-vs-`u` trace contains spatial frequencies up to
+/// `2·s_max/λ` cycles per unit `u`, where `s_max` is the largest
+/// pairwise stack spacing on the tag. Nyquist requires consecutive
+/// frames closer than `δu = λ/(4·s_max)`; with the worst-case
+/// `|du/dx| = 1/d` at reading distance `d`, the per-frame travel bound
+/// is `δs = d·δu` and the speed bound `v = δs·F_s`.
+pub fn max_vehicle_speed_mps(
+    max_pair_spacing_m: f64,
+    lambda_m: f64,
+    reading_distance_m: f64,
+    frame_rate_hz: f64,
+) -> f64 {
+    assert!(max_pair_spacing_m > 0.0);
+    let du = lambda_m / (4.0 * max_pair_spacing_m);
+    reading_distance_m * du * frame_rate_hz
+}
+
+/// Minimum lateral separation between two side-by-side tags at
+/// distance `d_m` so the radar (with `n_rx` antennas) can isolate them
+/// \[m\] (§5.3): angular separation > half beamwidth ≈ `1/N_r` rad.
+pub fn min_tag_separation_m(d_m: f64, n_rx: usize) -> f64 {
+    assert!(n_rx > 0);
+    d_m * (1.0 / n_rx as f64).tan()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ros_em::constants::{F_CENTER_HZ, LAMBDA_CENTER_M};
+    use ros_em::geom::rad_to_deg;
+
+    #[test]
+    fn tl_length_bound_matches_4_94_lambda_g() {
+        // §4.1: B = 4 GHz ⇒ δl ≈ 4.94 λg.
+        let dl = max_tl_length_difference_m(4.0e9, F_CENTER_HZ);
+        assert!((dl / LAMBDA_GUIDED_79GHZ_M - 4.94).abs() < 0.01);
+    }
+
+    #[test]
+    fn optimal_pairs_is_3_for_automotive_radar() {
+        assert_eq!(optimal_antenna_pairs(4.0e9, F_CENTER_HZ), 3);
+    }
+
+    #[test]
+    fn optimal_pairs_grows_for_narrow_band() {
+        // A narrower sweep tolerates longer lines ⇒ more pairs.
+        assert!(optimal_antenna_pairs(1.0e9, F_CENTER_HZ) > 3);
+        // An ultra-wide sweep collapses to a single pair.
+        assert_eq!(optimal_antenna_pairs(40.0e9, F_CENTER_HZ), 1);
+    }
+
+    #[test]
+    fn stack_beamwidth_anchor() {
+        // §4.3: 32 PSVAAs at the 0.725λ design pitch ⇒ ≈1.1°.
+        let bw = stack_beamwidth_rad(32, 0.725 * LAMBDA_CENTER_M, LAMBDA_CENTER_M);
+        assert!((rad_to_deg(bw) - 1.09).abs() < 0.05, "{}", rad_to_deg(bw));
+    }
+
+    #[test]
+    fn height_mismatch_anchor() {
+        // §4.3: at 3 m, a ≈1.1° beam tolerates ≈3 cm of height mismatch.
+        let bw = stack_beamwidth_rad(32, 0.725 * LAMBDA_CENTER_M, LAMBDA_CENTER_M);
+        let tol = height_tolerance_m(bw, 3.0);
+        assert!((tol - 0.029).abs() < 0.004, "tol {tol}");
+    }
+
+    #[test]
+    fn far_field_anchors() {
+        // §5.3: the 4-bit tag's far field is 2.9 m — that value follows
+        // from the 19.5λ spacing between the outermost coding stacks
+        // (the radiating aperture), not the 22.5λ overall width that
+        // includes the 3λ stack-width padding. §7.2: 10.8 cm stack
+        // height ⇒ ≈6.14 m.
+        let d = far_field_distance_m(19.5 * LAMBDA_CENTER_M, LAMBDA_CENTER_M);
+        assert!((d - 2.89).abs() < 0.1, "4-bit aperture: {d}");
+        let d32 = far_field_distance_m(0.108, LAMBDA_CENTER_M);
+        assert!((d32 - 6.14).abs() < 0.1, "32-row height: {d32}");
+    }
+
+    #[test]
+    fn speed_bound_near_paper_value() {
+        // §5.3: the 4-bit tag (δc = 1.5λ) at F_s = 1 kHz supports
+        // ≈38.5 m/s. Largest pairwise spacing: |d₄|+|d₃| = 19.5λ;
+        // reading distance = the 2.9 m far-field bound.
+        let s_max = 19.5 * LAMBDA_CENTER_M;
+        let v = max_vehicle_speed_mps(s_max, LAMBDA_CENTER_M, 2.9, 1000.0);
+        assert!(
+            (v - 38.5).abs() < 3.0,
+            "speed bound {v} m/s (paper: 38.5 m/s)"
+        );
+    }
+
+    #[test]
+    fn tag_separation_anchor() {
+        // §5.3: N_r = 4 Rx antennas, d = 6 m ⇒ ≥1.53 m.
+        let s = min_tag_separation_m(6.0, 4);
+        assert!((s - 1.53).abs() < 0.05, "separation {s}");
+    }
+
+    #[test]
+    fn beamwidth_shrinks_with_more_rows() {
+        let lam = LAMBDA_CENTER_M;
+        let p = 0.725 * lam;
+        let bw8 = stack_beamwidth_rad(8, p, lam);
+        let bw32 = stack_beamwidth_rad(32, p, lam);
+        assert!((bw8 / bw32 - 4.0).abs() < 1e-9);
+    }
+}

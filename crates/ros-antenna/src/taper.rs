@@ -1,0 +1,174 @@
+//! Dolph–Chebyshev amplitude taper synthesis.
+//!
+//! The textbook way to control an array's pattern is an amplitude
+//! taper. Dolph–Chebyshev is optimal in the narrowest-beam-for-given-
+//! sidelobe sense — but it cannot produce the §4.3 *flat-top* beam the
+//! tag needs (it trades sidelobes against width around a single
+//! pencil maximum), and a passive PCB cannot realise amplitude weights
+//! anyway (every PSVAA row reflects with the same strength; only TL
+//! *phase* is printable). This module exists to make that argument
+//! quantitative: the `optimizer_ablation` companion test shows the
+//! Chebyshev beam is ~4× narrower than the DE flat-top at equal row
+//! count, collapsing exactly like the uniform stack under height
+//! mismatch.
+
+/// Chebyshev polynomial `T_m(x)` evaluated for any real `x`.
+pub fn chebyshev(m: usize, x: f64) -> f64 {
+    if x.abs() <= 1.0 {
+        (m as f64 * x.acos()).cos()
+    } else if x > 1.0 {
+        (m as f64 * x.acosh()).cosh()
+    } else {
+        // x < −1: T_m(x) = (−1)^m cosh(m·acosh(−x))
+        let v = (m as f64 * (-x).acosh()).cosh();
+        if m % 2 == 0 {
+            v
+        } else {
+            -v
+        }
+    }
+}
+
+/// Dolph–Chebyshev weights for an `n`-element uniform line array with
+/// the given sidelobe level (positive dB, e.g. 25.0 for −25 dB
+/// sidelobes). Weights are normalized to a unit maximum.
+///
+/// # Panics
+/// Panics when `n < 3` or `sidelobe_db <= 0`.
+pub fn dolph_chebyshev_weights(n: usize, sidelobe_db: f64) -> Vec<f64> {
+    assert!(n >= 3, "need at least 3 elements");
+    assert!(sidelobe_db > 0.0, "sidelobe level must be positive dB");
+    let r = 10f64.powf(sidelobe_db / 20.0);
+    let m = n - 1;
+    let x0 = (r.acosh() / m as f64).cosh();
+
+    // Sample the Chebyshev pattern and inverse-DFT for the weights
+    // (standard Stegen synthesis).
+    let mut w = vec![0.0; n];
+    for (k, wk) in w.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for q in 0..n {
+            let theta = std::f64::consts::TAU * q as f64 / n as f64;
+            let pattern = chebyshev(m, x0 * (theta / 2.0).cos());
+            acc += pattern * (theta * (k as f64 - m as f64 / 2.0)).cos();
+        }
+        *wk = acc / n as f64;
+    }
+    let peak = w.iter().cloned().fold(0.0_f64, f64::max);
+    for v in w.iter_mut() {
+        *v /= peak;
+    }
+    w
+}
+
+/// Array-factor power pattern of real weights on a uniform line array
+/// (`spacing_wavelengths` pitch) at direction cosine `u`, normalized
+/// by the weight sum (unit peak at `u = 0`).
+pub fn taper_pattern(weights: &[f64], spacing_wavelengths: f64, u: f64) -> f64 {
+    let n = weights.len() as f64;
+    let center = (n - 1.0) / 2.0;
+    let (mut re, mut im) = (0.0, 0.0);
+    for (k, &w) in weights.iter().enumerate() {
+        let ph = std::f64::consts::TAU * spacing_wavelengths * (k as f64 - center) * u;
+        re += w * ph.cos();
+        im += w * ph.sin();
+    }
+    let wsum: f64 = weights.iter().sum();
+    (re * re + im * im) / (wsum * wsum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chebyshev_polynomial_identities() {
+        // T_0 = 1, T_1 = x, T_2 = 2x² − 1, across both regions.
+        for x in [-1.5, -0.7, 0.0, 0.3, 1.0, 2.0] {
+            assert!((chebyshev(0, x) - 1.0).abs() < 1e-12);
+            assert!((chebyshev(1, x) - x).abs() < 1e-9, "T1({x})");
+            assert!(
+                (chebyshev(2, x) - (2.0 * x * x - 1.0)).abs() < 1e-9,
+                "T2({x})"
+            );
+        }
+    }
+
+    #[test]
+    fn weights_symmetric_and_positive() {
+        let w = dolph_chebyshev_weights(8, 25.0);
+        assert_eq!(w.len(), 8);
+        for k in 0..4 {
+            assert!((w[k] - w[7 - k]).abs() < 1e-9, "asymmetric at {k}");
+        }
+        assert!(w.iter().all(|&v| v > 0.0));
+        // Edge elements are the lightest.
+        assert!(w[0] < w[3]);
+    }
+
+    #[test]
+    fn sidelobes_meet_the_design_level() {
+        let sll = 30.0;
+        let w = dolph_chebyshev_weights(16, sll);
+        // Scan the pattern outside the main lobe.
+        let mut worst = f64::NEG_INFINITY;
+        let mut past_first_null = false;
+        let mut prev = taper_pattern(&w, 0.5, 0.0);
+        for i in 1..400 {
+            let u = i as f64 / 400.0;
+            let p = taper_pattern(&w, 0.5, u);
+            if !past_first_null && p > prev {
+                past_first_null = true;
+            }
+            if past_first_null {
+                worst = worst.max(10.0 * p.log10());
+            }
+            prev = p;
+        }
+        assert!(
+            worst <= -sll + 1.0,
+            "worst sidelobe {worst:.1} dB vs design −{sll}"
+        );
+    }
+
+    #[test]
+    fn uniform_equivalent_at_huge_sidelobe_demand() {
+        // As the sidelobe requirement relaxes, weights approach uniform
+        // (which has −13 dB sidelobes).
+        let w = dolph_chebyshev_weights(8, 13.3);
+        let spread = w.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - w.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread < 0.5, "weights {w:?}");
+    }
+
+    #[test]
+    fn chebyshev_beam_is_narrow_not_flat() {
+        // The §4.3 argument: a Chebyshev stack is still a pencil beam.
+        // Compare the −3 dB width against the DE flat-top target (10°).
+        let n = 8;
+        let w = dolph_chebyshev_weights(n, 25.0);
+        let pitch_wl = 0.725;
+        // Find the −3 dB width in elevation (u = sin ε; two-way phase
+        // doubles the effective pitch).
+        let mut width_u = 0.0;
+        for i in 0..2000 {
+            let u = i as f64 * 1e-4;
+            if taper_pattern(&w, 2.0 * pitch_wl, u) < 0.5 {
+                width_u = 2.0 * u;
+                break;
+            }
+        }
+        let width_deg = 2.0 * ros_em::geom::rad_to_deg(width_u.asin() / 2.0);
+        assert!(
+            width_deg < 7.0,
+            "Chebyshev width {width_deg:.1}° — still a pencil, not a 10° flat-top"
+        );
+        assert!(width_deg > 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_array_rejected() {
+        dolph_chebyshev_weights(2, 20.0);
+    }
+}

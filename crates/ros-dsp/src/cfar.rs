@@ -1,0 +1,211 @@
+//! Cell-averaging CFAR (constant false-alarm rate) detection.
+//!
+//! Range profiles contain targets of wildly different strengths on a
+//! noise floor that varies with range and clutter. A fixed threshold
+//! either misses weak tags or fires on noise; CA-CFAR adapts the
+//! threshold per cell from the average power of *training* cells
+//! around it, excluding *guard* cells that may contain target energy
+//! leakage. This is the standard first stage of the §3.2/§6 point-cloud
+//! flow ("recognizing peaks at different distances").
+
+/// CA-CFAR configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CfarParams {
+    /// Training cells on each side of the cell under test.
+    pub training: usize,
+    /// Guard cells on each side of the cell under test.
+    pub guard: usize,
+    /// Threshold factor over the noise estimate, linear power.
+    pub threshold_factor: f64,
+}
+
+impl Default for CfarParams {
+    fn default() -> Self {
+        CfarParams {
+            training: 8,
+            guard: 2,
+            threshold_factor: 8.0, // ≈9 dB over the local noise average
+        }
+    }
+}
+
+/// A CFAR detection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Detection {
+    /// Cell index.
+    pub index: usize,
+    /// Cell power.
+    pub power: f64,
+    /// Local noise estimate used for the test.
+    pub noise: f64,
+}
+
+impl Detection {
+    /// Detection SNR in dB.
+    pub fn snr_db(&self) -> f64 {
+        10.0 * (self.power / self.noise).log10()
+    }
+}
+
+/// Runs cell-averaging CFAR over a power profile.
+///
+/// Cells whose one-sided windows fall off the array use the available
+/// side only (automatically degenerating to "greatest-of" at the
+/// edges). Cells must also be local maxima so one target produces one
+/// detection, not a run of them.
+pub fn ca_cfar(power: &[f64], params: &CfarParams) -> Vec<Detection> {
+    let n = power.len();
+    if n == 0 || params.training == 0 {
+        return Vec::new();
+    }
+    let mut detections = Vec::new();
+    for i in 0..n {
+        // Leading (left) training window.
+        let left_hi = i.saturating_sub(params.guard);
+        let left_lo = left_hi.saturating_sub(params.training);
+        // Lagging (right) training window.
+        let right_lo = (i + params.guard + 1).min(n);
+        let right_hi = (right_lo + params.training).min(n);
+
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        if left_hi > left_lo {
+            sum += power[left_lo..left_hi].iter().sum::<f64>();
+            count += left_hi - left_lo;
+        }
+        if right_hi > right_lo {
+            sum += power[right_lo..right_hi].iter().sum::<f64>();
+            count += right_hi - right_lo;
+        }
+        if count == 0 {
+            continue;
+        }
+        let noise = sum / count as f64;
+
+        let is_local_max = (i == 0 || power[i] >= power[i - 1])
+            && (i + 1 >= n || power[i] > power[i + 1]);
+
+        if is_local_max && power[i] > params.threshold_factor * noise {
+            detections.push(Detection {
+                index: i,
+                power: power[i],
+                noise,
+            });
+        }
+    }
+    detections
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_noise(n: usize, level: f64) -> Vec<f64> {
+        vec![level; n]
+    }
+
+    #[test]
+    fn detects_strong_target_on_flat_noise() {
+        let mut p = flat_noise(64, 1.0);
+        p[30] = 100.0;
+        let d = ca_cfar(&p, &CfarParams::default());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].index, 30);
+        assert!((d[0].noise - 1.0).abs() < 1e-9);
+        assert!((d[0].snr_db() - 20.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn no_detection_on_pure_noise() {
+        let p = flat_noise(64, 2.5);
+        assert!(ca_cfar(&p, &CfarParams::default()).is_empty());
+    }
+
+    #[test]
+    fn threshold_factor_controls_sensitivity() {
+        let mut p = flat_noise(64, 1.0);
+        p[20] = 5.0;
+        let strict = CfarParams {
+            threshold_factor: 8.0,
+            ..Default::default()
+        };
+        let loose = CfarParams {
+            threshold_factor: 3.0,
+            ..Default::default()
+        };
+        assert!(ca_cfar(&p, &strict).is_empty());
+        assert_eq!(ca_cfar(&p, &loose).len(), 1);
+    }
+
+    #[test]
+    fn guard_cells_protect_wide_targets() {
+        // A target that leaks into neighbours: without guards the
+        // leakage inflates the noise estimate.
+        let mut p = flat_noise(64, 1.0);
+        p[31] = 30.0;
+        p[32] = 100.0;
+        p[33] = 30.0;
+        let with_guard = CfarParams {
+            guard: 2,
+            ..Default::default()
+        };
+        let d = ca_cfar(&p, &with_guard);
+        assert!(d.iter().any(|d| d.index == 32));
+        // The shoulders must not fire (not local maxima).
+        assert!(d.iter().all(|d| d.index == 32));
+    }
+
+    #[test]
+    fn adapts_to_noise_steps() {
+        // Step in the noise floor: a target that clears the low floor
+        // but sits inside the high-floor region must not fire there.
+        let mut p = Vec::new();
+        p.extend(flat_noise(32, 1.0));
+        p.extend(flat_noise(32, 50.0));
+        p[16] = 40.0; // strong vs floor 1.0
+        p[48] = 120.0; // only 2.4× the local floor of 50
+        let d = ca_cfar(
+            &p,
+            &CfarParams {
+                training: 6,
+                guard: 1,
+                threshold_factor: 6.0,
+            },
+        );
+        assert!(d.iter().any(|d| d.index == 16));
+        assert!(!d.iter().any(|d| d.index == 48));
+    }
+
+    #[test]
+    fn two_separated_targets_both_detected() {
+        let mut p = flat_noise(128, 1.0);
+        p[30] = 50.0;
+        p[90] = 80.0;
+        let d = ca_cfar(&p, &CfarParams::default());
+        let idx: Vec<usize> = d.iter().map(|d| d.index).collect();
+        assert!(idx.contains(&30) && idx.contains(&90));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn edge_target_detected_with_one_sided_window() {
+        let mut p = flat_noise(64, 1.0);
+        p[1] = 100.0;
+        let d = ca_cfar(&p, &CfarParams::default());
+        assert!(d.iter().any(|d| d.index == 1));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(ca_cfar(&[], &CfarParams::default()).is_empty());
+        let p = [5.0];
+        assert!(ca_cfar(
+            &p,
+            &CfarParams {
+                training: 0,
+                ..Default::default()
+            }
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Resampling of non-uniformly sampled traces onto uniform grids.
+//!
+//! The tag's RCS is sampled wherever the vehicle happens to be when a
+//! frame fires, i.e. at non-uniform positions in `u = cos θ` (§5.1's
+//! spectral variable). The FFT needs uniform samples, so the decoder
+//! first sorts the (u, RSS) pairs and linearly interpolates them onto a
+//! uniform u-grid. Tracking error (Fig. 16d) enters precisely here: the
+//! *assumed* u values drift from the true ones, warping the grid.
+
+/// A sampled point of a 1-D trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sample {
+    /// Abscissa (e.g. `u = cos θ`).
+    pub x: f64,
+    /// Ordinate (e.g. linear RSS).
+    pub y: f64,
+}
+
+/// Sorts samples by `x`, averaging exact duplicates.
+///
+/// Duplicate abscissae occur when the vehicle is nearly stationary
+/// relative to the tag (frames faster than motion); averaging them is
+/// the maximum-likelihood combination under AWGN.
+pub fn sort_dedup(samples: &mut Vec<Sample>) {
+    samples.sort_by(|a, b| a.x.total_cmp(&b.x));
+    let mut out: Vec<Sample> = Vec::with_capacity(samples.len());
+    let mut i = 0;
+    while i < samples.len() {
+        let x = samples[i].x;
+        let mut sum = 0.0;
+        let mut cnt = 0usize;
+        while i < samples.len() && samples[i].x == x {
+            sum += samples[i].y;
+            cnt += 1;
+            i += 1;
+        }
+        out.push(Sample {
+            x,
+            y: sum / cnt as f64,
+        });
+    }
+    *samples = out;
+}
+
+/// Linearly interpolates sorted samples at `x`; clamps outside the hull.
+pub fn interp(samples: &[Sample], x: f64) -> f64 {
+    match samples {
+        [] => 0.0,
+        [only] => only.y,
+        _ => {
+            if x <= samples[0].x {
+                return samples[0].y;
+            }
+            let last = samples.len() - 1;
+            if x >= samples[last].x {
+                return samples[last].y;
+            }
+            // Binary search for the bracketing pair.
+            let mut lo = 0usize;
+            let mut hi = last;
+            while hi - lo > 1 {
+                let mid = (lo + hi) / 2;
+                if samples[mid].x <= x {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            let (a, b) = (samples[lo], samples[hi]);
+            let t = (x - a.x) / (b.x - a.x);
+            a.y * (1.0 - t) + b.y * t
+        }
+    }
+}
+
+/// Resamples a non-uniform trace onto `n` uniform points spanning
+/// `[x0, x1]`. The input is sorted/deduplicated internally.
+///
+/// Returns an empty vector when the input is empty or `n == 0`.
+pub fn resample_uniform(mut samples: Vec<Sample>, x0: f64, x1: f64, n: usize) -> Vec<f64> {
+    if samples.is_empty() || n == 0 {
+        return Vec::new();
+    }
+    sort_dedup(&mut samples);
+    (0..n)
+        .map(|i| {
+            let x = if n == 1 {
+                (x0 + x1) / 2.0
+            } else {
+                x0 + (x1 - x0) * i as f64 / (n - 1) as f64
+            };
+            interp(&samples, x)
+        })
+        .collect()
+}
+
+/// Mean sample spacing of a sorted trace — used to check the §5.3
+/// Nyquist condition `δ_s ≤ λ/(4·d_{M−1}/λ)…` before decoding.
+pub fn mean_spacing(samples: &[Sample]) -> Option<f64> {
+    if samples.len() < 2 {
+        return None;
+    }
+    Some((samples[samples.len() - 1].x - samples[0].x) / (samples.len() - 1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: f64, y: f64) -> Sample {
+        Sample { x, y }
+    }
+
+    #[test]
+    fn sort_and_average_duplicates() {
+        let mut v = vec![s(2.0, 4.0), s(1.0, 1.0), s(2.0, 6.0)];
+        sort_dedup(&mut v);
+        assert_eq!(v, vec![s(1.0, 1.0), s(2.0, 5.0)]);
+    }
+
+    #[test]
+    fn interp_linear_between_points() {
+        let v = vec![s(0.0, 0.0), s(1.0, 10.0)];
+        assert_eq!(interp(&v, 0.25), 2.5);
+        assert_eq!(interp(&v, 0.5), 5.0);
+    }
+
+    #[test]
+    fn interp_clamps_outside() {
+        let v = vec![s(0.0, 3.0), s(1.0, 7.0)];
+        assert_eq!(interp(&v, -5.0), 3.0);
+        assert_eq!(interp(&v, 5.0), 7.0);
+    }
+
+    #[test]
+    fn interp_degenerate() {
+        assert_eq!(interp(&[], 0.5), 0.0);
+        assert_eq!(interp(&[s(1.0, 9.0)], 42.0), 9.0);
+    }
+
+    #[test]
+    fn resample_recovers_linear_function() {
+        // y = 2x sampled non-uniformly, resampled uniformly.
+        let xs = [0.0, 0.13, 0.41, 0.55, 0.78, 1.0];
+        let samples: Vec<Sample> = xs.iter().map(|&x| s(x, 2.0 * x)).collect();
+        let out = resample_uniform(samples, 0.0, 1.0, 11);
+        for (i, &y) in out.iter().enumerate() {
+            let x = i as f64 / 10.0;
+            assert!((y - 2.0 * x).abs() < 1e-12, "at {x}: {y}");
+        }
+    }
+
+    #[test]
+    fn resample_unsorted_input() {
+        let samples = vec![s(1.0, 2.0), s(0.0, 0.0), s(0.5, 1.0)];
+        let out = resample_uniform(samples, 0.0, 1.0, 3);
+        assert_eq!(out, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn resample_empty_and_single() {
+        assert!(resample_uniform(vec![], 0.0, 1.0, 8).is_empty());
+        assert!(resample_uniform(vec![s(0.0, 1.0)], 0.0, 1.0, 0).is_empty());
+        let out = resample_uniform(vec![s(0.3, 7.0)], 0.0, 1.0, 4);
+        assert_eq!(out, vec![7.0; 4]);
+    }
+
+    #[test]
+    fn resample_single_point_grid() {
+        let out = resample_uniform(vec![s(0.0, 0.0), s(1.0, 10.0)], 0.0, 1.0, 1);
+        assert_eq!(out, vec![5.0]); // midpoint of the span
+    }
+
+    #[test]
+    fn mean_spacing_uniform() {
+        let v: Vec<Sample> = (0..5).map(|i| s(i as f64 * 0.5, 0.0)).collect();
+        assert_eq!(mean_spacing(&v), Some(0.5));
+        assert_eq!(mean_spacing(&v[..1]), None);
+        assert_eq!(mean_spacing(&[]), None);
+    }
+}

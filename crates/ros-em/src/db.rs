@@ -1,0 +1,112 @@
+//! Decibel conversion helpers.
+//!
+//! Two families exist because RF engineering uses both:
+//!
+//! * **power ratios** — `pow_to_db` / `db_to_pow` (10·log₁₀),
+//! * **amplitude (field) ratios** — `lin_to_db` / `db_to_lin` (20·log₁₀).
+//!
+//! Absolute helpers convert between dBm and watts/milliwatts.
+
+/// Converts a linear **power** ratio to decibels (10·log₁₀).
+#[inline]
+pub fn pow_to_db(p: f64) -> f64 {
+    10.0 * p.log10()
+}
+
+/// Converts decibels to a linear **power** ratio.
+#[inline]
+pub fn db_to_pow(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts a linear **amplitude** ratio to decibels (20·log₁₀).
+#[inline]
+pub fn lin_to_db(a: f64) -> f64 {
+    20.0 * a.log10()
+}
+
+/// Converts decibels to a linear **amplitude** ratio.
+#[inline]
+pub fn db_to_lin(db: f64) -> f64 {
+    10f64.powf(db / 20.0)
+}
+
+/// Converts milliwatts to dBm.
+#[inline]
+pub fn mw_to_dbm(mw: f64) -> f64 {
+    pow_to_db(mw)
+}
+
+/// Converts dBm to milliwatts.
+#[inline]
+pub fn dbm_to_mw(dbm: f64) -> f64 {
+    db_to_pow(dbm)
+}
+
+/// Converts watts to dBm.
+#[inline]
+pub fn w_to_dbm(w: f64) -> f64 {
+    pow_to_db(w * 1e3)
+}
+
+/// Converts dBm to watts.
+#[inline]
+pub fn dbm_to_w(dbm: f64) -> f64 {
+    db_to_pow(dbm) * 1e-3
+}
+
+/// Sums an iterator of powers expressed in dB into a total in dB.
+///
+/// Useful for combining incoherent contributions (e.g. noise sources).
+/// Returns `f64::NEG_INFINITY` for an empty iterator, matching "zero
+/// total power".
+pub fn db_power_sum<I: IntoIterator<Item = f64>>(dbs: I) -> f64 {
+    let total: f64 = dbs.into_iter().map(db_to_pow).sum();
+    if total == 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        pow_to_db(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_db_roundtrip() {
+        for db in [-60.0, -3.0103, 0.0, 3.0, 30.0] {
+            assert!((pow_to_db(db_to_pow(db)) - db).abs() < 1e-12);
+        }
+        assert!((pow_to_db(2.0) - 3.0103).abs() < 1e-3);
+        assert!((db_to_pow(10.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amplitude_db_roundtrip() {
+        for db in [-40.0, 0.0, 6.0206, 20.0] {
+            assert!((lin_to_db(db_to_lin(db)) - db).abs() < 1e-12);
+        }
+        // Halving an amplitude costs 6.02 dB — the PSVAA penalty (§4.2).
+        assert!((lin_to_db(0.5) + 6.0206).abs() < 1e-3);
+    }
+
+    #[test]
+    fn dbm_conversions() {
+        assert!((mw_to_dbm(1.0) - 0.0).abs() < 1e-12);
+        assert!((w_to_dbm(1.0) - 30.0).abs() < 1e-12);
+        assert!((dbm_to_w(30.0) - 1.0).abs() < 1e-12);
+        assert!((dbm_to_mw(20.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn db_sum_combines_incoherently() {
+        // Two equal powers add 3 dB.
+        let s = db_power_sum([0.0, 0.0]);
+        assert!((s - 3.0103).abs() < 1e-3);
+        assert_eq!(db_power_sum(std::iter::empty()), f64::NEG_INFINITY);
+        // A dominant term masks a tiny one.
+        let s = db_power_sum([0.0, -60.0]);
+        assert!(s < 0.01 && s > 0.0);
+    }
+}

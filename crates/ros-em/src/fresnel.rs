@@ -1,0 +1,84 @@
+//! Fresnel-region helpers.
+//!
+//! The §5.3 capacity limit is a near-field story: the spatial code is
+//! exact only beyond the Fraunhofer distance of the coding aperture.
+//! These helpers quantify where each region begins and how much phase
+//! curvature a given geometry suffers — used by the capacity analysis
+//! and the near-field decoder's documentation.
+
+/// Fraunhofer (far-field) distance `2D²/λ` \[m\].
+pub fn fraunhofer_distance_m(aperture_m: f64, lambda_m: f64) -> f64 {
+    2.0 * aperture_m * aperture_m / lambda_m
+}
+
+/// Reactive near-field boundary `0.62·√(D³/λ)` \[m\] — inside this,
+/// even amplitude patterns deform.
+pub fn reactive_near_field_m(aperture_m: f64, lambda_m: f64) -> f64 {
+    0.62 * (aperture_m.powi(3) / lambda_m).sqrt()
+}
+
+/// Peak one-way phase curvature error across an aperture `D` observed
+/// from distance `d` \[rad\]: `π·D²/(4·λ·d)` (the edge-vs-centre path
+/// difference `D²/(8d)` as phase).
+pub fn curvature_phase_error_rad(aperture_m: f64, lambda_m: f64, d_m: f64) -> f64 {
+    std::f64::consts::PI * aperture_m * aperture_m / (4.0 * lambda_m * d_m)
+}
+
+/// Radius of the `n`-th Fresnel zone at the midpoint of a link of
+/// length `d` \[m\]: `√(n·λ·d/4)` — ground clearance below this mixes
+/// a strong bounce into the direct path (the two-ray regime).
+pub fn fresnel_zone_radius_m(n: usize, lambda_m: f64, d_m: f64) -> f64 {
+    assert!(n >= 1);
+    (n as f64 * lambda_m * d_m / 4.0).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::LAMBDA_CENTER_M;
+
+    const LAM: f64 = LAMBDA_CENTER_M;
+
+    #[test]
+    fn fraunhofer_matches_design_rule() {
+        // Same formula as ros-antenna's design::far_field_distance_m;
+        // anchor: 19.5λ aperture → ≈2.9 m.
+        let d = fraunhofer_distance_m(19.5 * LAM, LAM);
+        assert!((d - 2.89).abs() < 0.05);
+    }
+
+    #[test]
+    fn region_ordering() {
+        // reactive < Fraunhofer for any aperture larger than ~λ.
+        for ap in [5.0 * LAM, 20.0 * LAM, 50.0 * LAM] {
+            assert!(reactive_near_field_m(ap, LAM) < fraunhofer_distance_m(ap, LAM));
+        }
+    }
+
+    #[test]
+    fn curvature_error_at_far_field_boundary_is_small() {
+        // At exactly 2D²/λ the curvature error is π/8 (22.5°) — the
+        // classical criterion.
+        let ap = 19.5 * LAM;
+        let d = fraunhofer_distance_m(ap, LAM);
+        let err = curvature_phase_error_rad(ap, LAM, d);
+        assert!((err - std::f64::consts::PI / 8.0).abs() < 1e-12);
+        // Inside the near field it grows.
+        assert!(curvature_phase_error_rad(ap, LAM, d / 3.0) > 3.0 * err * 0.99);
+    }
+
+    #[test]
+    fn ground_clearance_at_roadside_geometry() {
+        // 3 m link at 79 GHz: first Fresnel zone ≈ 5.3 cm — a 1 m radar
+        // height clears it by far, which is why the flat-earth model
+        // (ground off) matches the paper's measurements.
+        let r = fresnel_zone_radius_m(1, LAM, 3.0);
+        assert!(r > 0.04 && r < 0.07, "r1 = {r}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zone_zero_invalid() {
+        fresnel_zone_radius_m(0, LAM, 3.0);
+    }
+}

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! # ros-em — electromagnetics substrate for RoS
+//!
+//! Foundational electromagnetic and mathematical building blocks used by
+//! every other crate in the RoS workspace:
+//!
+//! * [`Complex64`] — complex arithmetic (phasors, baseband samples),
+//! * [`Vec3`] and angle utilities — scene geometry,
+//! * [`jones`] — Jones-calculus polarization states and operators,
+//! * [`circular`] — circular-polarization basis and reflection
+//!   operators (the paper's §8 range-extension path),
+//! * [`radar_eq`] — the monostatic radar equation and link budgets,
+//! * [`rcs_shapes`] — closed-form reference RCS of canonical shapes
+//!   (sphere, plate, corner reflectors),
+//! * [`atten`] — atmospheric (fog / rain) attenuation at mmWave,
+//! * [`db`] — decibel conversions,
+//! * [`special`] — special functions (`erfc`, `sinc`) used by the
+//!   OOK bit-error-rate model.
+//!
+//! The crate is deliberately dependency-free: it contains only `std`
+//! numerics so that the physics layer stays auditable.
+//!
+//! ## Conventions
+//!
+//! * Frequencies in Hz, distances in metres, angles in radians unless a
+//!   function name says otherwise (`*_deg`).
+//! * Phasors use the engineering convention `exp(+j ω t)`; a wave
+//!   travelling a distance `d` accrues phase `−2π d / λ`.
+//! * Power quantities suffixed `_db`, `_dbm`, `_dbsm` are logarithmic;
+//!   bare names are linear.
+
+pub mod atten;
+pub mod circular;
+pub mod complex;
+pub mod constants;
+pub mod db;
+pub mod fresnel;
+pub mod geom;
+pub mod jones;
+pub mod radar_eq;
+pub mod rcs_shapes;
+pub mod special;
+
+pub use complex::Complex64;
+pub use geom::Vec3;
+
+/// Commonly used items, glob-importable as `use ros_em::prelude::*`.
+pub mod prelude {
+    pub use crate::complex::Complex64;
+    pub use crate::constants::*;
+    pub use crate::db::{db_to_lin, db_to_pow, lin_to_db, pow_to_db};
+    pub use crate::geom::{deg_to_rad, rad_to_deg, Vec3};
+    pub use crate::jones::{JonesMatrix, JonesVector, Polarization};
+}

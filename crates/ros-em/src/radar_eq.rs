@@ -1,0 +1,210 @@
+//! The monostatic radar equation and RoS link budgets (§3.1, §5.3, §8).
+//!
+//! The paper's Eq. (1) governs everything the radar can see:
+//!
+//! ```text
+//! P_r = P_t · G_t · G_r · λ² · σ / ((4π)³ · d⁴)
+//! ```
+//!
+//! and the decode condition is `P_r > noise floor`, with the noise
+//! floor `L₀ = c₀ · N_F · B_IF / (G_ra · G_rs)` expressed in §5.3 (on
+//! the dB scale the gains *reduce* the effective floor seen by the
+//! detector). This module provides:
+//!
+//! * [`received_power_dbm`] — the radar equation,
+//! * [`RadarLinkBudget`] — a named parameter set with the paper's two
+//!   radar presets ([`RadarLinkBudget::ti_eval`] and
+//!   [`RadarLinkBudget::commercial`]),
+//! * maximum-range solving ([`RadarLinkBudget::max_range_m`]).
+
+use crate::constants::{wavelength, THERMAL_NOISE_DBM_PER_HZ};
+use crate::db::{db_to_pow, pow_to_db};
+
+/// Received power from the monostatic radar equation, in dBm.
+///
+/// * `pt_dbm` — transmit power (dBm)
+/// * `gt_db`, `gr_db` — Tx / Rx gains (dB)
+/// * `freq_hz` — carrier frequency (Hz)
+/// * `rcs_dbsm` — target radar cross-section (dB relative to 1 m²)
+/// * `d_m` — one-way radar-to-target distance (m)
+pub fn received_power_dbm(
+    pt_dbm: f64,
+    gt_db: f64,
+    gr_db: f64,
+    freq_hz: f64,
+    rcs_dbsm: f64,
+    d_m: f64,
+) -> f64 {
+    let lambda = wavelength(freq_hz);
+    pt_dbm + gt_db + gr_db + 20.0 * lambda.log10() + rcs_dbsm
+        - 30.0 * (4.0 * std::f64::consts::PI).log10()
+        - 40.0 * d_m.log10()
+}
+
+/// Free-space one-way path loss in dB (for completeness; the radar
+/// equation above already folds the round trip in).
+pub fn free_space_path_loss_db(freq_hz: f64, d_m: f64) -> f64 {
+    let lambda = wavelength(freq_hz);
+    20.0 * (4.0 * std::f64::consts::PI * d_m / lambda).log10()
+}
+
+/// A complete monostatic radar link budget in the paper's §5.3 form.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RadarLinkBudget {
+    /// Transmit power + Tx antenna gain (EIRP) \[dBm\].
+    pub eirp_dbm: f64,
+    /// Receive antenna gain G_ra \[dB\].
+    pub rx_antenna_gain_db: f64,
+    /// Rx processing gain from combining antennas/chirps, G_rs \[dB\].
+    pub rx_processing_gain_db: f64,
+    /// Additional Rx gain G_ri (LNA / mixer chain) \[dB\].
+    pub rx_chain_gain_db: f64,
+    /// Receiver noise figure N_F \[dB\].
+    pub noise_figure_db: f64,
+    /// Intermediate-frequency bandwidth B_IF \[Hz\].
+    pub if_bandwidth_hz: f64,
+    /// Carrier frequency \[Hz\].
+    pub freq_hz: f64,
+}
+
+impl RadarLinkBudget {
+    /// The TI IWR1443 evaluation radar used in the paper (§5.3):
+    /// EIRP 21 dBm, G_ra = 9 dB, G_ri = 34 dB, G_rs = 12 dB (4 Rx),
+    /// N_F = 15 dB, B_IF = 37.5 MHz at 79 GHz.
+    pub fn ti_eval() -> Self {
+        RadarLinkBudget {
+            eirp_dbm: 21.0,
+            rx_antenna_gain_db: 9.0,
+            rx_processing_gain_db: 12.0,
+            rx_chain_gain_db: 34.0,
+            noise_figure_db: 15.0,
+            if_bandwidth_hz: 37.5e6,
+            freq_hz: crate::constants::F_CENTER_HZ,
+        }
+    }
+
+    /// A commercial automotive radar (§8): N_F = 9 dB, EIRP = 50 dBm.
+    pub fn commercial() -> Self {
+        RadarLinkBudget {
+            eirp_dbm: 50.0,
+            noise_figure_db: 9.0,
+            ..Self::ti_eval()
+        }
+    }
+
+    /// Total receive gain G_r = G_ra + G_ri + G_rs \[dB\] (§5.3 gives
+    /// 55 dB for the TI radar).
+    pub fn total_rx_gain_db(&self) -> f64 {
+        self.rx_antenna_gain_db + self.rx_chain_gain_db + self.rx_processing_gain_db
+    }
+
+    /// The decoder-referred noise floor \[dBm\].
+    ///
+    /// §5.3: `L₀ = c₀ · N_F · B_IF · G_ra · G_rs` (all factors multiply,
+    /// i.e. add on the dB scale), which evaluates to −62 dBm for the TI
+    /// preset. The decode condition is `P_r > L₀` with `P_r` computed
+    /// at the full receive gain ([`Self::received_power_dbm`]).
+    pub fn noise_floor_dbm(&self) -> f64 {
+        THERMAL_NOISE_DBM_PER_HZ
+            + self.noise_figure_db
+            + pow_to_db(self.if_bandwidth_hz)
+            + self.rx_antenna_gain_db
+            + self.rx_processing_gain_db
+    }
+
+    /// Received power for a target of RCS `rcs_dbsm` at `d_m` \[dBm\],
+    /// at the full receive gain `G_r = G_ra + G_ri + G_rs` (§5.3 uses
+    /// G_r = 55 dB for the TI radar).
+    pub fn received_power_dbm(&self, rcs_dbsm: f64, d_m: f64) -> f64 {
+        received_power_dbm(
+            self.eirp_dbm,
+            0.0,
+            self.total_rx_gain_db(),
+            self.freq_hz,
+            rcs_dbsm,
+            d_m,
+        )
+    }
+
+    /// Margin of the received power over the noise floor \[dB\],
+    /// i.e. the §5.3 decode criterion `P_r − L₀`.
+    pub fn snr_db(&self, rcs_dbsm: f64, d_m: f64) -> f64 {
+        self.received_power_dbm(rcs_dbsm, d_m) - self.noise_floor_dbm()
+    }
+
+    /// Maximum range at which a target of RCS `rcs_dbsm` stays above
+    /// the noise floor \[m\].
+    ///
+    /// Solves `P_r(d) = L₀` for `d` in closed form (`P_r ∝ d⁻⁴`).
+    pub fn max_range_m(&self, rcs_dbsm: f64) -> f64 {
+        let pr_at_1m = self.received_power_dbm(rcs_dbsm, 1.0);
+        let margin_db = pr_at_1m - self.noise_floor_dbm();
+        db_to_pow(margin_db / 4.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radar_equation_scales_as_d_minus_4() {
+        let p1 = received_power_dbm(21.0, 0.0, 9.0, 79e9, -23.0, 2.0);
+        let p2 = received_power_dbm(21.0, 0.0, 9.0, 79e9, -23.0, 4.0);
+        // Doubling range costs 12.04 dB.
+        assert!((p1 - p2 - 12.04).abs() < 0.01);
+    }
+
+    #[test]
+    fn radar_equation_linear_in_rcs() {
+        let p1 = received_power_dbm(21.0, 0.0, 9.0, 79e9, -23.0, 3.0);
+        let p2 = received_power_dbm(21.0, 0.0, 9.0, 79e9, -17.0, 3.0);
+        assert!((p2 - p1 - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fspl_reference_value() {
+        // FSPL at 1 m, 79 GHz ≈ 70.4 dB.
+        let l = free_space_path_loss_db(79e9, 1.0);
+        assert!((l - 70.4).abs() < 0.1, "got {l}");
+    }
+
+    #[test]
+    fn ti_noise_floor_matches_paper() {
+        // §5.3: minimum RSS level is −62 dBm for the TI radar.
+        let b = RadarLinkBudget::ti_eval();
+        let floor = b.noise_floor_dbm();
+        assert!((floor - (-62.0)).abs() < 0.6, "floor {floor}");
+        assert!((b.total_rx_gain_db() - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ti_max_range_matches_paper() {
+        // §5.3: σ = −23 dBsm tag ⇒ d ≈ 6.9 m with the TI radar.
+        let b = RadarLinkBudget::ti_eval();
+        let d = b.max_range_m(-23.0);
+        assert!(
+            (d - 6.9).abs() < 0.5,
+            "expected ≈6.9 m from the paper, got {d:.2} m"
+        );
+    }
+
+    #[test]
+    fn commercial_radar_reaches_52m() {
+        // §8: N_F = 9 dB, EIRP = 50 dBm ⇒ ≈52 m.
+        let b = RadarLinkBudget::commercial();
+        let d = b.max_range_m(-23.0);
+        assert!(
+            (d - 52.0).abs() < 4.0,
+            "expected ≈52 m from the paper, got {d:.2} m"
+        );
+    }
+
+    #[test]
+    fn snr_positive_inside_max_range() {
+        let b = RadarLinkBudget::ti_eval();
+        let d_max = b.max_range_m(-23.0);
+        assert!(b.snr_db(-23.0, d_max * 0.9) > 0.0);
+        assert!(b.snr_db(-23.0, d_max * 1.1) < 0.0);
+    }
+}

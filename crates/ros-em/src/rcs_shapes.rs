@@ -1,0 +1,115 @@
+//! Reference RCS formulas for canonical shapes.
+//!
+//! §2 positions the Van Atta array against "the most widely known
+//! retro-directive antenna … the corner reflector". These closed-form
+//! high-frequency (optics-region) RCS formulas let the workspace
+//! compare the RoS tag against the classical alternatives — how big
+//! would a trihedral corner have to be to match a tag's RCS, and what
+//! would clutter of a given size look like?
+//!
+//! All formulas are standard radar-handbook results, valid when the
+//! object is large compared to λ.
+
+/// RCS of a perfectly conducting sphere of radius `r_m` in the optics
+/// region (`2πr ≫ λ`): `σ = πr²` \[m²\].
+pub fn sphere_rcs_m2(r_m: f64) -> f64 {
+    std::f64::consts::PI * r_m * r_m
+}
+
+/// Peak (broadside) RCS of a flat rectangular plate `a × b` \[m²\]:
+/// `σ = 4π a²b²/λ²`.
+pub fn plate_rcs_m2(a_m: f64, b_m: f64, lambda_m: f64) -> f64 {
+    4.0 * std::f64::consts::PI * (a_m * b_m).powi(2) / (lambda_m * lambda_m)
+}
+
+/// Peak RCS of a trihedral corner reflector with edge length `a_m`
+/// \[m²\]: `σ = 4π a⁴ / (3λ²)`.
+pub fn trihedral_rcs_m2(a_m: f64, lambda_m: f64) -> f64 {
+    4.0 * std::f64::consts::PI * a_m.powi(4) / (3.0 * lambda_m * lambda_m)
+}
+
+/// Peak RCS of a dihedral corner reflector with faces `a × b` \[m²\]:
+/// `σ = 8π a²b²/λ²`.
+pub fn dihedral_rcs_m2(a_m: f64, b_m: f64, lambda_m: f64) -> f64 {
+    8.0 * std::f64::consts::PI * (a_m * b_m).powi(2) / (lambda_m * lambda_m)
+}
+
+/// RCS of a thin cylinder (pole) of radius `r_m`, length `l_m`, viewed
+/// broadside \[m²\]: `σ = 2π r l²/λ`.
+pub fn cylinder_rcs_m2(r_m: f64, l_m: f64, lambda_m: f64) -> f64 {
+    std::f64::consts::TAU * r_m * l_m * l_m / lambda_m
+}
+
+/// Edge length of the trihedral corner that matches a target RCS \[m\]:
+/// the inverse of [`trihedral_rcs_m2`].
+pub fn trihedral_edge_for_rcs_m(sigma_m2: f64, lambda_m: f64) -> f64 {
+    (3.0 * lambda_m * lambda_m * sigma_m2 / (4.0 * std::f64::consts::PI)).powf(0.25)
+}
+
+/// Half-power angular width of a trihedral's retroreflective response
+/// \[rad\] — wide (≈40°) but *fixed*: a corner cannot encode anything,
+/// which is the §2 motivation for the reconfigurable RoS surface.
+pub const TRIHEDRAL_HALF_POWER_RAD: f64 = 0.70;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::LAMBDA_CENTER_M;
+
+    const LAM: f64 = LAMBDA_CENTER_M;
+
+    #[test]
+    fn sphere_scale() {
+        // A 10 cm radius sphere: σ = π·0.01 ≈ −15 dBsm, λ-independent.
+        let s = sphere_rcs_m2(0.1);
+        assert!((10.0 * s.log10() - (-15.03)).abs() < 0.1);
+    }
+
+    #[test]
+    fn plate_is_huge_at_mmwave() {
+        // A 10×10 cm plate at 79 GHz: σ = 4π·1e-4/1.44e-5 ≈ +19.4 dBsm.
+        let s = plate_rcs_m2(0.1, 0.1, LAM);
+        let dbsm = 10.0 * s.log10();
+        assert!((dbsm - 19.4).abs() < 0.5, "{dbsm}");
+    }
+
+    #[test]
+    fn trihedral_roundtrip() {
+        for a in [0.02, 0.05, 0.15] {
+            let s = trihedral_rcs_m2(a, LAM);
+            let back = trihedral_edge_for_rcs_m(s, LAM);
+            assert!((back - a).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tiny_corner_matches_tag_rcs() {
+        // How big a trihedral matches the −23 dBsm RoS tag? At 79 GHz:
+        // a ≈ 1 cm — corners are *extremely* efficient reflectors…
+        let a = trihedral_edge_for_rcs_m(10f64.powf(-23.0 / 10.0), LAM);
+        assert!(a > 0.005 && a < 0.02, "edge {a} m");
+        // …but they encode zero bits, which is the whole point of RoS.
+    }
+
+    #[test]
+    fn dihedral_twice_plate_coefficient() {
+        let d = dihedral_rcs_m2(0.1, 0.1, LAM);
+        let p = plate_rcs_m2(0.1, 0.1, LAM);
+        assert!((d / p - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cylinder_pole_scale() {
+        // A street-lamp pole: r = 5 cm, l = 1 m at 79 GHz → ≈+19 dBsm
+        // broadside glint (consistent with lamps being strong clutter).
+        let s = cylinder_rcs_m2(0.05, 1.0, LAM);
+        let dbsm = 10.0 * s.log10();
+        assert!(dbsm > 15.0 && dbsm < 22.0, "{dbsm}");
+    }
+
+    #[test]
+    fn rcs_grows_with_size() {
+        assert!(trihedral_rcs_m2(0.2, LAM) > trihedral_rcs_m2(0.1, LAM));
+        assert!(plate_rcs_m2(0.2, 0.1, LAM) > plate_rcs_m2(0.1, 0.1, LAM));
+    }
+}

@@ -1,0 +1,112 @@
+//! The interface between scene and radar: scatterer echoes.
+
+use ros_em::{Complex64, Vec3};
+
+/// One scatterer's return as seen at the radar's reference antenna.
+///
+/// Produced by the scene layer, consumed by the radar front-end. The
+/// amplitude convention is √mW at full Rx gain: `|amp|²` equals the
+/// received power P_r from the radar equation, and `amp.arg()` carries
+/// the round-trip propagation phase `−4πd/λ` plus any scatterer phase.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Echo {
+    /// Absolute scatterer position \[m\] (world frame).
+    pub pos: Vec3,
+    /// Complex received amplitude \[√mW\].
+    pub amp: Complex64,
+}
+
+impl Echo {
+    /// Creates an echo.
+    pub fn new(pos: Vec3, amp: Complex64) -> Self {
+        Echo { pos, amp }
+    }
+
+    /// Received power in dBm (−∞ for a zero amplitude).
+    pub fn power_dbm(&self) -> f64 {
+        10.0 * self.amp.norm_sqr().max(1e-300).log10()
+    }
+}
+
+/// The radar's pose: position plus boresight direction.
+///
+/// The RoS radar is side-looking: boresight is world +y by convention,
+/// and azimuth is measured from boresight toward +x. `Pose` still
+/// carries an explicit yaw offset for completeness (vehicle pitch/roll
+/// are neglected as the paper does).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Pose {
+    /// Radar phase-centre position \[m\].
+    pub pos: Vec3,
+    /// Boresight rotation from +y, positive toward +x \[rad\].
+    pub yaw: f64,
+}
+
+impl Pose {
+    /// A side-looking pose at `pos` with boresight exactly +y.
+    pub fn side_looking(pos: Vec3) -> Self {
+        Pose { pos, yaw: 0.0 }
+    }
+
+    /// Azimuth of `target` from boresight \[rad\], positive toward +x.
+    pub fn azimuth_to(&self, target: Vec3) -> f64 {
+        let dx = target.x - self.pos.x;
+        let dy = target.y - self.pos.y;
+        dx.atan2(dy) - self.yaw
+    }
+
+    /// Elevation of `target` above the radar's horizontal plane \[rad\].
+    pub fn elevation_to(&self, target: Vec3) -> f64 {
+        self.pos.elevation_to(target)
+    }
+
+    /// Slant range to `target` \[m\].
+    pub fn range_to(&self, target: Vec3) -> f64 {
+        self.pos.distance(target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_power() {
+        let e = Echo::new(Vec3::ZERO, Complex64::from_polar(1e-3, 0.5));
+        assert!((e.power_dbm() - (-60.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pose_azimuth_conventions() {
+        let p = Pose::side_looking(Vec3::ZERO);
+        // Straight ahead (boresight, +y): azimuth 0.
+        assert!((p.azimuth_to(Vec3::new(0.0, 3.0, 0.0))).abs() < 1e-12);
+        // Toward +x (direction of travel): positive azimuth.
+        assert!(p.azimuth_to(Vec3::new(1.0, 1.0, 0.0)) > 0.0);
+        // Toward −x: negative.
+        assert!(p.azimuth_to(Vec3::new(-1.0, 1.0, 0.0)) < 0.0);
+        // 45°.
+        let az = p.azimuth_to(Vec3::new(2.0, 2.0, 0.0));
+        assert!((az - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pose_yaw_shifts_azimuth() {
+        let p = Pose {
+            pos: Vec3::ZERO,
+            yaw: 0.1,
+        };
+        let az = p.azimuth_to(Vec3::new(0.0, 5.0, 0.0));
+        assert!((az + 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pose_range_and_elevation() {
+        let p = Pose::side_looking(Vec3::new(0.0, 0.0, 1.0));
+        let t = Vec3::new(0.0, 3.0, 1.0);
+        assert!((p.range_to(t) - 3.0).abs() < 1e-12);
+        assert!((p.elevation_to(t)).abs() < 1e-12);
+        let above = Vec3::new(0.0, 3.0, 4.0);
+        assert!((p.elevation_to(above) - 0.7853981633974483).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,158 @@
+//! Radar point clouds: per-frame detections and multi-frame merging.
+//!
+//! §6: *"for each radar frame, RoS uses the standard processing flow …
+//! to generate a point cloud representing the dominant reflectors
+//! visible to the radar. After all frames are processed, RoS merges
+//! their point clouds based on the relative radar locations."*
+
+use crate::echo::Pose;
+use ros_em::Vec3;
+
+/// One detected reflecting point, in the radar's local polar frame.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RadarPoint {
+    /// Slant range \[m\].
+    pub range_m: f64,
+    /// Azimuth from boresight \[rad\].
+    pub azimuth_rad: f64,
+    /// Received power \[mW\] after processing.
+    pub power_mw: f64,
+}
+
+impl RadarPoint {
+    /// Received signal strength \[dBm\].
+    pub fn rss_dbm(&self) -> f64 {
+        10.0 * self.power_mw.max(1e-300).log10()
+    }
+
+    /// Projects the point into the world frame given the radar pose
+    /// (side-looking convention: boresight +y).
+    pub fn to_world(&self, pose: &Pose) -> Vec3 {
+        let a = self.azimuth_rad + pose.yaw;
+        Vec3::new(
+            pose.pos.x + self.range_m * a.sin(),
+            pose.pos.y + self.range_m * a.cos(),
+            pose.pos.z,
+        )
+    }
+}
+
+/// A multi-frame, ego-motion-compensated point cloud in world
+/// coordinates, with per-point power.
+#[derive(Clone, Debug, Default)]
+pub struct PointCloud {
+    /// World-frame points.
+    pub points: Vec<Vec3>,
+    /// Per-point power \[mW\].
+    pub powers: Vec<f64>,
+}
+
+impl PointCloud {
+    /// Creates an empty cloud.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points are present.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Adds one frame's detections, projecting them with the frame's
+    /// *believed* pose (ground truth or drifted — tracking error enters
+    /// exactly here, Fig. 16d).
+    pub fn add_frame(&mut self, detections: &[RadarPoint], believed_pose: &Pose) {
+        for d in detections {
+            self.points.push(d.to_world(believed_pose));
+            self.powers.push(d.power_mw);
+        }
+    }
+
+    /// The points projected onto the road plane, as `[x, y]` pairs for
+    /// the DBSCAN stage.
+    pub fn xy(&self) -> Vec<[f64; 2]> {
+        self.points.iter().map(|p| [p.x, p.y]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rss_conversion() {
+        let p = RadarPoint {
+            range_m: 3.0,
+            azimuth_rad: 0.0,
+            power_mw: 1e-6,
+        };
+        assert!((p.rss_dbm() - (-60.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn world_projection_boresight() {
+        let p = RadarPoint {
+            range_m: 5.0,
+            azimuth_rad: 0.0,
+            power_mw: 1.0,
+        };
+        let pose = Pose::side_looking(Vec3::new(1.0, 2.0, 0.5));
+        let w = p.to_world(&pose);
+        assert!((w.x - 1.0).abs() < 1e-12);
+        assert!((w.y - 7.0).abs() < 1e-12);
+        assert!((w.z - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn world_projection_angled() {
+        let p = RadarPoint {
+            range_m: 2.0,
+            azimuth_rad: std::f64::consts::FRAC_PI_2, // toward +x
+            power_mw: 1.0,
+        };
+        let pose = Pose::side_looking(Vec3::ZERO);
+        let w = p.to_world(&pose);
+        assert!((w.x - 2.0).abs() < 1e-12);
+        assert!(w.y.abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_roundtrips_azimuth() {
+        let pose = Pose::side_looking(Vec3::new(-3.0, 0.0, 0.0));
+        let p = RadarPoint {
+            range_m: 4.0,
+            azimuth_rad: 0.35,
+            power_mw: 1.0,
+        };
+        let w = p.to_world(&pose);
+        assert!((pose.azimuth_to(w) - 0.35).abs() < 1e-12);
+        assert!((pose.range_to(w) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cloud_accumulates_frames() {
+        let mut cloud = PointCloud::new();
+        assert!(cloud.is_empty());
+        let pose1 = Pose::side_looking(Vec3::ZERO);
+        let pose2 = Pose::side_looking(Vec3::new(1.0, 0.0, 0.0));
+        let det = [RadarPoint {
+            range_m: 3.0,
+            azimuth_rad: 0.0,
+            power_mw: 0.5,
+        }];
+        cloud.add_frame(&det, &pose1);
+        cloud.add_frame(&det, &pose2);
+        assert_eq!(cloud.len(), 2);
+        // Same local detection, different poses ⇒ different world points.
+        assert!((cloud.points[0].x - 0.0).abs() < 1e-12);
+        assert!((cloud.points[1].x - 1.0).abs() < 1e-12);
+        let xy = cloud.xy();
+        assert_eq!(xy.len(), 2);
+        assert_eq!(xy[1], [1.0, 3.0]);
+    }
+}

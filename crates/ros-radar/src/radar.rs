@@ -1,0 +1,142 @@
+//! The top-level radar facade.
+
+use crate::array::RadarArray;
+use crate::chirp::ChirpConfig;
+use crate::echo::{Echo, Pose};
+use crate::frontend::{synthesize_frame, Frame};
+use crate::impairments::Impairments;
+use crate::pointcloud::RadarPoint;
+use crate::processing;
+use rand::Rng;
+use ros_dsp::cfar::CfarParams;
+use ros_em::jones::Polarization;
+use ros_em::radar_eq::RadarLinkBudget;
+use ros_em::{Complex64, Vec3};
+
+/// Which Tx port the radar fires (§7.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RadarMode {
+    /// Stock Tx: co-polarized Tx/Rx — used for object detection.
+    Native,
+    /// Rotated Tx: Tx orthogonal to Rx — used for tag decoding.
+    PolarizationSwitched,
+}
+
+impl RadarMode {
+    /// The (tx, rx) polarization pair of this mode given the array's
+    /// native polarization.
+    pub fn polarizations(self, native: Polarization) -> (Polarization, Polarization) {
+        match self {
+            // Both ports native: clutter (co-pol) comes back strongly.
+            RadarMode::Native => (native, native),
+            // Tx rotated 90°: the Rx stays native, so only reflectors
+            // that switch polarization (the PSVAA tag) return strongly.
+            RadarMode::PolarizationSwitched => (native.orthogonal(), native),
+        }
+    }
+}
+
+/// A complete FMCW radar instance.
+#[derive(Clone, Debug)]
+pub struct FmcwRadar {
+    /// Chirp/frame configuration.
+    pub chirp: ChirpConfig,
+    /// Antenna array geometry.
+    pub array: RadarArray,
+    /// Link budget (drives the noise model).
+    pub budget: RadarLinkBudget,
+    /// CFAR configuration for detection.
+    pub cfar: CfarParams,
+    /// Front-end impairment profile (clean by default).
+    pub impairments: Impairments,
+}
+
+impl FmcwRadar {
+    /// The paper's TI evaluation radar.
+    pub fn ti_eval() -> Self {
+        FmcwRadar {
+            chirp: ChirpConfig::ti_default(),
+            array: RadarArray::ti_default(),
+            budget: RadarLinkBudget::ti_eval(),
+            cfar: CfarParams::default(),
+            impairments: Impairments::default(),
+        }
+    }
+
+    /// Captures one frame of IF data from the given echoes, applying
+    /// the configured front-end impairments.
+    pub fn capture<R: Rng>(&self, pose: Pose, echoes: &[Echo], rng: &mut R) -> Frame {
+        let mut frame =
+            synthesize_frame(&self.chirp, &self.array, &self.budget, pose, echoes, rng);
+        self.impairments.apply(&mut frame, rng);
+        frame
+    }
+
+    /// Detects prominent reflectors in a frame (local polar points).
+    pub fn detect(&self, frame: &Frame) -> Vec<RadarPoint> {
+        processing::detect_points(frame, &self.chirp, &self.array, &self.cfar, 2)
+    }
+
+    /// Spotlight-beamforms on a known world position, returning the
+    /// complex RSS amplitude \[√mW\].
+    pub fn spotlight(&self, frame: &Frame, target_world: Vec3) -> Complex64 {
+        processing::spotlight(frame, &self.chirp, &self.array, target_world)
+    }
+
+    /// The radar's decode-condition noise floor \[dBm\].
+    pub fn noise_floor_dbm(&self) -> f64 {
+        self.budget.noise_floor_dbm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mode_polarizations() {
+        let (tx, rx) = RadarMode::Native.polarizations(Polarization::V);
+        assert_eq!((tx, rx), (Polarization::V, Polarization::V));
+        let (tx, rx) = RadarMode::PolarizationSwitched.polarizations(Polarization::V);
+        assert_eq!((tx, rx), (Polarization::H, Polarization::V));
+    }
+
+    #[test]
+    fn end_to_end_capture_detect() {
+        let radar = FmcwRadar::ti_eval();
+        let mut rng = StdRng::seed_from_u64(99);
+        let pos = Vec3::new(0.5, 3.5, 0.0);
+        let echo = Echo::new(pos, Complex64::from_polar(10f64.powf(-35.0 / 20.0), 0.3));
+        let frame = radar.capture(Pose::side_looking(Vec3::ZERO), &[echo], &mut rng);
+        let pts = radar.detect(&frame);
+        assert!(pts
+            .iter()
+            .any(|p| (p.range_m - pos.norm()).abs() < 0.15 && (p.rss_dbm() + 35.0).abs() < 3.0));
+        let y = radar.spotlight(&frame, pos);
+        assert!((20.0 * y.abs().log10() - (-35.0)).abs() < 2.0);
+    }
+
+    #[test]
+    fn weak_target_below_floor_is_invisible() {
+        let radar = FmcwRadar::ti_eval();
+        let mut rng = StdRng::seed_from_u64(100);
+        let pos = Vec3::new(0.0, 4.0, 0.0);
+        // −75 dBm: 13 dB below the −62 dBm floor.
+        let echo = Echo::new(pos, Complex64::from_polar(10f64.powf(-75.0 / 20.0), 0.0));
+        let frame = radar.capture(Pose::side_looking(Vec3::ZERO), &[echo], &mut rng);
+        let pts = radar.detect(&frame);
+        assert!(
+            !pts.iter()
+                .any(|p| (p.range_m - 4.0).abs() < 0.2 && p.rss_dbm() > -70.0),
+            "ghost detection of sub-floor target"
+        );
+    }
+
+    #[test]
+    fn noise_floor_accessor() {
+        let radar = FmcwRadar::ti_eval();
+        assert!((radar.noise_floor_dbm() - (-62.0)).abs() < 0.6);
+    }
+}

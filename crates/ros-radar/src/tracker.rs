@@ -1,0 +1,189 @@
+//! α–β target tracking.
+//!
+//! §6 merges multi-frame point clouds *after the fact*; a deployed
+//! reader also wants an online position estimate of each candidate
+//! object while the vehicle approaches — both to steer the spotlight
+//! beam early and to reject flicker detections. The classic α–β
+//! filter (the fixed-gain steady state of a Kalman filter for
+//! constant-velocity targets) is the standard automotive choice.
+//!
+//! State is tracked in the *world* frame, where roadside objects are
+//! stationary and the estimate converges as `1/√n`.
+
+use ros_em::Vec3;
+
+/// A single-target α–β tracker over 2-D world positions.
+#[derive(Clone, Debug)]
+pub struct AlphaBetaTracker {
+    /// Position-correction gain α ∈ (0, 1].
+    pub alpha: f64,
+    /// Velocity-correction gain β ∈ [0, 1).
+    pub beta: f64,
+    /// Association gate: measurements farther than this from the
+    /// prediction are ignored \[m\].
+    pub gate_m: f64,
+    state: Option<TrackState>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct TrackState {
+    pos: Vec3,
+    vel: Vec3,
+    updates: usize,
+    misses: usize,
+}
+
+impl AlphaBetaTracker {
+    /// A tracker tuned for stationary roadside objects observed from a
+    /// moving platform: strong position smoothing, weak velocity gain.
+    pub fn roadside() -> Self {
+        AlphaBetaTracker {
+            alpha: 0.25,
+            beta: 0.02,
+            gate_m: 0.8,
+            state: None,
+        }
+    }
+
+    /// Current position estimate.
+    pub fn position(&self) -> Option<Vec3> {
+        self.state.map(|s| s.pos)
+    }
+
+    /// Current velocity estimate \[m/s\].
+    pub fn velocity(&self) -> Option<Vec3> {
+        self.state.map(|s| s.vel)
+    }
+
+    /// Number of accepted measurement updates.
+    pub fn updates(&self) -> usize {
+        self.state.map_or(0, |s| s.updates)
+    }
+
+    /// Consecutive gated-out (missed) updates.
+    pub fn misses(&self) -> usize {
+        self.state.map_or(0, |s| s.misses)
+    }
+
+    /// Advances the track by `dt` seconds and fuses a measurement if
+    /// one is supplied and passes the gate. Returns `true` when the
+    /// measurement was accepted.
+    pub fn step(&mut self, dt: f64, measurement: Option<Vec3>) -> bool {
+        match (&mut self.state, measurement) {
+            (None, Some(m)) => {
+                self.state = Some(TrackState {
+                    pos: m,
+                    vel: Vec3::ZERO,
+                    updates: 1,
+                    misses: 0,
+                });
+                true
+            }
+            (None, None) => false,
+            (Some(s), meas) => {
+                // Predict.
+                let predicted = s.pos + s.vel * dt;
+                s.pos = predicted;
+                match meas {
+                    Some(m) if predicted.distance(m) <= self.gate_m => {
+                        let residual = m - predicted;
+                        s.pos += residual * self.alpha;
+                        if dt > 0.0 {
+                            s.vel += residual * (self.beta / dt);
+                        }
+                        s.updates += 1;
+                        s.misses = 0;
+                        true
+                    }
+                    _ => {
+                        s.misses += 1;
+                        false
+                    }
+                }
+            }
+        }
+    }
+
+    /// True once the track has enough updates to trust (≥ `n`).
+    pub fn confirmed(&self, n: usize) -> bool {
+        self.updates() >= n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn initializes_on_first_measurement() {
+        let mut t = AlphaBetaTracker::roadside();
+        assert!(t.position().is_none());
+        assert!(t.step(0.01, Some(Vec3::new(1.0, 2.0, 0.0))));
+        assert_eq!(t.position().unwrap(), Vec3::new(1.0, 2.0, 0.0));
+        assert_eq!(t.updates(), 1);
+    }
+
+    #[test]
+    fn converges_on_noisy_stationary_target() {
+        let truth = Vec3::new(0.0, 3.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut t = AlphaBetaTracker::roadside();
+        for _ in 0..200 {
+            let noisy = truth
+                + Vec3::new(
+                    (rng.gen::<f64>() - 0.5) * 0.3,
+                    (rng.gen::<f64>() - 0.5) * 0.3,
+                    0.0,
+                );
+            t.step(0.05, Some(noisy));
+        }
+        let err = t.position().unwrap().distance(truth);
+        assert!(err < 0.05, "converged to {err} m");
+        // Velocity estimate stays near zero for a stationary target.
+        assert!(t.velocity().unwrap().norm() < 0.5);
+    }
+
+    #[test]
+    fn gate_rejects_outliers() {
+        let mut t = AlphaBetaTracker::roadside();
+        t.step(0.01, Some(Vec3::new(0.0, 3.0, 0.0)));
+        // A detection from a different object 2 m away must not drag
+        // the track.
+        let accepted = t.step(0.01, Some(Vec3::new(2.0, 3.0, 0.0)));
+        assert!(!accepted);
+        assert_eq!(t.misses(), 1);
+        assert!(t.position().unwrap().distance(Vec3::new(0.0, 3.0, 0.0)) < 0.01);
+    }
+
+    #[test]
+    fn coasts_through_missed_frames() {
+        let mut t = AlphaBetaTracker::roadside();
+        // Constant-velocity target to build a velocity estimate.
+        for i in 0..50 {
+            let p = Vec3::new(0.1 * i as f64, 3.0, 0.0);
+            t.step(0.1, Some(p));
+        }
+        let v = t.velocity().unwrap();
+        assert!((v.x - 1.0).abs() < 0.3, "vx {}", v.x);
+        // Coast 5 frames without measurements.
+        let before = t.position().unwrap();
+        for _ in 0..5 {
+            t.step(0.1, None);
+        }
+        let after = t.position().unwrap();
+        assert!(after.x > before.x + 0.3, "did not coast: {} -> {}", before.x, after.x);
+        assert_eq!(t.misses(), 5);
+    }
+
+    #[test]
+    fn confirmation_threshold() {
+        let mut t = AlphaBetaTracker::roadside();
+        for _ in 0..3 {
+            t.step(0.01, Some(Vec3::new(1.0, 1.0, 0.0)));
+        }
+        assert!(t.confirmed(3));
+        assert!(!t.confirmed(4));
+    }
+}

@@ -1,0 +1,129 @@
+//! Scene presets: reproducible roadside environments.
+//!
+//! The evaluation scenes of §7 are hand-assembled (a tag on a tripod,
+//! a few nearby objects). This module provides named presets so
+//! examples, tests, and experiments share identical environments —
+//! the simulation analogue of "the parking lot behind the lab".
+
+use crate::objects::{ClutterObject, ObjectClass};
+use ros_em::Vec3;
+
+/// A named scene preset.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScenePreset {
+    /// Empty roadside: the tag alone (micro-benchmarks).
+    Clean,
+    /// The Fig. 11 setup: one tripod ~1.4 m down-road of the tag.
+    TripodPair,
+    /// A typical urban curb: meter, lamp, sign, pedestrian.
+    UrbanCurb,
+    /// A highway shoulder: guardrail, sign, parked car.
+    HighwayShoulder,
+    /// Stress test: everything at once.
+    Crowded,
+}
+
+impl ScenePreset {
+    /// All presets.
+    pub const ALL: [ScenePreset; 5] = [
+        ScenePreset::Clean,
+        ScenePreset::TripodPair,
+        ScenePreset::UrbanCurb,
+        ScenePreset::HighwayShoulder,
+        ScenePreset::Crowded,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenePreset::Clean => "clean",
+            ScenePreset::TripodPair => "tripod-pair",
+            ScenePreset::UrbanCurb => "urban-curb",
+            ScenePreset::HighwayShoulder => "highway-shoulder",
+            ScenePreset::Crowded => "crowded",
+        }
+    }
+
+    /// Builds the clutter for a tag standing at `(0, standoff_m, 1)`.
+    ///
+    /// Objects keep ≥1.2 m of separation from the tag (§7.2 notes that
+    /// objects with sufficient separation "do not usually interfere
+    /// with RoS decoding"); `seed` fixes all speckle realizations.
+    pub fn build(self, standoff_m: f64, seed: u64) -> Vec<ClutterObject> {
+        let y = standoff_m;
+        let mk = |class: ObjectClass, x: f64, dy: f64, s: u64| {
+            ClutterObject::new(class, Vec3::new(x, y + dy, 1.0), seed ^ s)
+        };
+        match self {
+            ScenePreset::Clean => Vec::new(),
+            ScenePreset::TripodPair => vec![mk(ObjectClass::Tripod, 1.4, 0.1, 1)],
+            ScenePreset::UrbanCurb => vec![
+                mk(ObjectClass::ParkingMeter, -2.0, 0.2, 2),
+                mk(ObjectClass::StreetLamp, 2.1, 0.4, 3),
+                mk(ObjectClass::RoadSign, 3.6, 0.3, 4),
+                mk(ObjectClass::Pedestrian, -3.4, -0.2, 5),
+            ],
+            ScenePreset::HighwayShoulder => vec![
+                mk(ObjectClass::Guardrail, 4.5, 0.6, 6),
+                mk(ObjectClass::RoadSign, -2.8, 0.4, 7),
+                mk(ObjectClass::ParkedCar, -6.0, 0.8, 8),
+            ],
+            ScenePreset::Crowded => {
+                let mut v = ScenePreset::UrbanCurb.build(standoff_m, seed);
+                v.extend(ScenePreset::HighwayShoulder.build(standoff_m, seed ^ 0xff));
+                v.push(mk(ObjectClass::Tree, 5.4, 1.0, 9));
+                v
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reflector::Reflector;
+
+    #[test]
+    fn preset_sizes() {
+        assert_eq!(ScenePreset::Clean.build(3.0, 1).len(), 0);
+        assert_eq!(ScenePreset::TripodPair.build(3.0, 1).len(), 1);
+        assert_eq!(ScenePreset::UrbanCurb.build(3.0, 1).len(), 4);
+        assert_eq!(ScenePreset::HighwayShoulder.build(3.0, 1).len(), 3);
+        assert_eq!(ScenePreset::Crowded.build(3.0, 1).len(), 8);
+    }
+
+    #[test]
+    fn objects_keep_clearance_from_tag() {
+        let tag_pos = Vec3::new(0.0, 3.0, 1.0);
+        for preset in ScenePreset::ALL {
+            for obj in preset.build(3.0, 7) {
+                let d = obj.center().distance(tag_pos);
+                assert!(
+                    d >= 1.2,
+                    "{}: object at {:?} only {d:.2} m from the tag",
+                    preset.name(),
+                    obj.center()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ScenePreset::Crowded.build(3.0, 42);
+        let b = ScenePreset::Crowded.build(3.0, 42);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.center(), y.center());
+            assert_eq!(x.class(), y.class());
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = ScenePreset::ALL.iter().map(|p| p.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+}

@@ -1,0 +1,128 @@
+//! Self-tracking error injection (Fig. 16d).
+//!
+//! The decoder needs the radar's position at every frame to map RSS
+//! samples onto the `u = cos θ` axis. Real vehicles estimate their
+//! pose from IMU + speedometer dead reckoning, which accumulates
+//! *relative drift* — §7.3 evaluates "relative drifting errors from 2%
+//! to 10%" of the travelled distance. This module perturbs ground-truth
+//! tracks the same way: the believed travel distance is scaled by
+//! `(1 + drift)` plus an optional random-walk jitter.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ros_em::Vec3;
+
+/// A tracking-error model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrackingError {
+    /// Relative drift of travelled distance (0.02 = 2%).
+    pub drift: f64,
+    /// Standard deviation of per-frame random-walk jitter \[m\].
+    pub jitter_m: f64,
+    /// RNG seed for the jitter realization.
+    pub seed: u64,
+}
+
+impl TrackingError {
+    /// Perfect tracking.
+    pub fn none() -> Self {
+        TrackingError {
+            drift: 0.0,
+            jitter_m: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Pure relative drift of the given fraction.
+    pub fn drift(fraction: f64) -> Self {
+        TrackingError {
+            drift: fraction,
+            jitter_m: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Applies the model to a ground-truth track, returning the
+    /// believed positions.
+    ///
+    /// Drift scales each position's displacement from the track start;
+    /// jitter adds an integrated random walk.
+    pub fn apply(&self, truth: &[Vec3]) -> Vec<Vec3> {
+        if truth.is_empty() {
+            return Vec::new();
+        }
+        let origin = truth[0];
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x7ac4_11e5);
+        let mut walk = Vec3::ZERO;
+        truth
+            .iter()
+            .map(|&p| {
+                if self.jitter_m > 0.0 {
+                    walk += Vec3::new(
+                        (rng.gen::<f64>() - 0.5) * 2.0 * self.jitter_m,
+                        (rng.gen::<f64>() - 0.5) * 2.0 * self.jitter_m,
+                        0.0,
+                    );
+                }
+                origin + (p - origin) * (1.0 + self.drift) + walk
+            })
+            .collect()
+    }
+
+    /// The believed-vs-true position error at the end of a track of
+    /// length `travel_m` \[m\] (drift component only).
+    pub fn terminal_error_m(&self, travel_m: f64) -> f64 {
+        self.drift * travel_m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn straight_track(n: usize, step: f64) -> Vec<Vec3> {
+        (0..n).map(|i| Vec3::new(i as f64 * step, 0.0, 0.0)).collect()
+    }
+
+    #[test]
+    fn no_error_is_identity() {
+        let t = straight_track(10, 0.5);
+        let b = TrackingError::none().apply(&t);
+        assert_eq!(b, t);
+    }
+
+    #[test]
+    fn drift_scales_displacement() {
+        let t = straight_track(11, 1.0); // 10 m of travel
+        let b = TrackingError::drift(0.05).apply(&t);
+        // Start pinned, end overshoots by 5%.
+        assert_eq!(b[0], t[0]);
+        assert!((b[10].x - 10.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn terminal_error_matches() {
+        let e = TrackingError::drift(0.08);
+        assert!((e.terminal_error_m(6.0) - 0.48).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_deterministic_per_seed() {
+        let t = straight_track(50, 0.1);
+        let e = TrackingError {
+            drift: 0.0,
+            jitter_m: 0.01,
+            seed: 3,
+        };
+        let a = e.apply(&t);
+        let b = e.apply(&t);
+        assert_eq!(a, b);
+        // And the walk actually moves.
+        assert!(a.iter().zip(&t).any(|(x, y)| x.distance(*y) > 1e-4));
+    }
+
+    #[test]
+    fn empty_track() {
+        assert!(TrackingError::drift(0.1).apply(&[]).is_empty());
+    }
+}

@@ -1,0 +1,88 @@
+//! The §8 extensions end-to-end: a 4-level ASK tag carrying a
+//! Hamming(7,4)-protected message, decoded through the physics with a
+//! deliberately injected bit error.
+//!
+//! ```bash
+//! cargo run --release -p ros-examples --bin ask_fec_link
+//! ```
+
+use ros_core::ask::AskCode;
+use ros_core::decode::{decode, DecoderConfig};
+use ros_core::fec;
+use ros_core::reader::{DriveBy, ReaderConfig};
+use ros_em::Vec3;
+
+fn main() {
+    println!("RoS §8 extensions: ASK + Hamming(7,4)");
+    println!("=====================================");
+
+    // A 4-bit message, Hamming-protected into 7 coded bits.
+    let message = [true, false, true, true];
+    let coded = fec::protect(&message);
+    println!(
+        "message {:?} → 7 coded bits {:?}",
+        message.map(|b| b as u8),
+        coded.iter().map(|&b| b as u8).collect::<Vec<_>>()
+    );
+
+    // Pack 7 bits into ASK symbols (2 bits per symbol, 4 symbols on
+    // two boards of 3 data slots... here: 4 symbols across one tag +
+    // one spare slot unused). For the demo we map pairs of coded bits
+    // onto one 3-slot ASK tag + 1 leftover bit on a second pass.
+    let sym = |b0: bool, b1: bool| (b0 as u8) | ((b1 as u8) << 1);
+    let symbols = [
+        sym(coded[0], coded[1]),
+        sym(coded[2], coded[3]),
+        sym(coded[4], coded[5]),
+    ];
+    println!("ASK symbols (2 bits each): {symbols:?} + 1 residual bit");
+
+    // Over-the-air roundtrip of the symbol tag.
+    let ask = AskCode::four_level();
+    let tag = ask.encode(&symbols).unwrap();
+    let mut drive = DriveBy::new(tag, 3.0).with_seed(4242);
+    drive.half_span_m = 8.0;
+    let outcome = drive.run(&ReaderConfig::fast());
+    let dec = decode(
+        &outcome.rss_trace,
+        Vec3::new(0.0, 3.0, 1.0),
+        0.0,
+        &ask.geometry,
+        &DecoderConfig::default(),
+    )
+    .expect("decode");
+    let got_symbols = ask.classify(&dec.slot_amplitudes);
+    println!(
+        "decoded symbols: {got_symbols:?} (SNR {:.1} dB)",
+        dec.snr_db()
+    );
+    assert_eq!(got_symbols, symbols.to_vec());
+
+    // Unpack to coded bits, carry the residual bit over, and inject a
+    // channel error to show the code healing it.
+    let mut rx_coded: Vec<bool> = Vec::new();
+    for s in &got_symbols {
+        rx_coded.push(s & 1 != 0);
+        rx_coded.push(s & 2 != 0);
+    }
+    rx_coded.push(coded[6]); // the residual 7th bit
+
+    println!("\ninjecting a bit flip at position 2 (a faded coding peak)…");
+    rx_coded[2] = !rx_coded[2];
+
+    let (recovered, corrections) = fec::recover(&rx_coded, 4);
+    println!(
+        "recovered {:?} with {corrections} correction(s)",
+        recovered.iter().map(|&b| b as u8).collect::<Vec<_>>()
+    );
+    assert_eq!(recovered, message.to_vec());
+
+    // Residual reliability at the paper's operating point.
+    let raw = ros_dsp::stats::ook_ber(10f64.powf(14.0 / 10.0));
+    println!(
+        "\nat the paper's 14 dB floor: raw BER {:.2}% → protected block error {:.4}%",
+        raw * 100.0,
+        fec::block_error_probability(raw) * 100.0
+    );
+    println!("ASK+FEC link healthy ✓");
+}

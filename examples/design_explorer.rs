@@ -1,0 +1,84 @@
+//! Design explorer: walk the paper's §4–§5 design rules across the
+//! parameter space — pair counts vs bandwidth, beamwidths vs stack
+//! size, capacity vs tag width, link budgets per radar grade.
+//!
+//! ```bash
+//! cargo run --release -p ros-examples --bin design_explorer
+//! ```
+
+use ros_antenna::design;
+use ros_core::capacity;
+use ros_core::encode::SpatialCode;
+use ros_em::constants::{F_CENTER_HZ, LAMBDA_CENTER_M};
+use ros_em::geom::rad_to_deg;
+use ros_em::radar_eq::RadarLinkBudget;
+
+fn main() {
+    println!("RoS design explorer");
+    println!("===================");
+
+    println!("\n-- optimal Van Atta pairs vs radar bandwidth (§4.1) --");
+    println!("{:>12} {:>8}", "B (GHz)", "pairs");
+    for b_ghz in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
+        println!(
+            "{b_ghz:>12.1} {:>8}",
+            design::optimal_antenna_pairs(b_ghz * 1e9, F_CENTER_HZ)
+        );
+    }
+
+    println!("\n-- elevation beamwidth vs stack size (Eq. 5) --");
+    println!(
+        "{:>6} {:>14} {:>22}",
+        "rows", "beamwidth (°)", "height tol @3 m (cm)"
+    );
+    for rows in [4usize, 8, 16, 32, 64] {
+        let bw = design::stack_beamwidth_rad(rows, 0.725 * LAMBDA_CENTER_M, LAMBDA_CENTER_M);
+        println!(
+            "{rows:>6} {:>14.2} {:>22.1}",
+            rad_to_deg(bw),
+            design::height_tolerance_m(bw, 3.0) * 100.0
+        );
+    }
+
+    println!("\n-- capacity vs geometry (§5.3) --");
+    println!(
+        "{:>6} {:>12} {:>14} {:>16}",
+        "bits", "width (cm)", "far field (m)", "max speed (m/s)"
+    );
+    for bits in 1..=8 {
+        let code = SpatialCode::with_bits(bits, 32);
+        let a = capacity::analyze(&code, 1000.0);
+        println!(
+            "{bits:>6} {:>12.1} {:>14.1} {:>16.1}",
+            a.width_m * 100.0,
+            a.far_field_m,
+            a.max_speed_mps
+        );
+    }
+
+    println!("\n-- decode range vs tag build and radar grade --");
+    println!(
+        "{:>6} {:>12} {:>14} {:>16}",
+        "rows", "RCS (dBsm)", "TI range (m)", "commercial (m)"
+    );
+    let ti = RadarLinkBudget::ti_eval();
+    let com = RadarLinkBudget::commercial();
+    for rows in [8usize, 16, 32, 64] {
+        let rcs = capacity::estimated_tag_rcs_dbsm(5, rows, true);
+        println!(
+            "{rows:>6} {:>12.1} {:>14.1} {:>16.1}",
+            rcs,
+            capacity::max_decode_range_m(&ti, rcs),
+            capacity::max_decode_range_m(&com, rcs)
+        );
+    }
+
+    println!("\n-- §8 upgrade paths --");
+    println!("· circular-polarized elements recover the 6 dB PSVAA loss → +41% range");
+    let rcs_cp = capacity::estimated_tag_rcs_dbsm(5, 32, true) + 6.0;
+    println!(
+        "  e.g. 32-row tag with CP elements on a commercial radar: {:.0} m",
+        capacity::max_decode_range_m(&com, rcs_cp)
+    );
+    println!("· ASK (multi-level) stacks multiply bits per slot — see `ask_modulation` docs");
+}

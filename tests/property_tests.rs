@@ -1,0 +1,217 @@
+//! Cross-crate property-based tests (proptest).
+
+use proptest::prelude::*;
+use ros_core::encode::SpatialCode;
+use ros_core::rcs_model;
+use ros_dsp::fft::{fft_in_place, ifft_in_place};
+use ros_dsp::resample::{resample_uniform, Sample};
+use ros_em::constants::LAMBDA_CENTER_M;
+use ros_em::Complex64;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FFT→IFFT is the identity for arbitrary signals.
+    #[test]
+    fn fft_roundtrip(values in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..64)) {
+        let n = values.len().next_power_of_two();
+        let mut buf: Vec<Complex64> = values
+            .iter()
+            .map(|&(re, im)| Complex64::new(re, im))
+            .collect();
+        buf.resize(n, Complex64::ZERO);
+        let orig = buf.clone();
+        fft_in_place(&mut buf);
+        ifft_in_place(&mut buf);
+        for (a, b) in buf.iter().zip(&orig) {
+            prop_assert!((*a - *b).abs() < 1e-6 * (1.0 + b.abs()));
+        }
+    }
+
+    /// Parseval: energy is conserved by the FFT.
+    #[test]
+    fn fft_parseval(values in prop::collection::vec(-1e2f64..1e2, 2..128)) {
+        let n = values.len().next_power_of_two();
+        let mut buf: Vec<Complex64> = values.iter().map(|&v| Complex64::real(v)).collect();
+        buf.resize(n, Complex64::ZERO);
+        let time: f64 = buf.iter().map(|c| c.norm_sqr()).sum();
+        fft_in_place(&mut buf);
+        let freq: f64 = buf.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((time - freq).abs() <= 1e-6 * (1.0 + time));
+    }
+
+    /// Resampling a constant trace returns the constant everywhere.
+    #[test]
+    fn resample_preserves_constants(
+        xs in prop::collection::vec(-1.0f64..1.0, 2..40),
+        c in -1e3f64..1e3,
+        n in 2usize..64,
+    ) {
+        let samples: Vec<Sample> = xs.iter().map(|&x| Sample { x, y: c }).collect();
+        let out = resample_uniform(samples, -1.0, 1.0, n);
+        for y in out {
+            prop_assert!((y - c).abs() < 1e-9);
+        }
+    }
+
+    /// Any valid spatial code keeps every secondary spacing outside the
+    /// coding band — the §5.2 interference-freedom guarantee.
+    #[test]
+    fn secondary_peaks_never_alias_into_band(bits in 2usize..8) {
+        let code = SpatialCode::with_bits(bits, 8);
+        let d: Vec<f64> = (1..=bits).map(|k| code.slot_position_m(k)).collect();
+        let lo = d[0].abs();
+        let hi = d[bits - 1].abs();
+        for i in 0..bits {
+            for j in 0..bits {
+                if i == j { continue; }
+                let s = (d[i] - d[j]).abs();
+                prop_assert!(s < lo - 1e-9 || s > hi + 1e-9,
+                    "secondary {s} inside [{lo}, {hi}]");
+            }
+        }
+    }
+
+    /// The analytic multi-stack RCS factor is bounded by M² and
+    /// symmetric in u.
+    #[test]
+    fn rcs_factor_bounds(
+        positions in prop::collection::vec(-15.0f64..15.0, 1..7),
+        u in -1.0f64..1.0,
+    ) {
+        let pos_m: Vec<f64> = positions.iter().map(|p| p * LAMBDA_CENTER_M).collect();
+        let m = pos_m.len() as f64;
+        let f = rcs_model::multi_stack_factor(&pos_m, u, LAMBDA_CENTER_M);
+        prop_assert!(f >= -1e-9);
+        prop_assert!(f <= m * m + 1e-9);
+        let f_neg = rcs_model::multi_stack_factor(&pos_m, -u, LAMBDA_CENTER_M);
+        prop_assert!((f - f_neg).abs() < 1e-6 * (1.0 + f));
+    }
+
+    /// Encoding then reading back positions is consistent with the
+    /// slot formula for every bit pattern.
+    #[test]
+    fn encode_positions_match_slots(word in 0u8..16) {
+        let bits = [
+            word & 1 != 0,
+            word & 2 != 0,
+            word & 4 != 0,
+            word & 8 != 0,
+        ];
+        let code = SpatialCode { rows_per_stack: 8, ..SpatialCode::paper_4bit() };
+        let tag = code.encode(&bits).unwrap();
+        let pos = tag.stack_positions_m();
+        // Reference stack always first, at 0.
+        prop_assert!((pos[0]).abs() < 1e-12);
+        prop_assert_eq!(pos.len(), 1 + bits.iter().filter(|&&b| b).count());
+        let mut expected: Vec<f64> = vec![0.0];
+        for (k, &b) in bits.iter().enumerate() {
+            if b {
+                expected.push(code.slot_position_m(k + 1));
+            }
+        }
+        for (a, b) in pos.iter().zip(&expected) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// OOK BER is monotone decreasing in SNR.
+    #[test]
+    fn ber_monotone(snr_db in -5.0f64..30.0) {
+        let lin = |db: f64| 10f64.powf(db / 10.0);
+        let b1 = ros_dsp::stats::ook_ber(lin(snr_db));
+        let b2 = ros_dsp::stats::ook_ber(lin(snr_db + 1.0));
+        prop_assert!(b2 <= b1 + 1e-15);
+        prop_assert!((0.0..=0.5 + 1e-12).contains(&b1));
+    }
+
+    /// Hamming(7,4) corrects every single-bit error on every message.
+    #[test]
+    fn hamming_corrects_any_single_flip(
+        bits in prop::collection::vec(any::<bool>(), 1..24),
+        flip in any::<usize>(),
+    ) {
+        let coded = ros_core::fec::protect(&bits);
+        let mut corrupted = coded.clone();
+        let idx = flip % corrupted.len();
+        corrupted[idx] = !corrupted[idx];
+        let (back, fixes) = ros_core::fec::recover(&corrupted, bits.len());
+        prop_assert_eq!(back, bits);
+        prop_assert!(fixes <= 1);
+    }
+
+    /// The CZT on the unit DFT grid equals the FFT for arbitrary input.
+    #[test]
+    fn czt_equals_fft_on_grid(values in prop::collection::vec((-1e2f64..1e2, -1e2f64..1e2), 4..32)) {
+        let n = values.len().next_power_of_two();
+        let mut x: Vec<Complex64> = values
+            .iter()
+            .map(|&(re, im)| Complex64::new(re, im))
+            .collect();
+        x.resize(n, Complex64::ZERO);
+        let w = Complex64::cis(-std::f64::consts::TAU / n as f64);
+        let out = ros_dsp::czt::czt(&x, n, w, Complex64::ONE);
+        let mut fft = x.clone();
+        fft_in_place(&mut fft);
+        for (c, f) in out.iter().zip(&fft) {
+            prop_assert!((*c - *f).abs() < 1e-6 * (1.0 + f.abs()));
+        }
+    }
+
+    /// Hermitian eigendecomposition: A·v = λ·v and trace preservation
+    /// for random Hermitian matrices.
+    #[test]
+    fn eig_residual_small(seed_vals in prop::collection::vec(-2.0f64..2.0, 16)) {
+        use ros_dsp::eig::{hermitian_eig, CMatrix};
+        let n = 4;
+        let a = CMatrix::from_fn(n, |i, j| {
+            let base = seed_vals[i * n + j];
+            if i == j {
+                Complex64::real(base.abs() + 1.0)
+            } else if i < j {
+                Complex64::new(base, seed_vals[j * n + i])
+            } else {
+                Complex64::new(seed_vals[j * n + i], -seed_vals[i * n + j])
+            }
+        });
+        prop_assume!(a.is_hermitian(1e-9));
+        let e = hermitian_eig(&a);
+        // Residual per eigenpair.
+        for k in 0..n {
+            for i in 0..n {
+                let mut av = Complex64::ZERO;
+                for j in 0..n {
+                    av += a[(i, j)] * e.vectors[(j, k)];
+                }
+                let r = (av - e.vectors[(i, k)] * e.values[k]).abs();
+                prop_assert!(r < 1e-7, "residual {r}");
+            }
+        }
+        let trace: f64 = (0..n).map(|i| a[(i, i)].re).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-8 * (1.0 + trace.abs()));
+    }
+
+    /// Majority-vote fusion of unanimous passes returns the consensus.
+    #[test]
+    fn unanimous_fusion(bits in prop::collection::vec(any::<bool>(), 1..8), n in 1usize..6) {
+        use ros_core::decode::DecodeResult;
+        let mk = || DecodeResult {
+            bits: bits.clone(),
+            slot_amplitudes: bits.iter().map(|&b| if b { 10.0 } else { 0.5 }).collect(),
+            snr_linear: 100.0,
+            spectrum_spacings_m: vec![],
+            spectrum_mags: vec![],
+            n_samples_used: 10,
+        };
+        let passes: Vec<DecodeResult> = (0..n).map(|_| mk()).collect();
+        let vote = ros_core::fusion::fuse_majority(&passes);
+        prop_assert_eq!(&vote.bits, &bits);
+        let amp = ros_core::fusion::fuse_amplitudes(&passes);
+        // Amplitude fusion may only disagree on all-zero messages
+        // (nothing above the absolute gate).
+        if bits.iter().any(|&b| b) {
+            prop_assert_eq!(&amp.bits, &bits);
+        }
+    }
+}

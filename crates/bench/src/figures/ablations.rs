@@ -31,7 +31,7 @@ fn tag_for(bits: &[bool], rows: usize, m_stacks: usize) -> (SpatialCode, ros_cor
         rows_per_stack: rows,
         ..SpatialCode::paper_4bit()
     };
-    (code, code.encode(bits).unwrap())
+    (code, code.encode(bits).unwrap_or_else(|e| panic!("tag encode: {e}")))
 }
 
 /// FFT decoder vs near-field matched filter, per distance and capacity.
@@ -143,7 +143,7 @@ pub fn ask_demo() {
     );
     let symbols = [3u8, 1, 2];
     for d in [2.0, 2.5, 3.0, 3.5, 4.0] {
-        let tag = code.encode(&symbols).unwrap();
+        let tag = code.encode(&symbols).unwrap_or_else(|e| panic!("ASK encode: {e}"));
         let mut drive = DriveBy::new(tag, d).with_seed(9100 + d as u64);
         drive.half_span_m = 8.0;
         let outcome = drive.run(&ReaderConfig::fast());
@@ -286,7 +286,7 @@ pub fn tag_yaw() {
         let (_, tag) = tag_for(&[true; 4], 32, 5);
         let tag = tag
             .with_column_bow(0.0004, 42)
-            .with_yaw(yaw_deg.to_radians());
+            .with_yaw(ros_em::geom::deg_to_rad(yaw_deg));
         let mut drive = DriveBy::new(tag, 3.0).with_seed(9600 + yaw_deg as u64);
         drive.half_span_m = 8.0;
         let o = drive.run(&ReaderConfig::fast());
@@ -407,7 +407,7 @@ pub fn fec_analysis() {
         &["SNR (dB)", "raw BER", "protected block error"],
     );
     for snr_db in [10.0, 14.0, 15.0, 15.8, 20.0] {
-        let ber = ros_dsp::stats::ook_ber(10f64.powf(snr_db / 10.0));
+        let ber = ros_dsp::stats::ook_ber(ros_em::db::db_to_pow(snr_db));
         t.row(vec![
             f(snr_db, 1),
             format!("{:.3}%", ber * 100.0),

@@ -94,7 +94,7 @@ pub fn design() {
 
     // SNR↔BER anchors.
     for (snr, paper) in [(15.8, "0.10%"), (15.0, "0.30%"), (14.0, "0.60%"), (10.0, "5.7%")] {
-        let ber = ros_dsp::stats::ook_ber(10f64.powf(snr / 10.0));
+        let ber = ros_dsp::stats::ook_ber(ros_em::db::db_to_pow(snr));
         t.row(vec![
             format!("BER at {snr} dB SNR"),
             paper.into(),

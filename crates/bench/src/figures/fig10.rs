@@ -13,7 +13,7 @@ use ros_em::constants::LAMBDA_CENTER_M;
 /// Fig. 10b: the multi-stack RCS factor vs azimuth.
 pub fn fig10b() {
     let code = SpatialCode::paper_4bit();
-    let tag = code.encode(&[true; 4]).unwrap();
+    let tag = code.encode(&[true; 4]).unwrap_or_else(|e| panic!("tag encode: {e}"));
     let pos = tag.stack_positions_m().to_vec();
     let mut t = Table::new(
         "Fig. 10b — 4-bit tag RCS (normalized) vs azimuth",
@@ -21,7 +21,7 @@ pub fn fig10b() {
     );
     let peak = rcs_model::multi_stack_factor(&pos, 0.0, LAMBDA_CENTER_M);
     for deg in (-60..=60).step_by(2) {
-        let u = (deg as f64).to_radians().sin();
+        let u = ros_em::geom::deg_to_rad(deg as f64).sin();
         let r = rcs_model::multi_stack_factor(&pos, u, LAMBDA_CENTER_M) / peak;
         t.row(vec![format!("{deg}"), f(r, 4)]);
     }
@@ -33,7 +33,7 @@ pub fn fig10b() {
 pub fn fig10c() {
     let code = SpatialCode::paper_4bit();
     for (label, bits) in [("1111", [true; 4]), ("1010", [true, false, true, false])] {
-        let tag = code.encode(&bits).unwrap();
+        let tag = code.encode(&bits).unwrap_or_else(|e| panic!("tag encode: {e}"));
         let pos = tag.stack_positions_m().to_vec();
         let rcs = rcs_model::sample_rcs_factor(&pos, LAMBDA_CENTER_M, 1.0, 1024);
         let (spacings, mags) = rcs_model::rcs_spectrum(&rcs, 1.0, LAMBDA_CENTER_M, 8);

@@ -17,7 +17,7 @@ use ros_scene::objects::{ClutterObject, ObjectClass};
 fn scene_tag() -> ros_core::tag::Tag {
     SpatialCode::paper_4bit()
         .encode(&[true; 4])
-        .unwrap()
+        .unwrap_or_else(|e| panic!("tag encode: {e}"))
         .with_column_bow(0.0004, 42)
 }
 
@@ -78,9 +78,9 @@ pub fn fig11c() {
     let n = outcome.rss_trace.len();
     for i in (0..n).step_by((n / 25).max(1)) {
         let s = &outcome.rss_trace[i];
-        let az_tag = (tag_c.x - truth[i].x).atan2(tag_c.y - truth[i].y).to_degrees();
+        let az_tag = ros_em::geom::rad_to_deg((tag_c.x - truth[i].x).atan2(tag_c.y - truth[i].y));
         let rss = 10.0 * s.rss.norm_sqr().max(1e-300).log10();
-        let az_tri = (tri_c.x - truth[i].x).atan2(tri_c.y - truth[i].y).to_degrees();
+        let az_tri = ros_em::geom::rad_to_deg((tri_c.x - truth[i].x).atan2(tri_c.y - truth[i].y));
         let tri_loss = outcome
             .clusters
             .iter()

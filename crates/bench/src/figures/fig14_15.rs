@@ -18,7 +18,9 @@ fn tag_with(rows: usize, shaped: bool, seed: u64) -> ros_core::tag::Tag {
     };
     // Column bow grows with column length (§7.2's bending/sway).
     let bow = 0.0004 * (rows as f64 / 32.0).powi(2);
-    code.encode(&[true; 4]).unwrap().with_column_bow(bow, seed)
+    code.encode(&[true; 4])
+        .unwrap_or_else(|e| panic!("tag encode: {e}"))
+        .with_column_bow(bow, seed)
 }
 
 /// Figs. 14a/14b: elevation misalignment with/without beam shaping.

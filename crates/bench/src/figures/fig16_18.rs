@@ -19,7 +19,7 @@ use ros_scene::weather::FogLevel;
 fn paper_tag(seed: u64) -> ros_core::tag::Tag {
     SpatialCode::paper_4bit()
         .encode(&[true; 4])
-        .unwrap()
+        .unwrap_or_else(|e| panic!("tag encode: {e}"))
         .with_column_bow(0.0004, seed)
 }
 

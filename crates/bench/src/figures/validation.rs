@@ -44,7 +44,7 @@ pub fn ber_validation() {
                     ..SpatialCode::paper_4bit()
                 }
                 .encode(bits)
-                .unwrap();
+                .unwrap_or_else(|e| panic!("tag encode: {e}"));
                 let mut drive = DriveBy::new(tag, 3.0)
                     .with_interference_db(rise)
                     .with_seed(0xbe7 + trial * 31);
@@ -66,7 +66,7 @@ pub fn ber_validation() {
         }
         let med_snr = ros_dsp::stats::median(&snrs);
         let empirical = errors as f64 / total.max(1) as f64;
-        let model = ros_dsp::stats::ook_ber(10f64.powf(med_snr / 10.0));
+        let model = ros_dsp::stats::ook_ber(ros_em::db::db_to_pow(med_snr));
         t.row(vec![
             f(rise, 0),
             f(med_snr, 1),

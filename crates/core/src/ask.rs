@@ -22,6 +22,7 @@ use crate::encode::{EncodeError, SpatialCode};
 use crate::tag::{Tag, TagStack};
 use ros_antenna::shaping;
 use ros_antenna::stack::PsvaaStack;
+use ros_em::units::cast::AsF64;
 
 /// An amplitude-shift-keyed spatial code.
 #[derive(Clone, Debug, PartialEq)]
@@ -51,7 +52,7 @@ impl AskCode {
 
     /// Bits carried per data slot.
     pub fn bits_per_slot(&self) -> f64 {
-        (self.n_levels() as f64).log2()
+        (self.n_levels().as_f64()).log2()
     }
 
     /// Data symbols per tag (slots minus the pilot).
@@ -61,7 +62,7 @@ impl AskCode {
 
     /// Total data bits per tag.
     pub fn data_bits(&self) -> f64 {
-        self.data_slots() as f64 * self.bits_per_slot()
+        self.data_slots().as_f64() * self.bits_per_slot()
     }
 
     /// Relative coding-peak amplitude of a stack with `rows` rows,
@@ -73,8 +74,9 @@ impl AskCode {
     /// energy into the same angular window). For uniform stacks the
     /// boresight array factor is the row count, linear as well.
     pub fn relative_level_amplitude(&self, rows: usize) -> f64 {
-        let max_rows = *self.level_rows.last().unwrap();
-        rows as f64 / max_rows as f64
+        // A degenerate (empty) level table reads as a single level.
+        let max_rows = self.level_rows.last().copied().unwrap_or(1).max(1);
+        rows.as_f64() / max_rows.as_f64()
     }
 
     fn build_stack(&self, rows: usize) -> PsvaaStack {
@@ -91,10 +93,9 @@ impl AskCode {
     ///
     /// # Errors
     /// [`EncodeError::WrongBitCount`] when `symbols.len()` differs from
-    /// [`Self::data_slots`].
-    ///
-    /// # Panics
-    /// Panics when any symbol is out of range.
+    /// [`Self::data_slots`], [`EncodeError::SymbolOutOfRange`] when a
+    /// symbol exceeds the level count, and [`EncodeError::NoLevels`]
+    /// when the code has an empty level table.
     pub fn encode(&self, symbols: &[u8]) -> Result<Tag, EncodeError> {
         if symbols.len() != self.data_slots() {
             return Err(EncodeError::WrongBitCount {
@@ -102,12 +103,14 @@ impl AskCode {
                 expected: self.data_slots(),
             });
         }
-        assert!(
-            symbols.iter().all(|&s| (s as usize) < self.n_levels()),
-            "symbol out of range"
-        );
+        if let Some(&symbol) = symbols.iter().find(|&&s| usize::from(s) >= self.n_levels()) {
+            return Err(EncodeError::SymbolOutOfRange {
+                symbol,
+                levels: self.n_levels(),
+            });
+        }
 
-        let top = *self.level_rows.last().unwrap();
+        let top = *self.level_rows.last().ok_or(EncodeError::NoLevels)?;
         let mut stacks = vec![TagStack {
             x_m: 0.0,
             stack: self.build_stack(top),
@@ -122,7 +125,7 @@ impl AskCode {
         bits.push(true);
 
         for (i, &sym) in symbols.iter().enumerate() {
-            let rows = self.level_rows[sym as usize];
+            let rows = self.level_rows[usize::from(sym)];
             bits.push(rows > 0);
             if rows > 0 {
                 stacks.push(TagStack {
@@ -158,7 +161,7 @@ impl AskCode {
                     let err = (rel - expect).abs();
                     if err < best_err {
                         best_err = err;
-                        best = lvl as u8;
+                        best = u8::try_from(lvl).unwrap_or(u8::MAX);
                     }
                 }
                 best
@@ -221,9 +224,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "symbol out of range")]
-    fn out_of_range_symbol_panics() {
-        AskCode::four_level().encode(&[4, 0, 0]).unwrap();
+    fn out_of_range_symbol_is_an_error() {
+        let err = AskCode::four_level().encode(&[4, 0, 0]).unwrap_err();
+        assert_eq!(err, EncodeError::SymbolOutOfRange { symbol: 4, levels: 4 });
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::encode::SpatialCode;
 use ros_antenna::design;
 use ros_em::constants::LAMBDA_CENTER_M;
 use ros_em::radar_eq::RadarLinkBudget;
+use ros_em::units::cast::AsF64;
 
 /// Complete §5.3 capacity/limit analysis of a spatial code.
 #[derive(Clone, Copy, Debug)]
@@ -52,7 +53,7 @@ pub fn max_decode_range_m(budget: &RadarLinkBudget, rcs_dbsm: f64) -> f64 {
 /// beam-shaping spreading loss, plus the multi-stack average gain.
 pub fn estimated_tag_rcs_dbsm(n_stacks: usize, rows_per_stack: usize, beam_shaped: bool) -> f64 {
     let single = -43.0;
-    let stack_gain = 20.0 * (rows_per_stack as f64).log10();
+    let stack_gain = 20.0 * (rows_per_stack.as_f64()).log10();
     // Spreading a ≈1–4° pencil into a ≈10° flat-top costs its peak.
     let shaping_loss = if beam_shaped {
         let natural = ros_em::geom::rad_to_deg(design::stack_beamwidth_rad(

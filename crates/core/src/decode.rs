@@ -24,6 +24,7 @@ use ros_dsp::resample::{resample_uniform, Sample};
 use ros_dsp::stats;
 use ros_em::radar_eq::RadarLinkBudget;
 use ros_em::{Complex64, Vec3};
+use ros_em::units::cast::AsF64;
 
 /// One spotlight measurement.
 #[derive(Clone, Copy, Debug)]
@@ -108,6 +109,9 @@ pub enum DecodeError {
         /// Samples that survived filtering.
         got: usize,
     },
+    /// The spectrum is too short to carve out a noise-reference band,
+    /// so slot amplitudes cannot be normalized.
+    NoNoiseReference,
 }
 
 impl std::fmt::Display for DecodeError {
@@ -115,6 +119,9 @@ impl std::fmt::Display for DecodeError {
         match self {
             DecodeError::TooFewSamples { got } => {
                 write!(f, "only {got} RSS samples inside the field of view")
+            }
+            DecodeError::NoNoiseReference => {
+                write!(f, "spectrum too short for a noise-reference band")
             }
         }
     }
@@ -160,7 +167,7 @@ pub fn decode(
             // …and the radar's own two-way pattern toward the tag.
             let az_radar = v.x.atan2(-v.y) * -1.0;
             let g = radar_pattern_proxy(az_radar);
-            let env = 10f64.powf(unit_dbm / 10.0) * g.powi(4);
+            let env = ros_em::db::db_to_pow(unit_dbm) * g.powi(4);
             if env > 0.0 {
                 p /= env;
             }
@@ -232,8 +239,11 @@ pub fn decode(
         .filter(|(s, _)| **s >= noise_lo && **s <= noise_hi)
         .map(|(_, &m)| m)
         .collect();
+    if noise_bins.is_empty() {
+        return Err(DecodeError::NoNoiseReference);
+    }
     let noise_rms = (noise_bins.iter().map(|m| m * m).sum::<f64>()
-        / noise_bins.len().max(1) as f64)
+        / noise_bins.len().as_f64())
         .sqrt()
         .max(1e-300);
 

@@ -16,6 +16,7 @@
 
 use crate::tag::Tag;
 use ros_em::constants::LAMBDA_CENTER_M;
+use ros_em::units::cast::AsF64;
 
 /// Errors from encoding.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -27,6 +28,15 @@ pub enum EncodeError {
         /// Bits the code supports.
         expected: usize,
     },
+    /// An ASK symbol exceeds the code's level count.
+    SymbolOutOfRange {
+        /// The offending symbol.
+        symbol: u8,
+        /// Number of levels the code supports.
+        levels: usize,
+    },
+    /// The ASK code has no amplitude levels configured.
+    NoLevels,
 }
 
 impl std::fmt::Display for EncodeError {
@@ -35,6 +45,10 @@ impl std::fmt::Display for EncodeError {
             EncodeError::WrongBitCount { got, expected } => {
                 write!(f, "expected {expected} bits, got {got}")
             }
+            EncodeError::SymbolOutOfRange { symbol, levels } => {
+                write!(f, "symbol {symbol} out of range for {levels} levels")
+            }
+            EncodeError::NoLevels => write!(f, "ASK code has no amplitude levels"),
         }
     }
 }
@@ -95,7 +109,7 @@ impl SpatialCode {
             self.capacity_bits()
         );
         let sign = if k % 2 == 1 { 1.0 } else { -1.0 };
-        let magnitude = (self.m_stacks + k - 2) as f64 * self.delta_c_lambda;
+        let magnitude = (self.m_stacks + k - 2).as_f64() * self.delta_c_lambda;
         sign * magnitude * LAMBDA_CENTER_M
     }
 
@@ -103,7 +117,7 @@ impl SpatialCode {
     /// unsigned, in bit order.
     pub fn slot_spacings_lambda(&self) -> Vec<f64> {
         (1..=self.capacity_bits())
-            .map(|k| (self.m_stacks + k - 2) as f64 * self.delta_c_lambda)
+            .map(|k| (self.m_stacks + k - 2).as_f64() * self.delta_c_lambda)
             .collect()
     }
 
@@ -131,7 +145,7 @@ impl SpatialCode {
     /// where `c = δ_c/λ`, i.e. the span of the outermost slots plus
     /// one 3λ stack width.
     pub fn width_lambda(&self) -> f64 {
-        (4.0 * self.m_stacks as f64 - 7.0) * self.delta_c_lambda + 3.0
+        (4.0 * self.m_stacks.as_f64() - 7.0) * self.delta_c_lambda + 3.0
     }
 
     /// Overall tag width in metres.

@@ -39,17 +39,17 @@ pub fn hamming74_decode(mut code: [bool; 7]) -> (u8, Option<usize>) {
     let s1 = code[0] ^ code[2] ^ code[4] ^ code[6];
     let s2 = code[1] ^ code[2] ^ code[5] ^ code[6];
     let s4 = code[3] ^ code[4] ^ code[5] ^ code[6];
-    let syndrome = (s1 as usize) | ((s2 as usize) << 1) | ((s4 as usize) << 2);
+    let syndrome = usize::from(s1) | (usize::from(s2) << 1) | (usize::from(s4) << 2);
     let corrected = if syndrome != 0 {
         code[syndrome - 1] = !code[syndrome - 1];
         Some(syndrome)
     } else {
         None
     };
-    let nibble = (code[2] as u8)
-        | ((code[4] as u8) << 1)
-        | ((code[5] as u8) << 2)
-        | ((code[6] as u8) << 3);
+    let nibble = u8::from(code[2])
+        | (u8::from(code[4]) << 1)
+        | (u8::from(code[5]) << 2)
+        | (u8::from(code[6]) << 3);
     (nibble, corrected)
 }
 

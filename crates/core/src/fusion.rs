@@ -13,6 +13,7 @@
 //!   (robust to occasional garbage passes).
 
 use crate::decode::DecodeResult;
+use ros_em::units::cast::AsF64;
 
 /// A fused multi-pass decision.
 #[derive(Clone, Debug)]
@@ -58,7 +59,7 @@ pub fn fuse_amplitudes(passes: &[DecodeResult]) -> FusedDecode {
 
     // Averaging K independent passes shrinks the amplitude noise by
     // ≈√K, so the absolute gate scales down accordingly.
-    let gate = (4.0 / (passes.len() as f64).sqrt()).max(1.5);
+    let gate = (4.0 / (passes.len().as_f64()).sqrt()).max(1.5);
     let max_amp = fused.iter().cloned().fold(0.0, f64::max);
     let bits: Vec<bool> = fused
         .iter()
@@ -94,7 +95,7 @@ pub fn fuse_majority(passes: &[DecodeResult]) -> FusedDecode {
     }
     let n = passes.len();
     let bits: Vec<bool> = votes.iter().map(|&v| 2 * v > n).collect();
-    let confidence: Vec<f64> = votes.iter().map(|&v| v as f64 / n as f64).collect();
+    let confidence: Vec<f64> = votes.iter().map(|&v| v.as_f64() / n.as_f64()).collect();
     FusedDecode {
         bits,
         confidence,

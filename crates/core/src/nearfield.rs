@@ -28,6 +28,7 @@ use crate::decode::{DecodeError, DecoderConfig, RssSample};
 use crate::encode::SpatialCode;
 use ros_dsp::stats;
 use ros_em::Vec3;
+use ros_em::units::cast::AsF64;
 
 /// Near-field decode result.
 #[derive(Clone, Debug)]
@@ -73,7 +74,7 @@ fn matched_amplitude(
         c += v * psi.cos();
         s += v * psi.sin();
     }
-    let n = trace.len().max(1) as f64;
+    let n = trace.len().max(1).as_f64();
     (c * c + s * s).sqrt() / n
 }
 
@@ -113,7 +114,7 @@ pub fn decode_nearfield(
             let unit_dbm = budget.received_power_dbm(0.0, d);
             let az_radar = (-v.x).atan2(-v.y);
             let g = az_radar.cos().max(0.0).powf(1.5);
-            let env = 10f64.powf(unit_dbm / 10.0) * g.powi(4);
+            let env = ros_em::db::db_to_pow(unit_dbm) * g.powi(4);
             if env > 0.0 {
                 p /= env;
             }
@@ -126,7 +127,7 @@ pub fn decode_nearfield(
     let n_used = trace.len();
 
     // Mean removal (the DC term of Eq. 6).
-    let mean = trace.iter().map(|(_, v)| v).sum::<f64>() / trace.len() as f64;
+    let mean = trace.iter().map(|(_, v)| v).sum::<f64>() / trace.len().as_f64();
     for t in trace.iter_mut() {
         t.1 -= mean;
     }
@@ -153,7 +154,7 @@ pub fn decode_nearfield(
     let mut phantom_amps = Vec::new();
     for j in 0..6 {
         for sign in [-1.0, 1.0] {
-            let pos = sign * (max_feature + 1.5 * lambda + j as f64 * 0.75 * dc);
+            let pos = sign * (max_feature + 1.5 * lambda + j.as_f64() * 0.75 * dc);
             phantom_amps.push(matched_amplitude(
                 &trace,
                 tag_center,
@@ -164,7 +165,7 @@ pub fn decode_nearfield(
         }
     }
     let noise_rms = (phantom_amps.iter().map(|a| a * a).sum::<f64>()
-        / phantom_amps.len().max(1) as f64)
+        / phantom_amps.len().max(1).as_f64())
         .sqrt()
         .max(1e-300);
 

@@ -16,6 +16,7 @@
 
 use ros_dsp::fft::{magnitudes, spectrum_padded};
 use ros_dsp::window::Window;
+use ros_em::units::cast::AsF64;
 
 /// The analytic array factor `|Σ e^{j4πd·u/λ}|²` of Eq. 6.
 pub fn multi_stack_factor(positions_m: &[f64], u: f64, lambda_m: f64) -> f64 {
@@ -35,7 +36,7 @@ pub fn sample_rcs_factor(positions_m: &[f64], lambda_m: f64, u_max: f64, n: usiz
     assert!(n >= 2 && u_max > 0.0);
     (0..n)
         .map(|i| {
-            let u = -u_max + 2.0 * u_max * i as f64 / (n - 1) as f64;
+            let u = -u_max + 2.0 * u_max * i.as_f64() / (n - 1).as_f64();
             multi_stack_factor(positions_m, u, lambda_m)
         })
         .collect()
@@ -66,7 +67,7 @@ pub fn rcs_spectrum_windowed(
     window: Window,
 ) -> (Vec<f64>, Vec<f64>) {
     assert!(!rcs.is_empty() && u_max > 0.0 && zero_pad_factor >= 1);
-    let mean = rcs.iter().sum::<f64>() / rcs.len() as f64;
+    let mean = rcs.iter().sum::<f64>() / rcs.len().as_f64();
     let mut centred: Vec<f64> = rcs.iter().map(|&r| r - mean).collect();
     window.apply(&mut centred);
 
@@ -84,7 +85,7 @@ pub fn rcs_spectrum_windowed(
         // The FFT assumes unit sample spacing; sample i corresponds to
         // u-step span_u/(len−1). Frequency of bin b in cycles/sample:
         // b/n_fft ⇒ cycles per u: b/n_fft·(len−1)/span_u.
-        let cycles_per_u = b as f64 / mags.len() as f64 * (rcs.len() - 1) as f64 / span_u;
+        let cycles_per_u = b.as_f64() / mags.len().as_f64() * (rcs.len() - 1).as_f64() / span_u;
         spacings.push(cycles_per_u * lambda_m / 2.0);
         out.push(m);
     }
@@ -107,21 +108,21 @@ pub fn rcs_spectrum_czt(
     window: Window,
 ) -> (Vec<f64>, Vec<f64>) {
     assert!(!rcs.is_empty() && u_max > 0.0 && n_bins >= 2);
-    let mean = rcs.iter().sum::<f64>() / rcs.len() as f64;
+    let mean = rcs.iter().sum::<f64>() / rcs.len().as_f64();
     let mut centred: Vec<f64> = rcs.iter().map(|&r| r - mean).collect();
     window.apply(&mut centred);
 
     // Spacing s ↔ frequency 2s/λ cycles per u ↔ cycles/sample via the
     // grid step span_u/(len−1).
     let span_u = 2.0 * u_max;
-    let cycles_per_sample_per_m = 2.0 / lambda_m * span_u / (rcs.len() - 1) as f64;
+    let cycles_per_sample_per_m = 2.0 / lambda_m * span_u / (rcs.len() - 1).as_f64();
     let f_end = max_spacing_m * cycles_per_sample_per_m;
     let spec = ros_dsp::czt::zoom_spectrum(&centred, 0.0, f_end, n_bins);
 
     let mut spacings = Vec::with_capacity(n_bins);
     let mut mags = Vec::with_capacity(n_bins);
     for (i, c) in spec.iter().enumerate() {
-        spacings.push(max_spacing_m * i as f64 / (n_bins - 1) as f64);
+        spacings.push(max_spacing_m * i.as_f64() / (n_bins - 1).as_f64());
         mags.push(c.abs());
     }
     (spacings, mags)

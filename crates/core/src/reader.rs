@@ -265,7 +265,7 @@ impl DriveBy {
 
     fn noise_sigma(&self) -> f64 {
         let floor_dbm = self.radar.noise_floor_dbm() + self.interference_db;
-        10f64.powf(floor_dbm / 20.0) / std::f64::consts::SQRT_2
+        ros_em::db::db_to_lin(floor_dbm) / std::f64::consts::SQRT_2
     }
 
     fn run_fast(&self, cfg: &ReaderConfig) -> Outcome {
@@ -318,7 +318,7 @@ impl DriveBy {
                 .blockages
                 .iter()
                 .filter(|b| *t >= b.t_start_s && *t <= b.t_end_s)
-                .map(|b| 10f64.powf(-b.attenuation_db / 20.0))
+                .map(|b| ros_em::db::db_to_lin(-b.attenuation_db))
                 .fold(1.0, f64::min);
             let mut rss = Complex64::ZERO;
             for refl in self.all_reflectors() {

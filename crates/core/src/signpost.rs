@@ -78,17 +78,17 @@ impl RoadSign {
 
     /// The 4-bit codeword (1..=15; 0 is reserved/undetectable).
     pub fn codeword(self) -> u8 {
-        RoadSign::ALL
-            .iter()
-            .position(|&s| s == self)
-            .expect("sign in table") as u8
-            + 1
+        match RoadSign::ALL.iter().position(|&s| s == self) {
+            Some(i) => u8::try_from(i + 1).unwrap_or(u8::MAX),
+            // Unreachable: every variant appears in ALL.
+            None => 0,
+        }
     }
 
     /// Looks a sign up by codeword.
     pub fn from_codeword(word: u8) -> Option<RoadSign> {
         if (1..=15).contains(&word) {
-            Some(RoadSign::ALL[(word - 1) as usize])
+            Some(RoadSign::ALL[usize::from(word - 1)])
         } else {
             None
         }

@@ -15,6 +15,7 @@ use ros_antenna::vaa::{ArrayKind, VanAttaArray};
 use ros_em::jones::Polarization;
 use ros_em::{Complex64, Vec3};
 use ros_scene::reflector::{EchoContext, Reflector, SceneEcho};
+use ros_em::units::cast::{self, AsF64};
 
 /// One mounted PSVAA stack of a tag.
 #[derive(Clone, Debug)]
@@ -203,9 +204,9 @@ impl Tag {
                 let h = self
                     .bow_seed
                     .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                    .wrapping_add(si as u64)
+                    .wrapping_add(cast::u64_from_usize(si))
                     .wrapping_mul(0xbf58_476d_1ce4_e5b9);
-                let unit = (h >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+                let unit = (h >> 11).as_f64() / (1u64 << 53).as_f64(); // [0,1)
                 (2.0 * unit - 1.0) * self.bow_m
             } else {
                 0.0
@@ -266,10 +267,10 @@ impl Tag {
             self.positions_m.len(),
             self.code.rows_per_stack,
             self.code.beam_shaped,
-        ) + 10.0 * (self.positions_m.len() as f64).log10();
+        ) + 10.0 * (self.positions_m.len().as_f64()).log10();
         let board_dbsm = cross_avg_dbsm + BOARD_COPOL_EXCESS_DB;
         let per_stack_amp =
-            10f64.powf(board_dbsm / 20.0) / (self.positions_m.len() as f64).sqrt();
+            ros_em::db::db_to_lin(board_dbsm) / (self.positions_m.len().as_f64()).sqrt();
         let (sin_y, cos_y) = self.yaw.sin_cos();
         // Mild angular rolloff (frame scattering is wide-angle).
         let g = az.cos().powf(0.5);
@@ -279,7 +280,7 @@ impl Tag {
             .map(|(i, &xs)| {
                 let pos = self.mount + Vec3::new(xs * cos_y, xs * sin_y, 0.0);
                 // Static speckle phase per stack.
-                let phase = (i as f64 * 2.399963).rem_euclid(std::f64::consts::TAU);
+                let phase = (i.as_f64() * 2.399963).rem_euclid(std::f64::consts::TAU);
                 let f = Complex64::from_polar(per_stack_amp * g, phase);
                 SceneEcho {
                     pos,

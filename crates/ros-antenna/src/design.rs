@@ -8,6 +8,7 @@
 //! * §5.3, Eq. (9) — the Nyquist bound on vehicle speed.
 
 use ros_em::constants::LAMBDA_GUIDED_79GHZ_M;
+use ros_em::units::cast::{self, AsF64};
 
 /// Maximum TL length difference (shortest vs longest) that keeps the
 /// band-edge phase misalignment below π/2 \[m\] (§4.1):
@@ -29,7 +30,7 @@ fn guided_wavelength_at_center(center_hz: f64) -> f64 {
 pub fn optimal_antenna_pairs(bandwidth_hz: f64, center_hz: f64) -> usize {
     let delta_l = max_tl_length_difference_m(bandwidth_hz, center_hz);
     let lg = guided_wavelength_at_center(center_hz);
-    ((delta_l / (2.0 * lg)).ceil() as usize).max(1)
+    cast::ceil_usize(delta_l / (2.0 * lg)).max(1)
 }
 
 /// Elevation beamwidth of a vertically stacked reflector \[rad\]
@@ -40,7 +41,7 @@ pub fn optimal_antenna_pairs(bandwidth_hz: f64, center_hz: f64) -> usize {
 /// incoming and outgoing paths.
 pub fn stack_beamwidth_rad(n_rows: usize, row_pitch_m: f64, lambda_m: f64) -> f64 {
     assert!(n_rows > 0 && row_pitch_m > 0.0);
-    0.886 * lambda_m / (2.0 * n_rows as f64 * row_pitch_m)
+    0.886 * lambda_m / (2.0 * n_rows.as_f64() * row_pitch_m)
 }
 
 /// Tolerable radar–tag height mismatch at distance `d_m` for a stack
@@ -78,7 +79,7 @@ pub fn max_vehicle_speed_mps(
 /// \[m\] (§5.3): angular separation > half beamwidth ≈ `1/N_r` rad.
 pub fn min_tag_separation_m(d_m: f64, n_rx: usize) -> f64 {
     assert!(n_rx > 0);
-    d_m * (1.0 / n_rx as f64).tan()
+    d_m * (1.0 / n_rx.as_f64()).tan()
 }
 
 #[cfg(test)]

@@ -77,7 +77,7 @@ pub fn s11_db(freq_hz: f64) -> f64 {
 /// Fraction of incident power accepted (not reflected) by the element:
 /// `1 − |s11|²`.
 pub fn match_efficiency(freq_hz: f64) -> f64 {
-    let s11 = 10f64.powf(s11_db(freq_hz) / 20.0);
+    let s11 = ros_em::db::db_to_lin(s11_db(freq_hz));
     1.0 - s11 * s11
 }
 

@@ -21,6 +21,7 @@ use ros_optim::{minimize, DeConfig, Strategy};
 use std::collections::HashMap;
 use std::sync::Mutex;
 use std::sync::OnceLock;
+use ros_em::units::cast::{self, AsF64};
 
 /// A beam-shaping profile: per-row TL phase weights \[rad\].
 #[derive(Clone, Debug, PartialEq)]
@@ -89,7 +90,7 @@ fn flat_top_cost(half: &[f64], n_rows: usize, target_width_rad: f64) -> f64 {
     let n_scan = 61;
     let mut peak = 1e-30_f64;
     for i in 0..n_scan {
-        let eps = -scan_half + 2.0 * scan_half * i as f64 / (n_scan - 1) as f64;
+        let eps = -scan_half + 2.0 * scan_half * i.as_f64() / (n_scan - 1).as_f64();
         peak = peak.max(pattern(eps));
     }
 
@@ -99,7 +100,7 @@ fn flat_top_cost(half: &[f64], n_rows: usize, target_width_rad: f64) -> f64 {
     let mut worst_in = f64::INFINITY;
     let mut best_in = f64::NEG_INFINITY;
     for i in 0..n_in {
-        let eps = -half_w + target_width_rad * i as f64 / (n_in - 1) as f64;
+        let eps = -half_w + target_width_rad * i.as_f64() / (n_in - 1).as_f64();
         let db = 10.0 * (pattern(eps) / peak).max(1e-12).log10();
         worst_in = worst_in.min(db);
         best_in = best_in.max(db);
@@ -164,7 +165,7 @@ pub fn optimize_flat_top_with_budget(
         cr: 0.9,
         max_generations,
         strategy: Strategy::RandToBest1Bin,
-        seed: 0x0b3a_0000 + n_rows as u64,
+        seed: 0x0b3a_0000 + cast::u64_from_usize(n_rows),
         ..Default::default()
     };
     let result = minimize(
@@ -185,7 +186,9 @@ pub fn optimize_flat_top_with_budget(
 pub fn standard_profile(n_rows: usize) -> ShapingProfile {
     static CACHE: OnceLock<Mutex<HashMap<usize, ShapingProfile>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut guard = cache.lock().expect("profile cache poisoned");
+    // A poisoned cache only means another thread panicked mid-insert;
+    // the map itself is still usable.
+    let mut guard = cache.lock().unwrap_or_else(|poison| poison.into_inner());
     guard
         .entry(n_rows)
         .or_insert_with(|| optimize_flat_top(n_rows, deg_to_rad(10.0)))

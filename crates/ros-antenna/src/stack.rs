@@ -19,6 +19,7 @@ use crate::patch;
 use crate::vaa::{ArrayKind, VanAttaArray};
 use ros_em::jones::Polarization;
 use ros_em::prelude::*;
+use ros_em::units::cast::AsF64;
 
 /// Baseline row pitch: 0.725λ at 79 GHz (Fig. 8a) \[m\].
 pub fn base_row_pitch_m() -> f64 {
@@ -109,8 +110,12 @@ impl PsvaaStack {
 
     /// Total stack height \[m\].
     pub fn height_m(&self) -> f64 {
-        let last = self.rows.last().unwrap();
-        last.z_m + (base_row_pitch_m() + last.phase_rad * height_per_phase_m_per_rad()) / 2.0
+        match self.rows.last() {
+            Some(last) => {
+                last.z_m + (base_row_pitch_m() + last.phase_rad * height_per_phase_m_per_rad()) / 2.0
+            }
+            None => 0.0,
+        }
     }
 
     /// Height of the stack's geometric centre above its bottom \[m\].
@@ -150,7 +155,7 @@ impl PsvaaStack {
         // Scan a fine grid around boresight for the pattern maximum.
         let mut peak = 0.0_f64;
         for i in -200..=200 {
-            let eps = i as f64 * 1e-3; // ±0.2 rad ≈ ±11.5°
+            let eps = i.as_f64() * 1e-3; // ±0.2 rad ≈ ±11.5°
             peak = peak.max(self.elevation_array_factor(eps, freq_hz).norm_sqr());
         }
         peak.max(1e-30)
@@ -163,7 +168,7 @@ impl PsvaaStack {
         let step = 1e-4;
         let mut hi = 0.0;
         for i in 0..4000 {
-            let eps = i as f64 * step;
+            let eps = i.as_f64() * step;
             if self.elevation_array_factor(eps, freq_hz).norm_sqr() < half {
                 hi = eps;
                 break;
@@ -171,7 +176,7 @@ impl PsvaaStack {
         }
         let mut lo = 0.0;
         for i in 0..4000 {
-            let eps = -(i as f64) * step;
+            let eps = -(i.as_f64()) * step;
             if self.elevation_array_factor(eps, freq_hz).norm_sqr() < half {
                 lo = eps;
                 break;
@@ -220,7 +225,7 @@ impl PsvaaStack {
                 let loss_db = extra / LAMBDA_GUIDED_79GHZ_M
                     * crate::vaa::MEANDER_LOSS_DB_PER_LAMBDA_G
                     + extra * ros_em::constants::TL_LOSS_DB_PER_M;
-                let amp = 10f64.powf(-loss_db / 20.0);
+                let amp = ros_em::db::db_to_lin(-loss_db);
                 (r.z_m, Complex64::from_polar(amp, phi))
             })
             .collect()

@@ -12,15 +12,18 @@
 //! count, collapsing exactly like the uniform stack under height
 //! mismatch.
 
+use ros_em::units::cast::AsF64;
+use ros_em::units::Db;
+
 /// Chebyshev polynomial `T_m(x)` evaluated for any real `x`.
 pub fn chebyshev(m: usize, x: f64) -> f64 {
     if x.abs() <= 1.0 {
-        (m as f64 * x.acos()).cos()
+        (m.as_f64() * x.acos()).cos()
     } else if x > 1.0 {
-        (m as f64 * x.acosh()).cosh()
+        (m.as_f64() * x.acosh()).cosh()
     } else {
         // x < −1: T_m(x) = (−1)^m cosh(m·acosh(−x))
-        let v = (m as f64 * (-x).acosh()).cosh();
+        let v = (m.as_f64() * (-x).acosh()).cosh();
         if m % 2 == 0 {
             v
         } else {
@@ -30,17 +33,17 @@ pub fn chebyshev(m: usize, x: f64) -> f64 {
 }
 
 /// Dolph–Chebyshev weights for an `n`-element uniform line array with
-/// the given sidelobe level (positive dB, e.g. 25.0 for −25 dB
-/// sidelobes). Weights are normalized to a unit maximum.
+/// the given sidelobe level (positive dB, e.g. `Db::new(25.0)` for
+/// −25 dB sidelobes). Weights are normalized to a unit maximum.
 ///
 /// # Panics
-/// Panics when `n < 3` or `sidelobe_db <= 0`.
-pub fn dolph_chebyshev_weights(n: usize, sidelobe_db: f64) -> Vec<f64> {
+/// Panics when `n < 3` or `sidelobe <= 0 dB`.
+pub fn dolph_chebyshev_weights(n: usize, sidelobe: Db) -> Vec<f64> {
     assert!(n >= 3, "need at least 3 elements");
-    assert!(sidelobe_db > 0.0, "sidelobe level must be positive dB");
-    let r = 10f64.powf(sidelobe_db / 20.0);
+    assert!(sidelobe.value() > 0.0, "sidelobe level must be positive dB");
+    let r = sidelobe.as_amplitude().ratio();
     let m = n - 1;
-    let x0 = (r.acosh() / m as f64).cosh();
+    let x0 = (r.acosh() / m.as_f64()).cosh();
 
     // Sample the Chebyshev pattern and inverse-DFT for the weights
     // (standard Stegen synthesis).
@@ -48,11 +51,11 @@ pub fn dolph_chebyshev_weights(n: usize, sidelobe_db: f64) -> Vec<f64> {
     for (k, wk) in w.iter_mut().enumerate() {
         let mut acc = 0.0;
         for q in 0..n {
-            let theta = std::f64::consts::TAU * q as f64 / n as f64;
+            let theta = std::f64::consts::TAU * q.as_f64() / n.as_f64();
             let pattern = chebyshev(m, x0 * (theta / 2.0).cos());
-            acc += pattern * (theta * (k as f64 - m as f64 / 2.0)).cos();
+            acc += pattern * (theta * (k.as_f64() - m.as_f64() / 2.0)).cos();
         }
-        *wk = acc / n as f64;
+        *wk = acc / n.as_f64();
     }
     let peak = w.iter().cloned().fold(0.0_f64, f64::max);
     for v in w.iter_mut() {
@@ -65,11 +68,11 @@ pub fn dolph_chebyshev_weights(n: usize, sidelobe_db: f64) -> Vec<f64> {
 /// (`spacing_wavelengths` pitch) at direction cosine `u`, normalized
 /// by the weight sum (unit peak at `u = 0`).
 pub fn taper_pattern(weights: &[f64], spacing_wavelengths: f64, u: f64) -> f64 {
-    let n = weights.len() as f64;
+    let n = weights.len().as_f64();
     let center = (n - 1.0) / 2.0;
     let (mut re, mut im) = (0.0, 0.0);
     for (k, &w) in weights.iter().enumerate() {
-        let ph = std::f64::consts::TAU * spacing_wavelengths * (k as f64 - center) * u;
+        let ph = std::f64::consts::TAU * spacing_wavelengths * (k.as_f64() - center) * u;
         re += w * ph.cos();
         im += w * ph.sin();
     }
@@ -96,7 +99,7 @@ mod tests {
 
     #[test]
     fn weights_symmetric_and_positive() {
-        let w = dolph_chebyshev_weights(8, 25.0);
+        let w = dolph_chebyshev_weights(8, Db::new(25.0));
         assert_eq!(w.len(), 8);
         for k in 0..4 {
             assert!((w[k] - w[7 - k]).abs() < 1e-9, "asymmetric at {k}");
@@ -109,7 +112,7 @@ mod tests {
     #[test]
     fn sidelobes_meet_the_design_level() {
         let sll = 30.0;
-        let w = dolph_chebyshev_weights(16, sll);
+        let w = dolph_chebyshev_weights(16, Db::new(sll));
         // Scan the pattern outside the main lobe.
         let mut worst = f64::NEG_INFINITY;
         let mut past_first_null = false;
@@ -135,7 +138,7 @@ mod tests {
     fn uniform_equivalent_at_huge_sidelobe_demand() {
         // As the sidelobe requirement relaxes, weights approach uniform
         // (which has −13 dB sidelobes).
-        let w = dolph_chebyshev_weights(8, 13.3);
+        let w = dolph_chebyshev_weights(8, Db::new(13.3));
         let spread = w.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - w.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(spread < 0.5, "weights {w:?}");
@@ -146,7 +149,7 @@ mod tests {
         // The §4.3 argument: a Chebyshev stack is still a pencil beam.
         // Compare the −3 dB width against the DE flat-top target (10°).
         let n = 8;
-        let w = dolph_chebyshev_weights(n, 25.0);
+        let w = dolph_chebyshev_weights(n, Db::new(25.0));
         let pitch_wl = 0.725;
         // Find the −3 dB width in elevation (u = sin ε; two-way phase
         // doubles the effective pitch).
@@ -169,6 +172,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least 3")]
     fn tiny_array_rejected() {
-        dolph_chebyshev_weights(2, 20.0);
+        dolph_chebyshev_weights(2, Db::new(20.0));
     }
 }

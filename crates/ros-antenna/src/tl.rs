@@ -17,6 +17,7 @@
 
 use ros_em::constants::{F_CENTER_HZ, LAMBDA_GUIDED_79GHZ_M, TL_LOSS_DB_PER_M};
 use ros_em::Complex64;
+use ros_em::units::cast::AsF64;
 
 /// Guided wavelength at frequency `freq_hz` \[m\].
 #[inline]
@@ -64,7 +65,7 @@ impl TransmissionLine {
     /// dielectric loss.
     #[inline]
     pub fn amplitude(&self) -> f64 {
-        10f64.powf(-TL_LOSS_DB_PER_M * self.length_m / 20.0)
+        ros_em::db::db_to_lin(-TL_LOSS_DB_PER_M * self.length_m)
     }
 
     /// One-way power loss in dB (positive number).
@@ -113,7 +114,7 @@ pub fn feed_phase_compensation(pair: usize) -> f64 {
 /// line one λg long.
 pub fn design_tl_lengths_m(n_pairs: usize) -> Vec<f64> {
     (0..n_pairs)
-        .map(|p| (1.0 + 2.0 * p as f64) * LAMBDA_GUIDED_79GHZ_M)
+        .map(|p| (1.0 + 2.0 * p.as_f64()) * LAMBDA_GUIDED_79GHZ_M)
         .collect()
 }
 

@@ -25,6 +25,7 @@ use crate::tl::{self, TransmissionLine};
 use ros_em::jones::Polarization;
 use ros_em::prelude::*;
 use std::sync::OnceLock;
+use ros_em::units::cast::AsF64;
 
 /// Which of the three array types to model.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -110,7 +111,7 @@ impl VanAttaArray {
         let n = 2 * n_pairs;
         let pitch = patch::ELEMENT_PITCH_M;
         let element_x: Vec<f64> = (0..n)
-            .map(|i| (i as f64 - (n as f64 - 1.0) / 2.0) * pitch)
+            .map(|i| (i.as_f64() - (n.as_f64() - 1.0) / 2.0) * pitch)
             .collect();
 
         // Polarizations: VAA/ULA all vertical; PSVAA couples V ↔ H.
@@ -184,8 +185,10 @@ impl VanAttaArray {
 
     /// Physical width of the row \[m\] (3λ for the 3-pair design, §5).
     pub fn width_m(&self) -> f64 {
-        self.element_x.last().unwrap() - self.element_x.first().unwrap()
-            + patch::ELEMENT_PITCH_M
+        match (self.element_x.first(), self.element_x.last()) {
+            (Some(first), Some(last)) => last - first + patch::ELEMENT_PITCH_M,
+            _ => 0.0,
+        }
     }
 
     /// Adds `extra_m` of line to every TL — the §4.3 phase-weight
@@ -314,7 +317,7 @@ fn pol_factor(patch_pol: Polarization, wave_pol: Polarization) -> f64 {
 fn meander_amplitude(length_m: f64) -> f64 {
     let loss_db =
         MEANDER_LOSS_DB_PER_LAMBDA_G * length_m / ros_em::constants::LAMBDA_GUIDED_79GHZ_M;
-    10f64.powf(-loss_db / 20.0)
+    ros_em::db::db_to_lin(-loss_db)
 }
 
 /// Per-element field amplitude \[√m²\], fixed so the *retro component*
@@ -334,7 +337,7 @@ fn calibration_amp() -> f64 {
                 * meander_amplitude(pair.line.length_m);
             raw += t * (2.0 * m * m); // both directions, co-pol
         }
-        let target_field = 10f64.powf(VAA_BROADSIDE_RCS_DBSM / 20.0);
+        let target_field = ros_em::db::db_to_lin(VAA_BROADSIDE_RCS_DBSM);
         target_field / raw.abs()
     })
 }

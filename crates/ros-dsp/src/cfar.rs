@@ -8,6 +8,8 @@
 //! leakage. This is the standard first stage of the §3.2/§6 point-cloud
 //! flow ("recognizing peaks at different distances").
 
+use ros_em::units::cast::AsF64;
+
 /// CA-CFAR configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct CfarParams {
@@ -80,7 +82,7 @@ pub fn ca_cfar(power: &[f64], params: &CfarParams) -> Vec<Detection> {
         if count == 0 {
             continue;
         }
-        let noise = sum / count as f64;
+        let noise = sum / count.as_f64();
 
         let is_local_max = (i == 0 || power[i] >= power[i - 1])
             && (i + 1 >= n || power[i] > power[i + 1]);

@@ -13,6 +13,7 @@
 
 use crate::fft::{fft_in_place, ifft_in_place};
 use ros_em::Complex64;
+use ros_em::units::cast::AsF64;
 
 /// Chirp-Z transform of `x`: `m` output points along the arc defined
 /// by starting point `a` and ratio `w` (both on/near the unit circle).
@@ -34,7 +35,7 @@ pub fn czt(x: &[Complex64], m: usize, w: Complex64, a: Complex64) -> Vec<Complex
     let theta = w.arg();
     let mag = w.abs();
     for k in 0..kmax {
-        let k2 = (k as f64) * (k as f64) / 2.0;
+        let k2 = (k.as_f64()) * (k.as_f64()) / 2.0;
         let amp = mag.powf(k2);
         chirp.push(Complex64::from_polar(amp, theta * k2));
     }
@@ -44,7 +45,7 @@ pub fn czt(x: &[Complex64], m: usize, w: Complex64, a: Complex64) -> Vec<Complex
     let a_mag = a.abs();
     let mut fa = vec![Complex64::ZERO; l];
     for i in 0..n {
-        let a_pow = Complex64::from_polar(a_mag.powf(-(i as f64)), -a_theta * i as f64);
+        let a_pow = Complex64::from_polar(a_mag.powf(-(i.as_f64())), -a_theta * i.as_f64());
         fa[i] = x[i] * a_pow * chirp[i];
     }
 
@@ -84,7 +85,7 @@ pub fn czt(x: &[Complex64], m: usize, w: Complex64, a: Complex64) -> Vec<Complex
 pub fn zoom_spectrum(signal: &[f64], f_start: f64, f_end: f64, m: usize) -> Vec<Complex64> {
     assert!(m >= 2 && f_end > f_start);
     let x: Vec<Complex64> = signal.iter().map(|&v| Complex64::real(v)).collect();
-    let df = (f_end - f_start) / (m - 1) as f64;
+    let df = (f_end - f_start) / (m - 1).as_f64();
     let a = Complex64::cis(std::f64::consts::TAU * f_start);
     let w = Complex64::cis(-std::f64::consts::TAU * df);
     czt(&x, m, w, a)

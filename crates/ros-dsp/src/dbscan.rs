@@ -10,6 +10,8 @@
 //! textbook ε / minPts semantics: core points expand clusters,
 //! border points join them, everything else is noise.
 
+use ros_em::units::cast::AsF64;
+
 /// DBSCAN parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct DbscanParams {
@@ -142,8 +144,8 @@ pub fn summarize_clusters(points: &[[f64; 2]], labels: &[Label]) -> Vec<ClusterS
             continue;
         }
         let count = members.len();
-        let cx = members.iter().map(|p| p[0]).sum::<f64>() / count as f64;
-        let cy = members.iter().map(|p| p[1]).sum::<f64>() / count as f64;
+        let cx = members.iter().map(|p| p[0]).sum::<f64>() / count.as_f64();
+        let cy = members.iter().map(|p| p[1]).sum::<f64>() / count.as_f64();
         let (mut xmin, mut xmax, mut ymin, mut ymax) =
             (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
         let mut rms = 0.0;
@@ -160,7 +162,7 @@ pub fn summarize_clusters(points: &[[f64; 2]], labels: &[Label]) -> Vec<ClusterS
             cx,
             cy,
             bbox_area: (xmax - xmin) * (ymax - ymin),
-            rms_radius: (rms / count as f64).sqrt(),
+            rms_radius: (rms / count.as_f64()).sqrt(),
         });
     }
     out
@@ -234,6 +236,11 @@ mod tests {
         let (labels, n) = dbscan(&[], &DbscanParams::default());
         assert!(labels.is_empty());
         assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn summaries_of_empty_input_are_empty() {
+        assert!(summarize_clusters(&[], &[]).is_empty());
     }
 
     #[test]

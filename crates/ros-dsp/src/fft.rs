@@ -15,6 +15,7 @@
 //! early, smoltcp-style (explicit > clever).
 
 use ros_em::Complex64;
+use ros_em::units::cast::AsF64;
 
 /// Returns true when `n` is a power of two (and non-zero).
 #[inline]
@@ -43,7 +44,7 @@ pub fn fft_in_place(data: &mut [Complex64]) {
 /// Panics if `data.len()` is not a power of two.
 pub fn ifft_in_place(data: &mut [Complex64]) {
     transform(data, true);
-    let n = data.len() as f64;
+    let n = data.len().as_f64();
     for v in data.iter_mut() {
         *v = *v / n;
     }
@@ -77,7 +78,7 @@ fn transform(data: &mut [Complex64], inverse: bool) {
     let sign = if inverse { 1.0 } else { -1.0 };
     let mut len = 2;
     while len <= n {
-        let ang = sign * std::f64::consts::TAU / len as f64;
+        let ang = sign * std::f64::consts::TAU / len.as_f64();
         let wlen = Complex64::cis(ang);
         let mut i = 0;
         while i < n {

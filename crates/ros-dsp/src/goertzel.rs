@@ -9,6 +9,7 @@
 
 use crate::window::Window;
 use ros_em::Complex64;
+use ros_em::units::cast::AsF64;
 
 /// Complex single-bin DFT of `signal` at `cycles_per_sample`
 /// (fractional frequencies welcome), normalized by the signal length:
@@ -26,7 +27,7 @@ pub fn single_bin(signal: &[Complex64], cycles_per_sample: f64) -> Complex64 {
         acc += s * ph;
         ph = ph * step;
     }
-    acc / signal.len() as f64
+    acc / signal.len().as_f64()
 }
 
 /// Windowed single-bin DFT, compensated for the window's coherent
@@ -49,7 +50,7 @@ pub fn single_bin_windowed(
         ph = ph * step;
     }
     let gain = window.coherent_gain(n).max(1e-12);
-    acc / (n as f64 * gain)
+    acc / (n.as_f64() * gain)
 }
 
 #[cfg(test)]

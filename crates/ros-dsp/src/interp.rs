@@ -13,6 +13,7 @@
 //!   traces, at 2·`half_taps` multiplies per sample.
 
 use crate::resample::Sample;
+use ros_em::units::cast::AsF64;
 
 /// Interpolation kernel choice.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -88,7 +89,7 @@ pub fn resample_uniform_with(
             let x = if n == 1 {
                 (x0 + x1) / 2.0
             } else {
-                x0 + (x1 - x0) * i as f64 / (n - 1) as f64
+                x0 + (x1 - x0) * i.as_f64() / (n - 1).as_f64()
             };
             interp_with(&samples, x, kernel)
         })
@@ -134,7 +135,7 @@ fn windowed_sinc(samples: &[Sample], lo: usize, x: f64, half_taps: usize) -> f64
     let start = lo.saturating_sub(half_taps - 1);
     let end = (lo + half_taps + 1).min(n);
     let span = samples[end - 1].x - samples[start].x;
-    let dx = span / (end - start - 1).max(1) as f64;
+    let dx = span / (end - start - 1).max(1).as_f64();
     if dx <= 0.0 {
         return samples[lo].y;
     }
@@ -144,7 +145,7 @@ fn windowed_sinc(samples: &[Sample], lo: usize, x: f64, half_taps: usize) -> f64
         let u = (x - s.x) / dx;
         let sinc = ros_em::special::sinc(u);
         // Hann window over the tap span.
-        let win = 0.5 * (1.0 + (std::f64::consts::PI * u / half_taps as f64).cos());
+        let win = 0.5 * (1.0 + (std::f64::consts::PI * u / half_taps.as_f64()).cos());
         let w = sinc * win.max(0.0);
         acc += w * s.y;
         wsum += w;

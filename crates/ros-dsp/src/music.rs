@@ -12,6 +12,7 @@
 use crate::eig::{hermitian_eig, CMatrix};
 use crate::peaks::{find_peaks, PeakParams};
 use ros_em::Complex64;
+use ros_em::units::cast::AsF64;
 
 /// Sample covariance matrix `R = (1/T)·Σ x x^H` from snapshots
 /// (`snapshots[t][antenna]`).
@@ -30,7 +31,7 @@ pub fn covariance(snapshots: &[Vec<Complex64>]) -> CMatrix {
             }
         }
     }
-    let t = snapshots.len() as f64;
+    let t = snapshots.len().as_f64();
     for v in r.data.iter_mut() {
         *v = *v / t;
     }
@@ -64,10 +65,10 @@ pub fn music_spectrum(
     let mut us = Vec::with_capacity(n_grid);
     let mut ps = Vec::with_capacity(n_grid);
     for g in 0..n_grid {
-        let u = -1.0 + 2.0 * g as f64 / (n_grid - 1) as f64;
+        let u = -1.0 + 2.0 * g.as_f64() / (n_grid - 1).as_f64();
         // Steering vector a(u).
         let a: Vec<Complex64> = (0..n)
-            .map(|k| Complex64::cis(-std::f64::consts::TAU * k as f64 * spacing_wavelengths * u))
+            .map(|k| Complex64::cis(-std::f64::consts::TAU * k.as_f64() * spacing_wavelengths * u))
             .collect();
         // ||E_n^H a||².
         let mut denom = 0.0;

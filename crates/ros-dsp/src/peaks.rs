@@ -11,6 +11,8 @@
 //! flanking saddles — robust against sidelobe shoulders), and a minimum
 //! index separation (greedy, strongest first).
 
+use ros_em::units::cast::{self, AsF64};
+
 /// A detected peak.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Peak {
@@ -118,16 +120,16 @@ fn prominence_at(data: &[f64], i: usize) -> f64 {
 /// Three-point parabolic interpolation of the true peak position.
 fn parabolic_refine(data: &[f64], i: usize) -> f64 {
     if i == 0 || i + 1 >= data.len() {
-        return i as f64;
+        return i.as_f64();
     }
     let (a, b, c) = (data[i - 1], data[i], data[i + 1]);
     let denom = a - 2.0 * b + c;
     if denom.abs() < 1e-300 {
-        return i as f64;
+        return i.as_f64();
     }
     let delta = 0.5 * (a - c) / denom;
     // Clamp: a sane vertex lies within ±½ bin of the sampled maximum.
-    i as f64 + delta.clamp(-0.5, 0.5)
+    i.as_f64() + delta.clamp(-0.5, 0.5)
 }
 
 /// Value of the largest element (0.0 for an empty slice) — convenience
@@ -144,12 +146,12 @@ pub fn sample_at(data: &[f64], x: f64) -> f64 {
     if x <= 0.0 {
         return data[0];
     }
-    let last = (data.len() - 1) as f64;
+    let last = (data.len() - 1).as_f64();
     if x >= last {
-        return *data.last().unwrap();
+        return data[data.len() - 1];
     }
-    let i = x.floor() as usize;
-    let t = x - i as f64;
+    let i = cast::floor_usize(x);
+    let t = x - i.as_f64();
     data[i] * (1.0 - t) + data[i + 1] * t
 }
 

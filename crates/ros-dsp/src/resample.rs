@@ -7,6 +7,8 @@
 //! uniform u-grid. Tracking error (Fig. 16d) enters precisely here: the
 //! *assumed* u values drift from the true ones, warping the grid.
 
+use ros_em::units::cast::AsF64;
+
 /// A sampled point of a 1-D trace.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Sample {
@@ -36,7 +38,7 @@ pub fn sort_dedup(samples: &mut Vec<Sample>) {
         }
         out.push(Sample {
             x,
-            y: sum / cnt as f64,
+            y: sum / cnt.as_f64(),
         });
     }
     *samples = out;
@@ -87,7 +89,7 @@ pub fn resample_uniform(mut samples: Vec<Sample>, x0: f64, x1: f64, n: usize) ->
             let x = if n == 1 {
                 (x0 + x1) / 2.0
             } else {
-                x0 + (x1 - x0) * i as f64 / (n - 1) as f64
+                x0 + (x1 - x0) * i.as_f64() / (n - 1).as_f64()
             };
             interp(&samples, x)
         })
@@ -100,7 +102,7 @@ pub fn mean_spacing(samples: &[Sample]) -> Option<f64> {
     if samples.len() < 2 {
         return None;
     }
-    Some((samples[samples.len() - 1].x - samples[0].x) / (samples.len() - 1) as f64)
+    Some((samples[samples.len() - 1].x - samples[0].x) / (samples.len() - 1).as_f64())
 }
 
 #[cfg(test)]

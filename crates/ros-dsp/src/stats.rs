@@ -4,12 +4,14 @@
 //! `(μ₁ − μ₀)² / σ²` over coding-peak amplitudes (§7.1). These helpers
 //! compute those quantities plus the basics every experiment needs.
 
+use ros_em::units::cast::{self, AsF64};
+
 /// Arithmetic mean; 0.0 for an empty slice.
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
-    xs.iter().sum::<f64>() / xs.len() as f64
+    xs.iter().sum::<f64>() / xs.len().as_f64()
 }
 
 /// Population variance; 0.0 for slices shorter than 2.
@@ -18,7 +20,7 @@ pub fn variance(xs: &[f64]) -> f64 {
         return 0.0;
     }
     let m = mean(xs);
-    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len().as_f64()
 }
 
 /// Population standard deviation.
@@ -33,13 +35,13 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
     }
     let mut v = xs.to_vec();
     v.sort_by(|a, b| a.total_cmp(b));
-    let pos = q.clamp(0.0, 1.0) * (v.len() - 1) as f64;
-    let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
+    let pos = q.clamp(0.0, 1.0) * (v.len() - 1).as_f64();
+    let lo = cast::floor_usize(pos);
+    let hi = cast::ceil_usize(pos);
     if lo == hi {
         v[lo]
     } else {
-        let t = pos - lo as f64;
+        let t = pos - lo.as_f64();
         v[lo] * (1.0 - t) + v[hi] * t
     }
 }
@@ -94,7 +96,7 @@ pub fn ook_snr(ones: &[f64], zeros: &[f64], noise_sigma: f64) -> f64 {
         if n1 + n0 == 0 {
             0.0
         } else {
-            (variance(ones) * n1 as f64 + variance(zeros) * n0 as f64) / (n1 + n0) as f64
+            (variance(ones) * n1.as_f64() + variance(zeros) * n0.as_f64()) / (n1 + n0).as_f64()
         }
     };
     let sigma2 = pooled_var.max(noise_sigma * noise_sigma);

@@ -7,6 +7,8 @@
 //! for 30–60 dB sidelobe suppression; Fig. 17's "FoV truncation"
 //! experiment is exactly a window-length study.
 
+use ros_em::units::cast::AsF64;
+
 /// Supported window shapes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Window {
@@ -26,7 +28,7 @@ impl Window {
         if n <= 1 {
             return 1.0;
         }
-        let x = i as f64 / (n - 1) as f64;
+        let x = i.as_f64() / (n - 1).as_f64();
         let tau = std::f64::consts::TAU;
         match self {
             Window::Rect => 1.0,
@@ -65,7 +67,7 @@ impl Window {
         if n == 0 {
             return 1.0;
         }
-        self.generate(n).iter().sum::<f64>() / n as f64
+        self.generate(n).iter().sum::<f64>() / n.as_f64()
     }
 }
 

@@ -10,6 +10,13 @@
 //! for fog condensing directly on the tag surface (which in practice
 //! dominates at short range and produces the small SNR spread the
 //! paper measures across fog levels).
+//!
+//! Typed entry points ([`fog_one_way`], [`fog_round_trip`],
+//! [`rain_one_way`]) return [`Db`]; the `*_db` forms are thin `f64`
+//! wrappers kept for call sites that haven't migrated to the typed
+//! layer yet.
+
+use crate::units::{Db, Meters};
 
 /// Fog density levels used in the paper's Fig. 16c.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -59,28 +66,54 @@ impl FogLevel {
             FogLevel::Heavy => "Heavy Fog",
         }
     }
+
+    /// Typed form of [`Self::db_per_100m`]: specific one-way
+    /// attenuation per 100 m of path.
+    pub fn specific_attenuation(self) -> Db {
+        Db::new(self.db_per_100m())
+    }
+
+    /// Typed form of [`Self::surface_film_loss_db`].
+    pub fn surface_film_loss(self) -> Db {
+        Db::new(self.surface_film_loss_db())
+    }
 }
 
-/// One-way fog attenuation over a path of `d_m` metres \[dB\].
+/// One-way fog attenuation over a path of length `d`.
+pub fn fog_one_way(level: FogLevel, d: Meters) -> Db {
+    level.specific_attenuation() * (d.value() / 100.0)
+}
+
+/// Raw-`f64` form of [`fog_one_way`] (metres in, dB out).
 pub fn fog_one_way_db(level: FogLevel, d_m: f64) -> f64 {
-    level.db_per_100m() * d_m / 100.0
+    fog_one_way(level, Meters::new(d_m)).value()
 }
 
-/// Round-trip fog loss for a monostatic radar at distance `d_m`,
-/// including the tag surface film \[dB\].
+/// Round-trip fog loss for a monostatic radar at distance `d`,
+/// including the tag surface film.
+pub fn fog_round_trip(level: FogLevel, d: Meters) -> Db {
+    2.0 * fog_one_way(level, d) + level.surface_film_loss()
+}
+
+/// Raw-`f64` form of [`fog_round_trip`] (metres in, dB out).
 pub fn fog_round_trip_db(level: FogLevel, d_m: f64) -> f64 {
-    2.0 * fog_one_way_db(level, d_m) + level.surface_film_loss_db()
+    fog_round_trip(level, Meters::new(d_m)).value()
 }
 
-/// One-way rain attenuation at 79 GHz \[dB\] for a rain rate in mm/h,
-/// using the standard power-law `a·R^b` fitted through the paper's
+/// One-way rain attenuation at 79 GHz for a rain rate in mm/h, using
+/// the standard power-law `a·R^b` fitted through the paper's
 /// heavy-rain anchor (3.2 dB/100 m at 100 mm/h).
-pub fn rain_one_way_db(rain_rate_mm_h: f64, d_m: f64) -> f64 {
+pub fn rain_one_way(rain_rate_mm_h: f64, d: Meters) -> Db {
     // ITU-style k·R^α with α ≈ 0.73 near 80 GHz; k chosen so that
     // R = 100 mm/h gives 3.2 dB per 100 m.
     const ALPHA: f64 = 0.73;
     let k = 3.2 / 100f64.powf(ALPHA);
-    k * rain_rate_mm_h.powf(ALPHA) * d_m / 100.0
+    Db::new(k * rain_rate_mm_h.powf(ALPHA) * d.value() / 100.0)
+}
+
+/// Raw-`f64` form of [`rain_one_way`] (mm/h and metres in, dB out).
+pub fn rain_one_way_db(rain_rate_mm_h: f64, d_m: f64) -> f64 {
+    rain_one_way(rain_rate_mm_h, Meters::new(d_m)).value()
 }
 
 #[cfg(test)]

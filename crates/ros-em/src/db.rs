@@ -6,53 +6,60 @@
 //! * **amplitude (field) ratios** — `lin_to_db` / `db_to_lin` (20·log₁₀).
 //!
 //! Absolute helpers convert between dBm and watts/milliwatts.
+//!
+//! These are the ergonomic `f64` entry points; the arithmetic itself
+//! lives in the typed layer ([`crate::units`]), which is the only
+//! place in the workspace allowed to spell out `10^(x/10)`-style
+//! expressions (enforced by `xtask lint`).
+
+use crate::units::{Db, DbAmplitude, DbPower, Dbm, Watts};
 
 /// Converts a linear **power** ratio to decibels (10·log₁₀).
 #[inline]
 pub fn pow_to_db(p: f64) -> f64 {
-    10.0 * p.log10()
+    DbPower::from_ratio(p).value()
 }
 
 /// Converts decibels to a linear **power** ratio.
 #[inline]
 pub fn db_to_pow(db: f64) -> f64 {
-    10f64.powf(db / 10.0)
+    DbPower::new(db).ratio()
 }
 
 /// Converts a linear **amplitude** ratio to decibels (20·log₁₀).
 #[inline]
 pub fn lin_to_db(a: f64) -> f64 {
-    20.0 * a.log10()
+    DbAmplitude::from_ratio(a).value()
 }
 
 /// Converts decibels to a linear **amplitude** ratio.
 #[inline]
 pub fn db_to_lin(db: f64) -> f64 {
-    10f64.powf(db / 20.0)
+    DbAmplitude::new(db).ratio()
 }
 
 /// Converts milliwatts to dBm.
 #[inline]
 pub fn mw_to_dbm(mw: f64) -> f64 {
-    pow_to_db(mw)
+    Dbm::from_milliwatts(mw).value()
 }
 
 /// Converts dBm to milliwatts.
 #[inline]
 pub fn dbm_to_mw(dbm: f64) -> f64 {
-    db_to_pow(dbm)
+    Dbm::new(dbm).to_milliwatts()
 }
 
 /// Converts watts to dBm.
 #[inline]
 pub fn w_to_dbm(w: f64) -> f64 {
-    pow_to_db(w * 1e3)
+    Watts::new(w).to_dbm().value()
 }
 
 /// Converts dBm to watts.
 #[inline]
 pub fn dbm_to_w(dbm: f64) -> f64 {
-    db_to_pow(dbm) * 1e-3
+    Dbm::new(dbm).to_watts().value()
 }
 
 /// Sums an iterator of powers expressed in dB into a total in dB.
@@ -61,12 +68,7 @@ pub fn dbm_to_w(dbm: f64) -> f64 {
 /// Returns `f64::NEG_INFINITY` for an empty iterator, matching "zero
 /// total power".
 pub fn db_power_sum<I: IntoIterator<Item = f64>>(dbs: I) -> f64 {
-    let total: f64 = dbs.into_iter().map(db_to_pow).sum();
-    if total == 0.0 {
-        f64::NEG_INFINITY
-    } else {
-        pow_to_db(total)
-    }
+    crate::units::db_power_sum(dbs.into_iter().map(Db::new)).value()
 }
 
 #[cfg(test)]

@@ -6,6 +6,8 @@
 //! curvature a given geometry suffers — used by the capacity analysis
 //! and the near-field decoder's documentation.
 
+use crate::units::cast::AsF64;
+
 /// Fraunhofer (far-field) distance `2D²/λ` \[m\].
 pub fn fraunhofer_distance_m(aperture_m: f64, lambda_m: f64) -> f64 {
     2.0 * aperture_m * aperture_m / lambda_m
@@ -29,7 +31,7 @@ pub fn curvature_phase_error_rad(aperture_m: f64, lambda_m: f64, d_m: f64) -> f6
 /// a strong bounce into the direct path (the two-ray regime).
 pub fn fresnel_zone_radius_m(n: usize, lambda_m: f64, d_m: f64) -> f64 {
     assert!(n >= 1);
-    (n as f64 * lambda_m * d_m / 4.0).sqrt()
+    (n.as_f64() * lambda_m * d_m / 4.0).sqrt()
 }
 
 #[cfg(test)]

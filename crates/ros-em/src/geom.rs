@@ -16,31 +16,25 @@
 //! we plot it recentred on 0° = broadside, as most figures do).
 //! *Elevation* is measured from the x–y plane toward +z.
 
+use crate::units::{Degrees, Radians};
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
 /// Converts degrees to radians.
 #[inline]
 pub fn deg_to_rad(deg: f64) -> f64 {
-    deg.to_radians()
+    Degrees::new(deg).radians().value()
 }
 
 /// Converts radians to degrees.
 #[inline]
 pub fn rad_to_deg(rad: f64) -> f64 {
-    rad.to_degrees()
+    Radians::new(rad).degrees().value()
 }
 
 /// Wraps an angle to `(-π, π]`.
 #[inline]
 pub fn wrap_angle(rad: f64) -> f64 {
-    let two_pi = std::f64::consts::TAU;
-    let mut a = rad % two_pi;
-    if a <= -std::f64::consts::PI {
-        a += two_pi;
-    } else if a > std::f64::consts::PI {
-        a -= two_pi;
-    }
-    a
+    Radians::new(rad).wrapped().value()
 }
 
 /// A 3-D vector / point in metres.

@@ -13,7 +13,7 @@
 //! channels the simulator uses.
 
 use crate::complex::Complex64;
-use crate::db::db_to_lin;
+use crate::units::Db;
 
 /// Linear polarization axes used by radar ports.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -143,11 +143,12 @@ impl JonesMatrix {
     ///
     /// Real objects leak some energy into the cross polarization; §7.2
     /// measures a median rejection of 16–19 dB for roadside objects.
-    /// `rejection_db` is the *power* ratio between co- and cross-pol
+    /// `rejection` is the *power* ratio between co- and cross-pol
     /// reflections (larger = purer).
-    pub fn clutter(rejection_db: f64) -> JonesMatrix {
-        // Amplitude cross-coupling for a power rejection R is 10^(-R/20).
-        let leak = db_to_lin(-rejection_db);
+    pub fn clutter(rejection: Db) -> JonesMatrix {
+        // Amplitude cross-coupling for a power rejection R is 10^(-R/20):
+        // the power rejection read on the amplitude scale.
+        let leak = (-rejection).as_amplitude().ratio();
         JonesMatrix::new(
             Complex64::ONE,
             Complex64::real(leak),
@@ -252,7 +253,7 @@ mod tests {
     #[test]
     fn clutter_rejection_matches_spec() {
         for rej in [16.0, 17.5, 19.0] {
-            let m = JonesMatrix::clutter(rej);
+            let m = JonesMatrix::clutter(Db::new(rej));
             let co = m.channel(Polarization::V, Polarization::V).norm_sqr();
             let cross = m.channel(Polarization::V, Polarization::H).norm_sqr();
             let measured = 10.0 * (co / cross).log10();

@@ -41,6 +41,7 @@ pub mod jones;
 pub mod radar_eq;
 pub mod rcs_shapes;
 pub mod special;
+pub mod units;
 
 pub use complex::Complex64;
 pub use geom::Vec3;
@@ -52,4 +53,6 @@ pub mod prelude {
     pub use crate::db::{db_to_lin, db_to_pow, lin_to_db, pow_to_db};
     pub use crate::geom::{deg_to_rad, rad_to_deg, Vec3};
     pub use crate::jones::{JonesMatrix, JonesVector, Polarization};
+    pub use crate::units::cast::AsF64;
+    pub use crate::units::{Db, DbAmplitude, DbPower, Dbm, Degrees, Hertz, Meters, Radians, Watts};
 }

@@ -11,41 +11,67 @@
 //! the dB scale the gains *reduce* the effective floor seen by the
 //! detector). This module provides:
 //!
-//! * [`received_power_dbm`] — the radar equation,
+//! * [`received_power`] — the radar equation on the typed dB layer,
 //! * [`RadarLinkBudget`] — a named parameter set with the paper's two
 //!   radar presets ([`RadarLinkBudget::ti_eval`] and
 //!   [`RadarLinkBudget::commercial`]),
-//! * maximum-range solving ([`RadarLinkBudget::max_range_m`]).
+//! * maximum-range solving ([`RadarLinkBudget::max_range`]).
+//!
+//! All arithmetic goes through [`crate::units`] so that power-family
+//! (10·log₁₀) and amplitude-family (20·log₁₀) conversions cannot be
+//! mixed up silently.
 
-use crate::constants::{wavelength, THERMAL_NOISE_DBM_PER_HZ};
-use crate::db::{db_to_pow, pow_to_db};
+use crate::constants::THERMAL_NOISE_DBM_PER_HZ;
+use crate::units::{Db, DbAmplitude, DbPower, Dbm, Hertz, Meters};
 
-/// Received power from the monostatic radar equation, in dBm.
+/// Received power from the monostatic radar equation.
 ///
-/// * `pt_dbm` — transmit power (dBm)
-/// * `gt_db`, `gr_db` — Tx / Rx gains (dB)
-/// * `freq_hz` — carrier frequency (Hz)
-/// * `rcs_dbsm` — target radar cross-section (dB relative to 1 m²)
-/// * `d_m` — one-way radar-to-target distance (m)
+/// * `pt` — transmit power
+/// * `gt`, `gr` — Tx / Rx gains
+/// * `freq` — carrier frequency
+/// * `rcs_dbsm` — target radar cross-section, dB relative to 1 m²
+/// * `d` — one-way radar-to-target distance
+pub fn received_power(pt: Dbm, gt: Db, gr: Db, freq: Hertz, rcs_dbsm: Db, d: Meters) -> Dbm {
+    let lambda = freq.wavelength();
+    // λ² and d⁴ are amplitude-like lengths entering as even powers:
+    // λ² is 20·log₁₀(λ) on the dB scale, d⁴ is 40·log₁₀(d).
+    let lambda_sq = DbAmplitude::from_ratio(lambda.value()).as_power();
+    let d4 = 2.0 * DbAmplitude::from_ratio(d.value()).as_power();
+    let four_pi_cubed = 3.0 * DbPower::from_ratio(4.0 * std::f64::consts::PI);
+    pt + gt + gr + lambda_sq + rcs_dbsm - four_pi_cubed - d4
+}
+
+/// Raw-`f64` form of [`received_power`] (all dB-family values on the
+/// 10·log₁₀ scale, distance in metres, frequency in Hz).
 pub fn received_power_dbm(
     pt_dbm: f64,
-    gt_db: f64,
-    gr_db: f64,
+    gt_gain: Db,
+    gr_gain: Db,
     freq_hz: f64,
     rcs_dbsm: f64,
     d_m: f64,
 ) -> f64 {
-    let lambda = wavelength(freq_hz);
-    pt_dbm + gt_db + gr_db + 20.0 * lambda.log10() + rcs_dbsm
-        - 30.0 * (4.0 * std::f64::consts::PI).log10()
-        - 40.0 * d_m.log10()
+    received_power(
+        Dbm::new(pt_dbm),
+        gt_gain,
+        gr_gain,
+        Hertz::new(freq_hz),
+        Db::new(rcs_dbsm),
+        Meters::new(d_m),
+    )
+    .value()
 }
 
-/// Free-space one-way path loss in dB (for completeness; the radar
-/// equation above already folds the round trip in).
+/// Free-space one-way path loss (for completeness; the radar equation
+/// above already folds the round trip in).
+pub fn free_space_path_loss(freq: Hertz, d: Meters) -> Db {
+    let lambda = freq.wavelength();
+    DbAmplitude::from_ratio(4.0 * std::f64::consts::PI * d.value() / lambda.value()).as_power()
+}
+
+/// Raw-`f64` form of [`free_space_path_loss`] (Hz and metres in, dB out).
 pub fn free_space_path_loss_db(freq_hz: f64, d_m: f64) -> f64 {
-    let lambda = wavelength(freq_hz);
-    20.0 * (4.0 * std::f64::consts::PI * d_m / lambda).log10()
+    free_space_path_loss(Hertz::new(freq_hz), Meters::new(d_m)).value()
 }
 
 /// A complete monostatic radar link budget in the paper's §5.3 form.
@@ -92,54 +118,85 @@ impl RadarLinkBudget {
         }
     }
 
-    /// Total receive gain G_r = G_ra + G_ri + G_rs \[dB\] (§5.3 gives
-    /// 55 dB for the TI radar).
-    pub fn total_rx_gain_db(&self) -> f64 {
-        self.rx_antenna_gain_db + self.rx_chain_gain_db + self.rx_processing_gain_db
+    /// EIRP on the typed layer.
+    pub fn eirp(&self) -> Dbm {
+        Dbm::new(self.eirp_dbm)
     }
 
-    /// The decoder-referred noise floor \[dBm\].
+    /// Carrier frequency on the typed layer.
+    pub fn freq(&self) -> Hertz {
+        Hertz::new(self.freq_hz)
+    }
+
+    /// Total receive gain G_r = G_ra + G_ri + G_rs (§5.3 gives 55 dB
+    /// for the TI radar).
+    pub fn total_rx_gain(&self) -> Db {
+        Db::new(self.rx_antenna_gain_db)
+            + Db::new(self.rx_chain_gain_db)
+            + Db::new(self.rx_processing_gain_db)
+    }
+
+    /// Raw-`f64` form of [`Self::total_rx_gain`].
+    pub fn total_rx_gain_db(&self) -> f64 {
+        self.total_rx_gain().value()
+    }
+
+    /// The decoder-referred noise floor.
     ///
     /// §5.3: `L₀ = c₀ · N_F · B_IF · G_ra · G_rs` (all factors multiply,
     /// i.e. add on the dB scale), which evaluates to −62 dBm for the TI
     /// preset. The decode condition is `P_r > L₀` with `P_r` computed
-    /// at the full receive gain ([`Self::received_power_dbm`]).
+    /// at the full receive gain ([`Self::received_power`]).
+    pub fn noise_floor(&self) -> Dbm {
+        Dbm::new(THERMAL_NOISE_DBM_PER_HZ)
+            + Db::new(self.noise_figure_db)
+            + DbPower::from_ratio(self.if_bandwidth_hz)
+            + Db::new(self.rx_antenna_gain_db)
+            + Db::new(self.rx_processing_gain_db)
+    }
+
+    /// Raw-`f64` form of [`Self::noise_floor`] \[dBm\].
     pub fn noise_floor_dbm(&self) -> f64 {
-        THERMAL_NOISE_DBM_PER_HZ
-            + self.noise_figure_db
-            + pow_to_db(self.if_bandwidth_hz)
-            + self.rx_antenna_gain_db
-            + self.rx_processing_gain_db
+        self.noise_floor().value()
     }
 
-    /// Received power for a target of RCS `rcs_dbsm` at `d_m` \[dBm\],
-    /// at the full receive gain `G_r = G_ra + G_ri + G_rs` (§5.3 uses
+    /// Received power for a target of RCS `rcs` at distance `d`, at
+    /// the full receive gain `G_r = G_ra + G_ri + G_rs` (§5.3 uses
     /// G_r = 55 dB for the TI radar).
-    pub fn received_power_dbm(&self, rcs_dbsm: f64, d_m: f64) -> f64 {
-        received_power_dbm(
-            self.eirp_dbm,
-            0.0,
-            self.total_rx_gain_db(),
-            self.freq_hz,
-            rcs_dbsm,
-            d_m,
-        )
+    pub fn received_power(&self, rcs: Db, d: Meters) -> Dbm {
+        received_power(self.eirp(), Db::ZERO, self.total_rx_gain(), self.freq(), rcs, d)
     }
 
-    /// Margin of the received power over the noise floor \[dB\],
-    /// i.e. the §5.3 decode criterion `P_r − L₀`.
+    /// Raw-`f64` form of [`Self::received_power`] (dBsm and metres in,
+    /// dBm out).
+    pub fn received_power_dbm(&self, rcs_dbsm: f64, d_m: f64) -> f64 {
+        self.received_power(Db::new(rcs_dbsm), Meters::new(d_m)).value()
+    }
+
+    /// Margin of the received power over the noise floor, i.e. the
+    /// §5.3 decode criterion `P_r − L₀`.
+    pub fn snr(&self, rcs: Db, d: Meters) -> Db {
+        Db::new(self.received_power(rcs, d).value() - self.noise_floor().value())
+    }
+
+    /// Raw-`f64` form of [`Self::snr`] (dBsm and metres in, dB out).
     pub fn snr_db(&self, rcs_dbsm: f64, d_m: f64) -> f64 {
         self.received_power_dbm(rcs_dbsm, d_m) - self.noise_floor_dbm()
     }
 
-    /// Maximum range at which a target of RCS `rcs_dbsm` stays above
-    /// the noise floor \[m\].
+    /// Maximum range at which a target of RCS `rcs` stays above the
+    /// noise floor.
     ///
     /// Solves `P_r(d) = L₀` for `d` in closed form (`P_r ∝ d⁻⁴`).
+    pub fn max_range(&self, rcs: Db) -> Meters {
+        let pr_at_1m = self.received_power(rcs, Meters::new(1.0));
+        let margin = Db::new(pr_at_1m.value() - self.noise_floor_dbm());
+        Meters::new((margin / 4.0).ratio())
+    }
+
+    /// Raw-`f64` form of [`Self::max_range`] (dBsm in, metres out).
     pub fn max_range_m(&self, rcs_dbsm: f64) -> f64 {
-        let pr_at_1m = self.received_power_dbm(rcs_dbsm, 1.0);
-        let margin_db = pr_at_1m - self.noise_floor_dbm();
-        db_to_pow(margin_db / 4.0)
+        self.max_range(Db::new(rcs_dbsm)).value()
     }
 }
 
@@ -149,17 +206,31 @@ mod tests {
 
     #[test]
     fn radar_equation_scales_as_d_minus_4() {
-        let p1 = received_power_dbm(21.0, 0.0, 9.0, 79e9, -23.0, 2.0);
-        let p2 = received_power_dbm(21.0, 0.0, 9.0, 79e9, -23.0, 4.0);
+        let p1 = received_power_dbm(21.0, Db::ZERO, Db::new(9.0), 79e9, -23.0, 2.0);
+        let p2 = received_power_dbm(21.0, Db::ZERO, Db::new(9.0), 79e9, -23.0, 4.0);
         // Doubling range costs 12.04 dB.
         assert!((p1 - p2 - 12.04).abs() < 0.01);
     }
 
     #[test]
     fn radar_equation_linear_in_rcs() {
-        let p1 = received_power_dbm(21.0, 0.0, 9.0, 79e9, -23.0, 3.0);
-        let p2 = received_power_dbm(21.0, 0.0, 9.0, 79e9, -17.0, 3.0);
+        let p1 = received_power_dbm(21.0, Db::ZERO, Db::new(9.0), 79e9, -23.0, 3.0);
+        let p2 = received_power_dbm(21.0, Db::ZERO, Db::new(9.0), 79e9, -17.0, 3.0);
         assert!((p2 - p1 - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn typed_and_raw_forms_agree() {
+        let typed = received_power(
+            Dbm::new(21.0),
+            Db::ZERO,
+            Db::new(9.0),
+            Hertz::new(79e9),
+            Db::new(-23.0),
+            Meters::new(3.0),
+        );
+        let raw = received_power_dbm(21.0, Db::ZERO, Db::new(9.0), 79e9, -23.0, 3.0);
+        assert!((typed.value() - raw).abs() < 1e-12);
     }
 
     #[test]
@@ -182,10 +253,10 @@ mod tests {
     fn ti_max_range_matches_paper() {
         // §5.3: σ = −23 dBsm tag ⇒ d ≈ 6.9 m with the TI radar.
         let b = RadarLinkBudget::ti_eval();
-        let d = b.max_range_m(-23.0);
+        let d = b.max_range(Db::new(-23.0));
         assert!(
-            (d - 6.9).abs() < 0.5,
-            "expected ≈6.9 m from the paper, got {d:.2} m"
+            (d.value() - 6.9).abs() < 0.5,
+            "expected ≈6.9 m from the paper, got {d}"
         );
     }
 

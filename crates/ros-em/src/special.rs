@@ -6,6 +6,8 @@
 //! we implement them here with accuracy sufficient for link-level
 //! modelling (relative error < 1e-7 for `erfc`).
 
+use crate::units::cast::{self, AsF64};
+
 /// Complementary error function `erfc(x) = 1 − erf(x)`.
 ///
 /// Uses the rational Chebyshev approximation from Numerical Recipes
@@ -61,15 +63,13 @@ pub fn dirichlet(x: f64, n: usize) -> f64 {
     let denom = half.sin();
     if denom.abs() < 1e-12 {
         // At multiples of 2π the ratio → ±1; take the limit.
-        let k = (x / std::f64::consts::TAU).round();
-        let sign = if (k as i64 * (n as i64 - 1)) % 2 == 0 {
-            1.0
-        } else {
-            -1.0
-        };
-        return sign;
+        let k = cast::round_i64(x / std::f64::consts::TAU);
+        // The limit is (−1)^(k·(n−1)); only the parity of the product
+        // matters, and wrapping_sub preserves parity even for n = 0.
+        let product_odd = k % 2 != 0 && n.wrapping_sub(1) % 2 != 0;
+        return if product_odd { -1.0 } else { 1.0 };
     }
-    (n as f64 * half).sin() / (n as f64 * denom)
+    (n.as_f64() * half).sin() / (n.as_f64() * denom)
 }
 
 #[cfg(test)]

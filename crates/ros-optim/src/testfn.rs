@@ -3,6 +3,8 @@
 //! Used both for testing the DE implementation and as living
 //! documentation of the minimizer's calling convention.
 
+use ros_em::units::cast::AsF64;
+
 /// Sphere function `Σ xᵢ²`. Global minimum 0 at the origin.
 pub fn sphere(x: &[f64]) -> f64 {
     x.iter().map(|v| v * v).sum()
@@ -20,7 +22,7 @@ pub fn rosenbrock(x: &[f64]) -> f64 {
 /// Rastrigin's highly multimodal function
 /// `10·D + Σ [xᵢ² − 10·cos(2πxᵢ)]`. Global minimum 0 at the origin.
 pub fn rastrigin(x: &[f64]) -> f64 {
-    10.0 * x.len() as f64
+    10.0 * x.len().as_f64()
         + x.iter()
             .map(|v| v * v - 10.0 * (std::f64::consts::TAU * v).cos())
             .sum::<f64>()
@@ -28,7 +30,7 @@ pub fn rastrigin(x: &[f64]) -> f64 {
 
 /// Ackley's function. Global minimum 0 at the origin.
 pub fn ackley(x: &[f64]) -> f64 {
-    let d = x.len() as f64;
+    let d = x.len().as_f64();
     let sum_sq: f64 = x.iter().map(|v| v * v).sum();
     let sum_cos: f64 = x.iter().map(|v| (std::f64::consts::TAU * v).cos()).sum();
     -20.0 * (-0.2 * (sum_sq / d).sqrt()).exp() - (sum_cos / d).exp()

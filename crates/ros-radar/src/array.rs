@@ -6,6 +6,7 @@
 //! tag decoding (§7.1 "we simply rotate one Tx antenna by 90°").
 
 use ros_em::jones::Polarization;
+use ros_em::units::cast::AsF64;
 
 /// Radar antenna array geometry.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -31,7 +32,7 @@ impl RadarArray {
     /// Phase of antenna `k` for a far-field source at azimuth `az`
     /// \[rad\] from boresight: `−2π·k·d·sin(az)/λ`.
     pub fn steering_phase(&self, k: usize, az: f64, lambda_m: f64) -> f64 {
-        -std::f64::consts::TAU * k as f64 * self.rx_spacing_m * az.sin() / lambda_m
+        -std::f64::consts::TAU * k.as_f64() * self.rx_spacing_m * az.sin() / lambda_m
     }
 
     /// Complex steering vector for azimuth `az`.
@@ -43,13 +44,13 @@ impl RadarArray {
 
     /// Approximate two-way −3 dB beamwidth \[rad\]: `0.886·λ/(N·d)`.
     pub fn beamwidth_rad(&self, lambda_m: f64) -> f64 {
-        0.886 * lambda_m / (self.n_rx as f64 * self.rx_spacing_m)
+        0.886 * lambda_m / (self.n_rx.as_f64() * self.rx_spacing_m)
     }
 
     /// Angular resolution \[rad\] ≈ `λ/(N·d)` (§3.2: 14.3° for N = 8
     /// on the TI radar; 28.6° for the 4-Rx configuration used here).
     pub fn angle_resolution_rad(&self, lambda_m: f64) -> f64 {
-        lambda_m / (self.n_rx as f64 * self.rx_spacing_m)
+        lambda_m / (self.n_rx.as_f64() * self.rx_spacing_m)
     }
 }
 

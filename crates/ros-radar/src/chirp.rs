@@ -1,6 +1,7 @@
 //! FMCW chirp configuration and derived quantities (§3.2, §7.1).
 
 use ros_em::constants::C;
+use ros_em::units::cast::AsF64;
 
 /// FMCW chirp/frame parameters.
 ///
@@ -41,7 +42,7 @@ impl ChirpConfig {
 
     /// Swept (sampled) RF bandwidth \[Hz\]: `slope · n/f_s`.
     pub fn bandwidth_hz(&self) -> f64 {
-        self.slope_hz_per_s * self.n_samples as f64 / self.sample_rate_hz
+        self.slope_hz_per_s * self.n_samples.as_f64() / self.sample_rate_hz
     }
 
     /// Range resolution \[m\]: `c / 2B`.
@@ -64,14 +65,14 @@ impl ChirpConfig {
     /// Range corresponding to FFT bin `bin` of an `n_fft`-point range
     /// spectrum \[m\].
     pub fn bin_to_range_m(&self, bin: usize, n_fft: usize) -> f64 {
-        let f_beat = bin as f64 * self.sample_rate_hz / n_fft as f64;
+        let f_beat = bin.as_f64() * self.sample_rate_hz / n_fft.as_f64();
         f_beat * C / (2.0 * self.slope_hz_per_s)
     }
 
     /// FFT bin (fractional) corresponding to range `r` in an
     /// `n_fft`-point spectrum.
     pub fn range_to_bin(&self, range_m: f64, n_fft: usize) -> f64 {
-        self.beat_frequency_hz(range_m) * n_fft as f64 / self.sample_rate_hz
+        self.beat_frequency_hz(range_m) * n_fft.as_f64() / self.sample_rate_hz
     }
 
     /// Carrier wavelength \[m\].
@@ -81,7 +82,7 @@ impl ChirpConfig {
 
     /// Chirp duration actually sampled \[s\].
     pub fn sampled_duration_s(&self) -> f64 {
-        self.n_samples as f64 / self.sample_rate_hz
+        self.n_samples.as_f64() / self.sample_rate_hz
     }
 }
 
@@ -102,7 +103,7 @@ pub fn design_chirp(
     // Range bound fixes the slope: f_s·c/(2·slope) ≥ max_range.
     let slope = base.sample_rate_hz * C / (2.0 * max_range_m);
     // The chirp must still be sampled in full.
-    let chirp_time = base.n_samples as f64 / base.sample_rate_hz;
+    let chirp_time = base.n_samples.as_f64() / base.sample_rate_hz;
     // Speed bound fixes the chirp interval: λ/(4·T_c) ≥ max_speed.
     let lambda = base.wavelength_m();
     let t_c = lambda / (4.0 * max_speed_mps);

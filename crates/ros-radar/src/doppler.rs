@@ -16,6 +16,7 @@ use rand::Rng;
 use ros_dsp::fft::fft_in_place;
 use ros_em::radar_eq::RadarLinkBudget;
 use ros_em::Complex64;
+use ros_em::units::cast::AsF64;
 
 /// Burst parameters: `n_chirps` chirps separated by `chirp_interval_s`.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -43,7 +44,7 @@ impl BurstConfig {
 
     /// Velocity resolution \[m/s\]: `λ/(2·N·T_c)`.
     pub fn velocity_resolution_mps(&self, lambda_m: f64) -> f64 {
-        lambda_m / (2.0 * self.n_chirps as f64 * self.chirp_interval_s)
+        lambda_m / (2.0 * self.n_chirps.as_f64() * self.chirp_interval_s)
     }
 }
 
@@ -91,7 +92,7 @@ pub fn synthesize_burst<R: Rng>(
         for (c, chirp_buf) in data.iter_mut().enumerate() {
             // Range migration within a burst is ≪ a bin; only the
             // carrier phase advances chirp to chirp.
-            let dt = c as f64 * burst.chirp_interval_s;
+            let dt = c.as_f64() * burst.chirp_interval_s;
             let range = range0 - me.radial_speed_mps * dt;
             let doppler_phase =
                 2.0 * std::f64::consts::TAU * me.radial_speed_mps * dt / lambda;
@@ -140,7 +141,7 @@ pub fn range_doppler_map(burst: &Burst) -> Vec<Vec<f64>> {
             let mut buf = chirp.clone();
             buf.resize(n_samples.next_power_of_two(), Complex64::ZERO);
             fft_in_place(&mut buf);
-            let scale = 1.0 / n_samples as f64;
+            let scale = 1.0 / n_samples.as_f64();
             buf.iter().map(|&c| c * scale).collect()
         })
         .collect();
@@ -157,7 +158,7 @@ pub fn range_doppler_map(burst: &Burst) -> Vec<Vec<f64>> {
         for c in 0..n_chirps {
             // FFT-shift: negative Doppler bins to the lower half.
             let shifted = (c + n_chirps / 2) % n_chirps;
-            map[shifted][r] = (col[c] / n_chirps as f64).norm_sqr();
+            map[shifted][r] = (col[c] / n_chirps.as_f64()).norm_sqr();
         }
     }
     map
@@ -169,8 +170,8 @@ pub fn doppler_bin_to_speed(
     burst: &BurstConfig,
     lambda_m: f64,
 ) -> f64 {
-    let centered = bin as f64 - burst.n_chirps as f64 / 2.0;
-    centered * lambda_m / (2.0 * burst.n_chirps as f64 * burst.chirp_interval_s)
+    let centered = bin.as_f64() - burst.n_chirps.as_f64() / 2.0;
+    centered * lambda_m / (2.0 * burst.n_chirps.as_f64() * burst.chirp_interval_s)
 }
 
 /// Finds the strongest cell of a range–Doppler map:
@@ -249,7 +250,7 @@ pub fn rd_cfar(
             if count == 0 {
                 continue;
             }
-            let noise = sum / count as f64;
+            let noise = sum / count.as_f64();
             if p > threshold_factor * noise {
                 out.push(RdDetection {
                     doppler_bin: d,

@@ -20,6 +20,7 @@ use crate::echo::{Echo, Pose};
 use rand::Rng;
 use ros_em::radar_eq::RadarLinkBudget;
 use ros_em::Complex64;
+use ros_em::units::cast::AsF64;
 
 /// Exponent of the radar's own antenna element pattern (per way).
 /// Two-way cos^3 gives a ±28° half-power field of view, matching the
@@ -62,11 +63,11 @@ pub fn radar_pattern(az: f64) -> f64 {
 /// range FFT (÷N coherent gain) and beamforming (÷K) used by
 /// [`crate::processing`].
 pub fn per_sample_noise_sigma(budget: &RadarLinkBudget, chirp: &ChirpConfig, array: &RadarArray) -> f64 {
-    let floor_mw = 10f64.powf(budget.noise_floor_dbm() / 10.0);
+    let floor_mw = ros_em::db::dbm_to_mw(budget.noise_floor_dbm());
     // Processing averages N samples and K antennas: noise power at the
     // output is σ_total²/(N·K), so σ_total² = floor·N·K. Each of the
     // two quadratures carries half the power.
-    let total = floor_mw * chirp.n_samples as f64 * array.n_rx as f64;
+    let total = floor_mw * chirp.n_samples.as_f64() * array.n_rx.as_f64();
     (total / 2.0).sqrt()
 }
 

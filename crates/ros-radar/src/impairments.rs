@@ -15,6 +15,7 @@
 use crate::frontend::Frame;
 use rand::Rng;
 use ros_em::Complex64;
+use ros_em::units::cast::AsF64;
 
 /// Impairment configuration. `Default` is a clean front-end.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -112,7 +113,7 @@ impl Impairments {
 /// Mid-rise uniform quantizer with clipping at ±`full_scale`.
 fn quantize(x: f64, bits: u32, full_scale: f64) -> f64 {
     debug_assert!(full_scale > 0.0);
-    let levels = (1u64 << bits) as f64;
+    let levels = (1u64 << bits).as_f64();
     let step = 2.0 * full_scale / levels;
     let clipped = x.clamp(-full_scale, full_scale - step);
     ((clipped / step).floor() + 0.5) * step

@@ -14,6 +14,7 @@ use ros_dsp::cfar::{ca_cfar, CfarParams};
 use ros_dsp::fft::fft_in_place;
 use ros_dsp::peaks::{find_peaks, PeakParams};
 use ros_em::Complex64;
+use ros_em::units::cast::{self, AsF64};
 
 /// Azimuth search grid half-width \[rad\] (the radar antenna FoV).
 pub const AOA_GRID_HALF_RAD: f64 = 1.2;
@@ -33,7 +34,7 @@ pub fn range_spectra(frame: &Frame) -> Vec<Vec<Complex64>> {
             let n = buf.len().next_power_of_two();
             buf.resize(n, Complex64::ZERO);
             fft_in_place(&mut buf);
-            let scale = 1.0 / ant.len() as f64;
+            let scale = 1.0 / ant.len().as_f64();
             buf.iter().map(|&c| c * scale).collect()
         })
         .collect()
@@ -43,7 +44,7 @@ pub fn range_spectra(frame: &Frame) -> Vec<Vec<Complex64>> {
 /// averaged over antennas.
 pub fn range_power_profile(spectra: &[Vec<Complex64>]) -> Vec<f64> {
     let n = spectra[0].len();
-    let k = spectra.len() as f64;
+    let k = spectra.len().as_f64();
     (0..n)
         .map(|i| spectra.iter().map(|s| s[i].norm_sqr()).sum::<f64>() / k)
         .collect()
@@ -57,18 +58,18 @@ pub fn aoa_spectrum(
     array: &RadarArray,
     lambda_m: f64,
 ) -> (Vec<f64>, Vec<f64>) {
-    let n_az = (2.0 * AOA_GRID_HALF_RAD / AOA_GRID_STEP_RAD) as usize + 1;
+    let n_az = cast::floor_usize(2.0 * AOA_GRID_HALF_RAD / AOA_GRID_STEP_RAD) + 1;
     let mut azs = Vec::with_capacity(n_az);
     let mut pws = Vec::with_capacity(n_az);
     for i in 0..n_az {
-        let az = -AOA_GRID_HALF_RAD + i as f64 * AOA_GRID_STEP_RAD;
+        let az = -AOA_GRID_HALF_RAD + i.as_f64() * AOA_GRID_STEP_RAD;
         let mut y = Complex64::ZERO;
         for (k, s) in spectra.iter().enumerate() {
             let w = Complex64::cis(-array.steering_phase(k, az, lambda_m));
             y += w * s[bin];
         }
         azs.push(az);
-        pws.push((y / spectra.len() as f64).norm_sqr());
+        pws.push((y / spectra.len().as_f64()).norm_sqr());
     }
     (azs, pws)
 }
@@ -103,7 +104,7 @@ pub fn detect_points(
         let peaks = find_peaks(
             &pws,
             &PeakParams {
-                min_separation: (0.25 / AOA_GRID_STEP_RAD) as usize,
+                min_separation: cast::floor_usize(0.25 / AOA_GRID_STEP_RAD),
                 ..Default::default()
             },
         );
@@ -153,7 +154,7 @@ pub fn spotlight(
         let steer = Complex64::cis(-array.steering_phase(k, az, lambda));
         y += steer * acc;
     }
-    y / frame.n_rx() as f64
+    y / frame.n_rx().as_f64()
 }
 
 #[cfg(test)]

@@ -11,6 +11,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ros_em::jones::{JonesMatrix, Polarization};
 use ros_em::{Complex64, Vec3};
+use ros_em::units::cast::AsF64;
+use ros_em::units::Db;
 
 /// Clutter object classes evaluated in §7.2.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -166,7 +168,7 @@ impl ClutterObject {
             center,
             offsets,
             phases,
-            jones: JonesMatrix::clutter(class.polarization_rejection_db()),
+            jones: JonesMatrix::clutter(Db::new(class.polarization_rejection_db())),
         }
     }
 
@@ -185,8 +187,8 @@ impl Reflector for ClutterObject {
         ctx: &EchoContext,
     ) -> Vec<SceneEcho> {
         // Split the total RCS across the scatterers (power split).
-        let sigma_total = 10f64.powf(self.class.rcs_dbsm() / 10.0);
-        let per_point_amp = (sigma_total / self.offsets.len() as f64).sqrt();
+        let sigma_total = ros_em::db::db_to_pow(self.class.rcs_dbsm());
+        let per_point_amp = (sigma_total / self.offsets.len().as_f64()).sqrt();
         let chan = self.jones.channel(tx, rx);
 
         self.offsets

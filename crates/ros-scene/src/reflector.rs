@@ -55,7 +55,7 @@ impl EchoContext {
         // Radar equation with σ = 1 m² gives the per-√σ scale factor.
         let p_unit_dbm = self.budget.received_power_dbm(0.0, d_m);
         let fog_db = fog_round_trip_db(self.fog, d_m);
-        let scale = 10f64.powf((p_unit_dbm - fog_db) / 20.0);
+        let scale = ros_em::db::db_to_lin(p_unit_dbm - fog_db);
         let lambda = ros_em::constants::wavelength(self.budget.freq_hz);
         let phase = -2.0 * std::f64::consts::TAU * d_m / lambda; // −4πd/λ
         f * Complex64::from_polar(scale, phase)

@@ -6,6 +6,7 @@
 //! [`Trajectory`] yields the radar pose at each frame instant.
 
 use ros_em::Vec3;
+use ros_em::units::cast::{self, AsF64};
 
 /// A constant-velocity straight-line pass.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -53,10 +54,10 @@ impl Trajectory {
     /// paper's 1 kHz rate heavily oversamples slow passes).
     pub fn frame_times(&self, frame_rate_hz: f64, stride: usize) -> Vec<f64> {
         assert!(frame_rate_hz > 0.0 && stride > 0);
-        let n = (self.duration_s * frame_rate_hz) as usize;
+        let n = cast::floor_usize(self.duration_s * frame_rate_hz);
         (0..=n)
             .step_by(stride)
-            .map(|i| i as f64 / frame_rate_hz)
+            .map(|i| i.as_f64() / frame_rate_hz)
             .collect()
     }
 
@@ -68,7 +69,7 @@ impl Trajectory {
     /// Travel distance between consecutive frames at `frame_rate_hz`
     /// with `stride` \[m\] — the §5.3 Nyquist quantity δs.
     pub fn frame_spacing_m(&self, frame_rate_hz: f64, stride: usize) -> f64 {
-        self.speed_mps() * stride as f64 / frame_rate_hz
+        self.speed_mps() * stride.as_f64() / frame_rate_hz
     }
 }
 

@@ -8,7 +8,7 @@ pub use ros_em::atten::{fog_one_way_db, fog_round_trip_db, rain_one_way_db, FogL
 /// Round-trip amplitude factor (< 1) for a monostatic path of `d_m`
 /// metres in the given fog.
 pub fn fog_amplitude_factor(level: FogLevel, d_m: f64) -> f64 {
-    10f64.powf(-fog_round_trip_db(level, d_m) / 20.0)
+    ros_em::db::db_to_lin(-fog_round_trip_db(level, d_m))
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@ use ros_core::rcs_model;
 use ros_dsp::fft::{fft_in_place, ifft_in_place};
 use ros_dsp::resample::{resample_uniform, Sample};
 use ros_em::constants::LAMBDA_CENTER_M;
+use ros_em::units::{db_power_sum, Db, DbAmplitude, DbPower, Dbm, Degrees, Hertz, Radians, Watts};
 use ros_em::Complex64;
 
 proptest! {
@@ -213,5 +214,119 @@ proptest! {
         if bits.iter().any(|&b| b) {
             prop_assert_eq!(&amp.bits, &bits);
         }
+    }
+}
+
+// Round-trip properties for the `ros_em::units` newtypes — the other
+// half of the unit-safety story: the lint gate forbids ad-hoc
+// conversions, and these properties pin down that the sanctioned ones
+// are exact inverses across many decades.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Power-dB ↔ linear ratio round-trips across 12 decades.
+    #[test]
+    fn db_power_roundtrip(x in -6.0f64..6.0) {
+        let ratio = 10f64.powf(x);
+        let db = DbPower::from_ratio(ratio);
+        prop_assert!((db.ratio() - ratio).abs() < 1e-9 * ratio);
+        prop_assert!((DbPower::from_ratio(db.ratio()).value() - db.value()).abs() < 1e-9);
+    }
+
+    /// Amplitude-dB ↔ linear ratio round-trips across 12 decades.
+    #[test]
+    fn db_amplitude_roundtrip(x in -6.0f64..6.0) {
+        let ratio = 10f64.powf(x);
+        let db = DbAmplitude::from_ratio(ratio);
+        prop_assert!((db.ratio() - ratio).abs() < 1e-9 * ratio);
+        prop_assert!((DbAmplitude::from_ratio(db.ratio()).value() - db.value()).abs() < 1e-9);
+    }
+
+    /// The two dB families are genuinely distinct: the same dB number
+    /// denotes an amplitude ratio whose *square* is the power ratio
+    /// (20·log₁₀(a) = 10·log₁₀(a²)), so for any nonzero dB the linear
+    /// readings disagree.
+    #[test]
+    fn db_families_distinct(db in -60.0f64..60.0) {
+        let amp = DbAmplitude::new(db).ratio();
+        let pow = DbPower::new(db).ratio();
+        prop_assert!((amp * amp - pow).abs() < 1e-9 * (1.0 + pow));
+        if db.abs() > 0.5 {
+            prop_assert!((amp - pow).abs() > 1e-12 * (1.0 + pow));
+        }
+    }
+
+    /// Reinterpreting between families keeps the dB number (it is free)
+    /// and therefore square-roots / squares the linear ratio.
+    #[test]
+    fn db_reinterpret_consistent(x in -6.0f64..6.0) {
+        let r = 10f64.powf(x);
+        let p = DbPower::from_ratio(r);
+        prop_assert_eq!(p.as_amplitude().value(), p.value());
+        prop_assert!((p.as_amplitude().ratio() - r.sqrt()).abs() < 1e-9 * (1.0 + r.sqrt()));
+        let a = DbAmplitude::from_ratio(r);
+        prop_assert_eq!(a.as_power().value(), a.value());
+        prop_assert!((a.as_power().ratio() - r * r).abs() < 1e-6 * (1.0 + r * r));
+    }
+
+    /// dBm ↔ watts round-trips from femtowatts to kilowatts.
+    #[test]
+    fn dbm_watts_roundtrip(x in -15.0f64..3.0) {
+        let w = 10f64.powf(x);
+        let dbm = Dbm::from_watts(Watts::new(w));
+        prop_assert!((dbm.to_watts().value() - w).abs() < 1e-9 * w);
+        prop_assert!((Watts::new(w).to_dbm().value() - dbm.value()).abs() < 1e-12);
+        // And the milliwatt path agrees with the watt path.
+        prop_assert!((Dbm::from_milliwatts(w * 1e3).value() - dbm.value()).abs() < 1e-9);
+        prop_assert!((dbm.to_milliwatts() - w * 1e3).abs() < 1e-6 * w * 1e3);
+    }
+
+    /// `dBm + dB` is exactly linear power scaling by the gain ratio.
+    #[test]
+    fn dbm_gain_is_linear_scaling(p_dbm in -90.0f64..10.0, g_db in -30.0f64..30.0) {
+        let before = Dbm::new(p_dbm).to_watts().value();
+        let after = (Dbm::new(p_dbm) + Db::new(g_db)).to_watts().value();
+        let expect = before * DbPower::new(g_db).ratio();
+        prop_assert!((after - expect).abs() < 1e-9 * expect);
+        // Subtracting the gain undoes it.
+        let undone = (Dbm::new(p_dbm) + Db::new(g_db) - Db::new(g_db)).value();
+        prop_assert!((undone - p_dbm).abs() < 1e-12);
+    }
+
+    /// Degrees ↔ radians round-trips, both directions.
+    #[test]
+    fn angle_roundtrip(d in -720.0f64..720.0) {
+        let back = Degrees::new(d).radians().degrees().value();
+        prop_assert!((back - d).abs() < 1e-9 * (1.0 + d.abs()));
+        let r = d / 57.0;
+        let back_r = Radians::new(r).degrees().radians().value();
+        prop_assert!((back_r - r).abs() < 1e-12 * (1.0 + r.abs()));
+    }
+
+    /// Wrapping lands in (−π, π] and never changes the angle's sine or
+    /// cosine.
+    #[test]
+    fn wrapped_angle_is_equivalent(r in -50.0f64..50.0) {
+        let w = Radians::new(r).wrapped();
+        prop_assert!(w.value() > -std::f64::consts::PI - 1e-12);
+        prop_assert!(w.value() <= std::f64::consts::PI + 1e-12);
+        prop_assert!((w.sin() - r.sin()).abs() < 1e-9);
+        prop_assert!((w.cos() - r.cos()).abs() < 1e-9);
+    }
+
+    /// λ·f = c for any mmWave frequency.
+    #[test]
+    fn wavelength_times_frequency_is_c(f_ghz in 1.0f64..300.0) {
+        let f = Hertz::new(f_ghz * 1e9);
+        let c = f.wavelength().value() * f.value();
+        prop_assert!((c - ros_em::constants::C).abs() < 1e-3);
+    }
+
+    /// Incoherent dB power summation matches summing linear ratios.
+    #[test]
+    fn db_power_sum_matches_linear(a in -40.0f64..10.0, b in -40.0f64..10.0) {
+        let sum = db_power_sum([Db::new(a), Db::new(b)]);
+        let lin = DbPower::new(a).ratio() + DbPower::new(b).ratio();
+        prop_assert!((sum.ratio() - lin).abs() < 1e-9 * lin);
     }
 }

@@ -1,0 +1,551 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The RoS build environment is fully offline (no crates.io registry),
+//! so the workspace vendors the *small* slice of the rand 0.8 API it
+//! actually uses:
+//!
+//! * [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`],
+//! * [`Rng::gen`] for `f64`/`bool` and other primitives,
+//! * [`Rng::gen_range`] over half-open and inclusive numeric ranges,
+//! * [`Rng::gen_bool`].
+//!
+//! The generator and the sampling algorithms are **stream-compatible**
+//! with rand 0.8: `StdRng` is ChaCha12 with rand_core's PCG-based
+//! `seed_from_u64`, uniform floats use the `[1, 2)` exponent trick
+//! (`sample_single`), and integer ranges use Lemire widening-multiply
+//! rejection with rand's zone approximation. Simulation tests tuned
+//! against upstream draw sequences therefore see identical values.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random words.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (32 bytes for `StdRng`).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Creates a generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// Matches rand_core 0.6: the seed bytes are produced by PCG32
+    /// (XSH-RR output function) so the resulting stream is identical
+    /// to upstream `StdRng::seed_from_u64`.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Creates a generator from process-unique "entropy".
+    ///
+    /// Offline stub: derives a seed from the process id and a bumped
+    /// counter — unique per call, not cryptographic.
+    fn from_entropy() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        Self::seed_from_u64((std::process::id() as u64) << 32 ^ n ^ 0x9e37_79b9_7f4a_7c15)
+    }
+}
+
+/// Types that can be produced uniformly by [`Rng::gen`]
+/// (rand's `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8 `Standard` for f64: 53 bits, multiply, in [0, 1).
+        let x = rng.next_u64() >> 11;
+        x as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let x = rng.next_u32() >> 8;
+        x as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8 compares the most significant bit via a sign test.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Standard for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u8 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+
+impl Standard for u16 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+
+impl Standard for usize {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for i8 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i8
+    }
+}
+
+impl Standard for i16 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i16
+    }
+}
+
+impl Standard for i32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+
+impl Standard for i64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The element type produced by sampling.
+    type Output;
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        // rand 0.8 `UniformFloat::<f64>::sample_single`.
+        debug_assert!(self.start < self.end, "cannot sample from empty f64 range");
+        let scale = self.end - self.start;
+        let offset = self.start - scale;
+        let value1_2 = f64::from_bits((1023u64 << 52) | (rng.next_u64() >> 12));
+        value1_2 * scale + offset
+    }
+}
+
+impl SampleRange for RangeInclusive<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        // rand 0.8 `UniformFloat::<f64>::sample_single_inclusive`:
+        // scale chosen so the maximal mantissa hits `high` exactly.
+        let (low, high) = (*self.start(), *self.end());
+        debug_assert!(low <= high, "cannot sample from empty f64 range");
+        let max_rand = f64::from_bits((1023u64 << 52) | ((1u64 << 52) - 1));
+        let scale = (high - low) / (max_rand - 1.0);
+        let offset = low - scale;
+        let value1_2 = f64::from_bits((1023u64 << 52) | (rng.next_u64() >> 12));
+        value1_2 * scale + offset
+    }
+}
+
+// rand 0.8 `UniformInt::sample_single[_inclusive]`: Lemire's
+// widening-multiply rejection. Small types (≤16 bit) compute the zone
+// by modulus; wider types use the shift approximation — both exactly
+// as upstream, so the number of words consumed matches too.
+macro_rules! int_sample_range {
+    ($($t:ty, $unsigned:ty, $ularge:ty, $bits:expr, $use_mod:expr);* $(;)?) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let range = self.end.wrapping_sub(self.start) as $unsigned as $ularge;
+                match sample_lemire::<R, $ularge>(rng, range, $bits, $use_mod) {
+                    Some(off) => self.start.wrapping_add(off as $t),
+                    // Unreachable: a non-empty exclusive range is > 0.
+                    None => self.start,
+                }
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let range = (hi.wrapping_sub(lo) as $unsigned as $ularge).wrapping_add(1);
+                match sample_lemire::<R, $ularge>(rng, range, $bits, $use_mod) {
+                    Some(off) => lo.wrapping_add(off as $t),
+                    // range wrapped to 0: the full integer domain.
+                    None => Standard::draw(rng),
+                }
+            }
+        }
+    )*};
+}
+
+trait LemireWord: Copy + Into<u64> {
+    fn draw_word<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl LemireWord for u32 {
+    fn draw_word<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl LemireWord for u64 {
+    fn draw_word<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+fn sample_lemire<R, U>(rng: &mut R, range: U, bits: u32, use_mod: bool) -> Option<u64>
+where
+    R: RngCore + ?Sized,
+    U: LemireWord,
+{
+    let range64: u64 = range.into();
+    if range64 == 0 {
+        return None;
+    }
+    let word_max: u64 = if bits == 32 { u32::MAX as u64 } else { u64::MAX };
+    let zone: u64 = if use_mod {
+        let ints_to_reject = (word_max - range64 + 1) % range64;
+        word_max - ints_to_reject
+    } else {
+        (range64 << range64.leading_zeros().saturating_sub(64 - bits))
+            .wrapping_sub(1)
+            & word_max
+    };
+    loop {
+        let v: u64 = U::draw_word(rng).into();
+        let m: u128 = (v as u128) * (range64 as u128);
+        let lo = (m as u64) & word_max;
+        if lo <= zone {
+            return Some((m >> bits) as u64);
+        }
+    }
+}
+
+int_sample_range! {
+    usize, usize, u64, 64, false;
+    u64, u64, u64, 64, false;
+    i64, u64, u64, 64, false;
+    u32, u32, u32, 32, false;
+    i32, u32, u32, 32, false;
+    u16, u16, u32, 32, true;
+    i16, u16, u32, 32, true;
+    u8, u8, u32, 32, true;
+    i8, u8, u32, 32, true;
+}
+
+/// High-level convenience methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a uniformly distributed value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        // rand 0.8 Bernoulli: 64-bit integer threshold compare;
+        // `p == 1.0` short-circuits without consuming a draw.
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range");
+        if p >= 1.0 {
+            return true;
+        }
+        let p_int = (p * (u64::MAX as f64 + 1.0)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    const BLOCK_WORDS: usize = 16;
+    // rand_chacha buffers four 64-byte blocks; the logical word order
+    // is identical to sequential block generation.
+    const BUFFER_WORDS: usize = 4 * BLOCK_WORDS;
+
+    #[inline(always)]
+    fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    /// One ChaCha double round (column + diagonal), exposed for the
+    /// RFC 8439 test vector check.
+    pub(crate) fn double_round(s: &mut [u32; 16]) {
+        quarter_round(s, 0, 4, 8, 12);
+        quarter_round(s, 1, 5, 9, 13);
+        quarter_round(s, 2, 6, 10, 14);
+        quarter_round(s, 3, 7, 11, 15);
+        quarter_round(s, 0, 5, 10, 15);
+        quarter_round(s, 1, 6, 11, 12);
+        quarter_round(s, 2, 7, 8, 13);
+        quarter_round(s, 3, 4, 9, 14);
+    }
+
+    /// ChaCha12 generator, stream-compatible with rand 0.8's `StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        /// Key words 4..12 of the initial state.
+        key: [u32; 8],
+        /// 64-bit block counter (state words 12, 13).
+        counter: u64,
+        /// 64-bit stream id (state words 14, 15); zero for `from_seed`.
+        stream: u64,
+        buf: [u32; BUFFER_WORDS],
+        index: usize,
+    }
+
+    impl StdRng {
+        const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+        const DOUBLE_ROUNDS: usize = 6; // ChaCha12
+
+        fn block(&self, counter: u64) -> [u32; BLOCK_WORDS] {
+            let mut state = [0u32; 16];
+            state[..4].copy_from_slice(&Self::CONSTANTS);
+            state[4..12].copy_from_slice(&self.key);
+            state[12] = counter as u32;
+            state[13] = (counter >> 32) as u32;
+            state[14] = self.stream as u32;
+            state[15] = (self.stream >> 32) as u32;
+            let mut working = state;
+            for _ in 0..Self::DOUBLE_ROUNDS {
+                double_round(&mut working);
+            }
+            let mut out = [0u32; BLOCK_WORDS];
+            for (o, (w, s)) in out.iter_mut().zip(working.iter().zip(state.iter())) {
+                *o = w.wrapping_add(*s);
+            }
+            out
+        }
+
+        fn refill(&mut self) {
+            for b in 0..4 {
+                let block = self.block(self.counter.wrapping_add(b as u64));
+                self.buf[b * BLOCK_WORDS..(b + 1) * BLOCK_WORDS].copy_from_slice(&block);
+            }
+            self.counter = self.counter.wrapping_add(4);
+            self.index = 0;
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut key = [0u32; 8];
+            for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                *k = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            }
+            StdRng {
+                key,
+                counter: 0,
+                stream: 0,
+                buf: [0; BUFFER_WORDS],
+                index: BUFFER_WORDS,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= BUFFER_WORDS {
+                self.refill();
+            }
+            let w = self.buf[self.index];
+            self.index += 1;
+            w
+        }
+
+        // Exactly rand_core's BlockRng::next_u64 indexing, including
+        // the buffer-edge case that pairs the stale last word with the
+        // first word of the freshly generated buffer.
+        fn next_u64(&mut self) -> u64 {
+            let len = BUFFER_WORDS;
+            if self.index < len - 1 {
+                let lo = self.buf[self.index] as u64;
+                let hi = self.buf[self.index + 1] as u64;
+                self.index += 2;
+                (hi << 32) | lo
+            } else if self.index >= len {
+                self.refill();
+                let lo = self.buf[0] as u64;
+                let hi = self.buf[1] as u64;
+                self.index = 2;
+                (hi << 32) | lo
+            } else {
+                let x = self.buf[len - 1] as u64;
+                self.refill();
+                let y = self.buf[0] as u64;
+                self.index = 1;
+                (y << 32) | x
+            }
+        }
+    }
+
+    /// Alias kept for API compatibility with `rand::rngs::SmallRng`.
+    pub type SmallRng = StdRng;
+}
+
+/// Returns a freshly seeded generator (stand-in for `rand::thread_rng`).
+pub fn thread_rng() -> rngs::StdRng {
+    <rngs::StdRng as SeedableRng>::from_entropy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn chacha_round_function_matches_rfc8439() {
+        // RFC 8439 §2.3.2 block-function vector (20 rounds): validates
+        // the quarter-round math and the add-initial-state step that
+        // the 12-round `StdRng` core shares.
+        let initial: [u32; 16] = [
+            0x61707865, 0x3320646e, 0x79622d32, 0x6b206574, // constants
+            0x03020100, 0x07060504, 0x0b0a0908, 0x0f0e0d0c, // key
+            0x13121110, 0x17161514, 0x1b1a1918, 0x1f1e1d1c, // key
+            0x00000001, 0x09000000, 0x4a000000, 0x00000000, // ctr+nonce
+        ];
+        let mut state = initial;
+        for _ in 0..10 {
+            crate::rngs::double_round(&mut state);
+        }
+        for (w, s) in state.iter_mut().zip(initial.iter()) {
+            *w = w.wrapping_add(*s);
+        }
+        assert_eq!(state[0], 0xe4e7f110);
+        assert_eq!(state[1], 0x15593bd1);
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-3.0f64..7.0);
+            assert!((-3.0..7.0).contains(&x));
+            let y = rng.gen_range(-2.0f64..=2.0);
+            assert!((-2.0..=2.0).contains(&y));
+            let n = rng.gen_range(5usize..9);
+            assert!((5..9).contains(&n));
+            let m = rng.gen_range(-2i32..=2);
+            assert!((-2..=2).contains(&m));
+            let b = rng.gen_range(0u8..4);
+            assert!(b < 4);
+        }
+    }
+
+    #[test]
+    fn mean_is_roughly_half() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 50_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.01, "frac {frac}");
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn integer_ranges_are_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 5];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[rng.gen_range(0usize..5)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.2).abs() < 0.02, "frac {frac}");
+        }
+    }
+}

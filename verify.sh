@@ -1,0 +1,18 @@
+#!/bin/sh
+# Pre-merge verification: build, test, then the static-analysis gate.
+# Each stage must pass before the next runs; any failure aborts with a
+# non-zero exit.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "==> xtask lint (unit-safety / no-panic / no-raw-cast gate)"
+cargo run -q -p xtask -- lint
+
+echo "verify: all checks passed"

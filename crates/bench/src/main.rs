@@ -1,20 +1,37 @@
 //! The RoS experiment harness: regenerates every figure of the paper.
 //!
 //! ```text
-//! cargo run --release -p ros-bench -- all
-//! cargo run --release -p ros-bench -- fig15
-//! cargo run --release -p ros-bench -- design
+//! cargo run --release -p bench -- all
+//! cargo run --release -p bench -- fig15
+//! cargo run --release -p bench -- design
+//! cargo run --release -p bench -- --par all   # figure-level fan-out
+//! cargo run --release -p bench -- perf        # serial-vs-parallel timings
 //! ```
 //!
 //! Tables print to stdout and are mirrored as CSVs under `results/`.
+//! With `--par`, independent figure jobs fan out over the
+//! [`ros_exec`] scoped-thread executor (console tables from different
+//! figures may interleave; the CSV mirrors are per-figure files and
+//! unaffected). `perf` times each parallelized pipeline stage at one
+//! thread versus the full thread pool and writes `BENCH_pipeline.json`
+//! at the repository root.
 
 mod figures;
+mod perf;
 mod util;
 
 use figures::*;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let parallel = args.iter().any(|a| a == "--par");
+    args.retain(|a| a != "--par");
+
+    if args.iter().any(|a| a == "perf") {
+        perf::run();
+        return;
+    }
+
     let which: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "fig3", "fig4a", "fig4b", "fig5a", "fig5b", "fig6a", "fig6b", "fig8a", "fig8b",
@@ -27,48 +44,60 @@ fn main() {
         args.iter().map(String::as_str).collect()
     };
 
-    for name in which {
-        match name {
-            "fig3" => fig03_06::fig3(),
-            "fig4a" => fig03_06::fig4a(),
-            "fig4b" => fig03_06::fig4b(),
-            "fig5a" => fig03_06::fig5(true),
-            "fig5b" => fig03_06::fig5(false),
-            "fig6a" => fig03_06::fig6(true),
-            "fig6b" => fig03_06::fig6(false),
-            "fig8a" => fig08::fig8a(),
-            "fig8b" => fig08::fig8b(),
-            "fig10b" => fig10::fig10b(),
-            "fig10c" => fig10::fig10c(),
-            "fig11b" => fig11_13::fig11b(),
-            "fig11c" => fig11_13::fig11c(),
-            "fig11d" => fig11_13::fig11d(),
-            "fig13" | "fig13a" | "fig13b" => fig11_13::fig13(),
-            "fig14" | "fig14a" | "fig14b" => fig14_15::fig14(),
-            "fig15" | "fig15a" | "fig15b" => fig14_15::fig15(),
-            "fig16a" => fig16_18::fig16a(),
-            "fig16b" => fig16_18::fig16b(),
-            "fig16c" => fig16_18::fig16c(),
-            "fig16d" => fig16_18::fig16d(),
-            "fig17" => fig16_18::fig17(),
-            "fig18" => fig16_18::fig18(),
-            "design" => design::design(),
-            "ablate_decoder" => ablations::ablate_decoder(),
-            "ablate_window" => ablations::ablate_window(),
-            "ablate_sampling" => ablations::ablate_sampling(),
-            "ask_demo" => ablations::ask_demo(),
-            "cp_analysis" => ablations::cp_analysis(),
-            "fec_analysis" => ablations::fec_analysis(),
-            "ber_validation" => validation::ber_validation(),
-            "music_separation" => validation::music_separation(),
-            "optimizer_ablation" => ablations::optimizer_ablation(),
-            "rain_sweep" => fig16_18::rain_sweep(),
-            "commercial_range" => fig16_18::commercial_range(),
-            "ground_effect" => ablations::ground_effect(),
-            "impairments" => ablations::impairments_ablation(),
-            "tag_yaw" => ablations::tag_yaw(),
-            "blockage" => ablations::blockage(),
-            other => eprintln!("unknown experiment: {other}"),
+    if parallel {
+        // Figure jobs are independent (each writes its own CSVs), so
+        // they fan out across the executor's thread pool.
+        ros_exec::par_map(&which, |name| run_one(name));
+    } else {
+        for name in which {
+            run_one(name);
         }
+    }
+}
+
+/// Dispatches one experiment by name (the unit of figure-level
+/// parallelism).
+fn run_one(name: &str) {
+    match name {
+        "fig3" => fig03_06::fig3(),
+        "fig4a" => fig03_06::fig4a(),
+        "fig4b" => fig03_06::fig4b(),
+        "fig5a" => fig03_06::fig5(true),
+        "fig5b" => fig03_06::fig5(false),
+        "fig6a" => fig03_06::fig6(true),
+        "fig6b" => fig03_06::fig6(false),
+        "fig8a" => fig08::fig8a(),
+        "fig8b" => fig08::fig8b(),
+        "fig10b" => fig10::fig10b(),
+        "fig10c" => fig10::fig10c(),
+        "fig11b" => fig11_13::fig11b(),
+        "fig11c" => fig11_13::fig11c(),
+        "fig11d" => fig11_13::fig11d(),
+        "fig13" | "fig13a" | "fig13b" => fig11_13::fig13(),
+        "fig14" | "fig14a" | "fig14b" => fig14_15::fig14(),
+        "fig15" | "fig15a" | "fig15b" => fig14_15::fig15(),
+        "fig16a" => fig16_18::fig16a(),
+        "fig16b" => fig16_18::fig16b(),
+        "fig16c" => fig16_18::fig16c(),
+        "fig16d" => fig16_18::fig16d(),
+        "fig17" => fig16_18::fig17(),
+        "fig18" => fig16_18::fig18(),
+        "design" => design::design(),
+        "ablate_decoder" => ablations::ablate_decoder(),
+        "ablate_window" => ablations::ablate_window(),
+        "ablate_sampling" => ablations::ablate_sampling(),
+        "ask_demo" => ablations::ask_demo(),
+        "cp_analysis" => ablations::cp_analysis(),
+        "fec_analysis" => ablations::fec_analysis(),
+        "ber_validation" => validation::ber_validation(),
+        "music_separation" => validation::music_separation(),
+        "optimizer_ablation" => ablations::optimizer_ablation(),
+        "rain_sweep" => fig16_18::rain_sweep(),
+        "commercial_range" => fig16_18::commercial_range(),
+        "ground_effect" => ablations::ground_effect(),
+        "impairments" => ablations::impairments_ablation(),
+        "tag_yaw" => ablations::tag_yaw(),
+        "blockage" => ablations::blockage(),
+        other => eprintln!("unknown experiment: {other}"),
     }
 }

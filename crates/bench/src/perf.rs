@@ -1,0 +1,192 @@
+//! `perf` sub-command: serial-vs-parallel timings for every pipeline
+//! stage wired into the [`ros_exec`] executor.
+//!
+//! Each path runs the *same* code twice — once pinned to one worker
+//! (`ros_exec::set_threads(Some(1))`), once on the full thread pool —
+//! so the comparison isolates the executor fan-out from any algorithm
+//! difference (the outputs are bit-identical by construction; see
+//! `tests/determinism.rs`). Timings use the vendored criterion stub's
+//! measurement loop via [`criterion::bench_median_ns`].
+//!
+//! Results print as a table and are mirrored to `BENCH_pipeline.json`
+//! at the repository root:
+//!
+//! ```json
+//! {
+//!   "threads": 4,
+//!   "paths": [
+//!     {"name": "...", "serial_median_ns": 1.0, "parallel_median_ns": 1.0, "speedup": 1.0}
+//!   ]
+//! }
+//! ```
+//!
+//! On a single-core runner the speedups sit near 1.0 (the executor
+//! degrades to the serial loop); multi-core runners should see the
+//! embarrassingly-parallel paths (RCS grid, capture batch) approach
+//! the core count.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ros_core::encode::SpatialCode;
+use ros_core::reader::{DriveBy, ReaderConfig};
+use ros_core::rcs_model;
+use ros_em::constants::LAMBDA_CENTER_M;
+use ros_em::{Complex64, Vec3};
+use ros_optim::{minimize_par, DeConfig, Strategy};
+use ros_radar::echo::{Echo, Pose};
+use ros_radar::radar::FmcwRadar;
+
+/// One timed pipeline path.
+struct PerfRow {
+    name: &'static str,
+    serial_ns: f64,
+    parallel_ns: f64,
+}
+
+impl PerfRow {
+    fn speedup(&self) -> f64 {
+        if self.parallel_ns > 0.0 {
+            self.serial_ns / self.parallel_ns
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// Times `work` at one thread and at the full pool.
+fn time_pair(name: &'static str, mut work: impl FnMut()) -> PerfRow {
+    ros_exec::set_threads(Some(1));
+    let serial_ns = criterion::bench_median_ns(&mut work);
+    ros_exec::set_threads(None);
+    let parallel_ns = criterion::bench_median_ns(&mut work);
+    PerfRow {
+        name,
+        serial_ns,
+        parallel_ns,
+    }
+}
+
+/// DE-GA population evaluation: one beam-shaping search with the
+/// per-generation trial batch fanned out ([`minimize_par`]).
+fn de_population_eval() {
+    let n_rows = 8;
+    let bounds = vec![(0.0, std::f64::consts::TAU * 0.9); 4];
+    let cfg = DeConfig {
+        population: 24,
+        f: 0.6,
+        cr: 0.9,
+        max_generations: 20,
+        strategy: Strategy::RandToBest1Bin,
+        seed: 0x9e4f,
+        ..Default::default()
+    };
+    let target = ros_em::geom::deg_to_rad(10.0);
+    let r = minimize_par(
+        |half| ros_antenna::shaping::flat_top_objective(half, n_rows, target),
+        &bounds,
+        &cfg,
+    );
+    criterion::black_box(r.cost);
+}
+
+/// Per-frame echo synthesis + range-FFT batch: `capture_batch` then
+/// `range_spectra_batch` over a 16-frame, 12-echo scene.
+fn radar_frame_batch() {
+    let radar = FmcwRadar::ti_eval();
+    let jobs: Vec<(Pose, Vec<Echo>)> = (0..16)
+        .map(|i| {
+            let echoes: Vec<Echo> = (0..12)
+                .map(|k| {
+                    let x = -1.5 + 0.25 * k as f64 + 0.01 * i as f64;
+                    Echo::new(
+                        Vec3::new(x, 3.0 + 0.1 * k as f64, 0.0),
+                        Complex64::from_polar(ros_em::db::db_to_lin(-38.0), 0.2 * k as f64),
+                    )
+                })
+                .collect();
+            (Pose::side_looking(Vec3::new(0.02 * i as f64, 0.0, 0.0)), echoes)
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(0xfeed);
+    let frames = radar.capture_batch(&jobs, &mut rng);
+    let spectra = radar.range_spectra_batch(&frames);
+    criterion::black_box(spectra.len());
+}
+
+/// u-grid RCS sweep: the Eq.-6 array factor on a 16 384-point grid.
+fn rcs_u_grid() {
+    let positions: Vec<f64> = (0..12).map(|k| 0.06 * k as f64).collect();
+    let rcs = rcs_model::sample_rcs_factor(&positions, LAMBDA_CENTER_M, 1.0, 16_384);
+    criterion::black_box(rcs.len());
+}
+
+/// Figure-level fan-out: six independent fast-mode drive-bys, the unit
+/// of work `--par all` distributes.
+fn figure_fanout() {
+    let seeds: Vec<u64> = (0..6).collect();
+    let outcomes = ros_exec::par_map(&seeds, |&s| {
+        let code = SpatialCode {
+            rows_per_stack: 8,
+            ..SpatialCode::paper_4bit()
+        };
+        let Ok(tag) = code.encode(&[true, false, true, true]) else {
+            return 0usize;
+        };
+        let outcome = DriveBy::new(tag, 2.0)
+            .with_seed(0x51ee_d000 + s)
+            .run(&ReaderConfig::fast());
+        outcome.bits.len()
+    });
+    criterion::black_box(outcomes.len());
+}
+
+/// Runs all four wired paths and writes `BENCH_pipeline.json`.
+pub fn run() {
+    let threads = ros_exec::threads();
+    println!("pipeline perf: serial (1 thread) vs parallel ({threads} threads)");
+    println!();
+
+    let rows = vec![
+        time_pair("de_population_eval", de_population_eval),
+        time_pair("radar_frame_batch", radar_frame_batch),
+        time_pair("rcs_u_grid", rcs_u_grid),
+        time_pair("figure_fanout", figure_fanout),
+    ];
+
+    println!(
+        "{:<22} {:>14} {:>14} {:>9}",
+        "path", "serial", "parallel", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<22} {:>11.3} ms {:>11.3} ms {:>8.2}x",
+            r.name,
+            r.serial_ns / 1e6,
+            r.parallel_ns / 1e6,
+            r.speedup()
+        );
+    }
+
+    let json = render_json(threads, &rows);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write {}: {e}", path.display()),
+    }
+}
+
+/// Hand-rolled JSON (the workspace carries no serde).
+fn render_json(threads: usize, rows: &[PerfRow]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str("  \"paths\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"serial_median_ns\": {:.1}, \"parallel_median_ns\": {:.1}, \"speedup\": {:.4}}}{comma}\n",
+            r.name, r.serial_ns, r.parallel_ns, r.speedup()
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -30,16 +30,29 @@ pub fn multi_stack_factor(positions_m: &[f64], u: f64, lambda_m: f64) -> f64 {
     re * re + im * im
 }
 
+/// Below this grid size the u-sweep runs serially — thread spawn
+/// overhead beats the arithmetic for small sweeps.
+const PAR_GRID_THRESHOLD: usize = 256;
+
 /// Samples `r_s(u)/r_T(u)` (the normalized Eq.-6 factor) on a uniform
 /// `u` grid spanning `[-u_max, u_max]`.
+///
+/// Each grid point is an independent evaluation of
+/// [`multi_stack_factor`], so large sweeps fan out over
+/// [`ros_exec::par_map_indexed`]; results are bit-identical at any
+/// thread count (per-point arithmetic is untouched and output order
+/// is the grid order).
 pub fn sample_rcs_factor(positions_m: &[f64], lambda_m: f64, u_max: f64, n: usize) -> Vec<f64> {
     assert!(n >= 2 && u_max > 0.0);
-    (0..n)
-        .map(|i| {
-            let u = -u_max + 2.0 * u_max * i.as_f64() / (n - 1).as_f64();
-            multi_stack_factor(positions_m, u, lambda_m)
-        })
-        .collect()
+    let point = |i: usize| {
+        let u = -u_max + 2.0 * u_max * i.as_f64() / (n - 1).as_f64();
+        multi_stack_factor(positions_m, u, lambda_m)
+    };
+    if n < PAR_GRID_THRESHOLD {
+        return (0..n).map(point).collect();
+    }
+    let grid: Vec<usize> = (0..n).collect();
+    ros_exec::par_map(&grid, |&i| point(i))
 }
 
 /// The RCS frequency spectrum of a sampled RCS trace.

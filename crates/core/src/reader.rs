@@ -312,23 +312,33 @@ impl DriveBy {
         }
         let center_est = self.tag.mount() + (believed[best_i] - truth[best_i]);
 
-        let mut samples = Vec::with_capacity(truth.len());
-        for ((t, pos_true), pos_believed) in times.iter().zip(&truth).zip(&believed) {
+        // Per-frame deterministic spotlight RSS fans out over worker
+        // threads; receiver noise is then added serially in frame
+        // order so the RNG stream (two draws per frame) is consumed
+        // exactly as the historical serial loop did — the output is
+        // bit-identical at any thread count.
+        let frame_jobs: Vec<(f64, Vec3)> = times.iter().copied().zip(truth.iter().copied()).collect();
+        let clean_rss: Vec<Complex64> = ros_exec::par_map(&frame_jobs, |&(t, pos_true)| {
             let block_amp = self
                 .blockages
                 .iter()
-                .filter(|b| *t >= b.t_start_s && *t <= b.t_end_s)
+                .filter(|b| t >= b.t_start_s && t <= b.t_end_s)
                 .map(|b| ros_em::db::db_to_lin(-b.attenuation_db))
                 .fold(1.0, f64::min);
             let mut rss = Complex64::ZERO;
             for refl in self.all_reflectors() {
-                for e in refl.echoes(*pos_true, tx, rx, &ctx) {
-                    let az = Pose::side_looking(*pos_true).azimuth_to(e.pos);
+                for e in refl.echoes(pos_true, tx, rx, &ctx) {
+                    let az = Pose::side_looking(pos_true).azimuth_to(e.pos);
                     let g = ros_radar::frontend::radar_pattern(az);
-                    let gate = spotlight_gain(*pos_true, e.pos, self.tag.mount());
+                    let gate = spotlight_gain(pos_true, e.pos, self.tag.mount());
                     rss += e.amp * (g * g * gate * block_amp);
                 }
             }
+            rss
+        });
+
+        let mut samples = Vec::with_capacity(truth.len());
+        for (mut rss, pos_believed) in clean_rss.into_iter().zip(&believed) {
             rss += Complex64::new(gauss(&mut rng) * sigma, gauss(&mut rng) * sigma);
             samples.push(RssSample {
                 radar_pos: *pos_believed,
@@ -348,26 +358,44 @@ impl DriveBy {
         let switched =
             RadarMode::PolarizationSwitched.polarizations(self.radar.array.native_pol);
 
-        // Capture both Tx modes per decoding frame.
+        // Capture both Tx modes per decoding frame. Jobs are laid out
+        // in the exact order the serial loop would consume the RNG
+        // (switched frame `i`, then — every `detect_stride` frames —
+        // the matching native frame), so `capture_batch`'s serial
+        // RNG pre-draw keeps the stream bit-identical while the IF
+        // synthesis itself runs on worker threads.
+        let mut jobs: Vec<(Pose, Vec<Echo>)> = Vec::with_capacity(truth.len() * 2);
+        for (i, pos_true) in truth.iter().enumerate() {
+            let pose_true = Pose::side_looking(*pos_true);
+            jobs.push((
+                pose_true,
+                self.gather_echoes(*pos_true, switched.0, switched.1, &ctx),
+            ));
+            if i % cfg.detect_stride == 0 {
+                jobs.push((
+                    pose_true,
+                    self.gather_echoes(*pos_true, native.0, native.1, &ctx),
+                ));
+            }
+        }
+        let mut frames = self.radar.capture_batch(&jobs, &mut rng).into_iter();
         let mut switched_frames = Vec::with_capacity(truth.len());
         let mut native_frames = Vec::new();
-        for (i, (pos_true, pos_believed)) in truth.iter().zip(&believed).enumerate() {
-            let pose_true = Pose::side_looking(*pos_true);
-            let echoes_sw = self.gather_echoes(*pos_true, switched.0, switched.1, &ctx);
-            let frame = self.radar.capture(pose_true, &echoes_sw, &mut rng);
+        for (i, pos_believed) in believed.iter().enumerate() {
+            let Some(frame) = frames.next() else { break };
             switched_frames.push((frame, *pos_believed));
             if i % cfg.detect_stride == 0 {
-                let echoes_nat = self.gather_echoes(*pos_true, native.0, native.1, &ctx);
-                let frame_nat = self.radar.capture(pose_true, &echoes_nat, &mut rng);
+                let Some(frame_nat) = frames.next() else { break };
                 native_frames.push((frame_nat, *pos_believed));
             }
         }
 
-        // Detection cloud from the native-mode frames.
+        // Detection cloud from the native-mode frames (detection is a
+        // pure per-frame function, so the fan-out changes nothing).
         let mut cloud = PointCloud::new();
-        for (frame, pos_believed) in &native_frames {
-            let pts = self.radar.detect(frame);
-            cloud.add_frame(&pts, &Pose::side_looking(*pos_believed));
+        let detections = ros_exec::par_map(&native_frames, |(frame, _)| self.radar.detect(frame));
+        for ((_, pos_believed), pts) in native_frames.iter().zip(&detections) {
+            cloud.add_frame(pts, &Pose::side_looking(*pos_believed));
         }
 
         // Score clusters; the RSS probe spotlights the candidate centre
@@ -452,13 +480,11 @@ impl DriveBy {
         // Decode by spotlighting the detected centre (fall back to the
         // true mount if detection failed, flagged in the outcome).
         let spot = tag_center.unwrap_or(self.tag.mount());
-        let samples: Vec<RssSample> = switched_frames
-            .iter()
-            .map(|(frame, pos_believed)| RssSample {
+        let samples: Vec<RssSample> =
+            ros_exec::par_map(&switched_frames, |(frame, pos_believed)| RssSample {
                 radar_pos: *pos_believed,
                 rss: self.radar.spotlight(frame, spot),
-            })
-            .collect();
+            });
 
         let decode_result = decode(&samples, spot, 0.0, self.tag.code(), &cfg.decoder);
 

@@ -114,7 +114,7 @@ fn flat_top_cost(half: &[f64], n_rows: usize, target_width_rad: f64) -> f64 {
 }
 
 /// The flat-top objective exposed for external optimizers (the
-/// DE-vs-PSO ablation in `ros-bench`): lower is flatter/wider.
+/// DE-vs-PSO ablation in `bench`): lower is flatter/wider.
 pub fn flat_top_objective(half: &[f64], n_rows: usize, target_width_rad: f64) -> f64 {
     flat_top_cost(half, n_rows, target_width_rad)
 }
@@ -168,6 +168,11 @@ pub fn optimize_flat_top_with_budget(
         seed: 0x0b3a_0000 + cast::u64_from_usize(n_rows),
         ..Default::default()
     };
+    // Stays on the asynchronous `minimize`: every downstream amplitude
+    // calibration (ASK levels, cached standard profiles) is frozen to
+    // this exact trajectory. The parallel generation-synchronous
+    // `minimize_par` follows a different (equally good) trajectory and
+    // is exercised by the bench perf harness and determinism tests.
     let result = minimize(
         |half| flat_top_cost(half, n_rows, target_width_rad),
         &bounds,

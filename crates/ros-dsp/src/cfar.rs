@@ -210,4 +210,38 @@ mod tests {
         )
         .is_empty());
     }
+
+    #[test]
+    fn single_sample_has_no_training_cells() {
+        // One cell: both training windows are empty, so no noise
+        // estimate exists and no detection can fire, however strong.
+        assert!(ca_cfar(&[1e9], &CfarParams::default()).is_empty());
+    }
+
+    #[test]
+    fn all_equal_power_never_fires() {
+        // A perfectly flat profile sits exactly at its own noise
+        // estimate; any threshold factor above 1 keeps it silent at
+        // every length down to the two-cell minimum.
+        for n in [2usize, 3, 5, 64] {
+            let p = vec![3.7; n];
+            let d = ca_cfar(
+                &p,
+                &CfarParams {
+                    training: 2,
+                    guard: 0,
+                    threshold_factor: 1.0 + 1e-12,
+                },
+            );
+            assert!(d.is_empty(), "fired on flat profile of length {n}");
+        }
+    }
+
+    #[test]
+    fn zero_power_profile_stays_silent() {
+        // All-zero power (e.g. a blanked frame): noise estimate is 0
+        // and `0 > k·0` is false, so nothing fires and nothing is NaN.
+        let p = vec![0.0; 32];
+        assert!(ca_cfar(&p, &CfarParams::default()).is_empty());
+    }
 }

@@ -1,0 +1,325 @@
+//! Deterministic parallel execution for the RoS pipeline.
+//!
+//! Every hot loop in the workspace — DE population evaluation, per-frame
+//! echo synthesis, u-grid RCS sweeps, figure fan-out — is a map over
+//! independent work items. This crate provides that map as a scoped-thread
+//! chunked executor with two hard guarantees the simulation layers rely on:
+//!
+//! 1. **Stable ordering** — [`par_map`] returns results in input order
+//!    regardless of how the OS schedules the worker threads. Output `i`
+//!    is always `f(items[i])`.
+//! 2. **Bit-reproducibility at any thread count** — work items never share
+//!    mutable state, each item's floating-point evaluation order is the
+//!    same as in a plain serial `iter().map()`, and randomness is derived
+//!    per item from a master seed via [`ParSeed`], never from a shared RNG
+//!    stream. `par_map` at 1, 2, or 64 threads therefore produces outputs
+//!    whose `f64::to_bits()` are identical to the serial evaluation.
+//!
+//! The worker count comes from, in priority order: the programmatic
+//! [`set_threads`] override, the `ROS_EXEC_THREADS` environment variable,
+//! and finally [`std::thread::available_parallelism`]. `ROS_EXEC_THREADS=1`
+//! turns every wired path back into plain serial execution (used by
+//! `verify.sh` to cross-check determinism).
+//!
+//! The crate is std-only: scoped threads (`std::thread::scope`) carry
+//! borrowed slices into the workers, so no `'static` bounds, no channels,
+//! and no external dependencies.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global programmatic thread-count override (0 = unset).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets (or clears, with `None`) the global worker-count override.
+///
+/// Takes precedence over `ROS_EXEC_THREADS`. Intended for benchmarks
+/// and determinism tests that compare the same code path at several
+/// thread counts within one process; library code should not call it.
+pub fn set_threads(n: Option<usize>) {
+    THREAD_OVERRIDE.store(n.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// The worker count [`par_map`] will use.
+///
+/// Resolution order: [`set_threads`] override, then `ROS_EXEC_THREADS`
+/// (a positive integer), then [`std::thread::available_parallelism`]
+/// (1 if unavailable).
+pub fn threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(var) = std::env::var("ROS_EXEC_THREADS") {
+        if let Ok(n) = var.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Parallel map with stable output ordering: `out[i] = f(&items[i])`.
+///
+/// Items are split into at most [`threads`] contiguous chunks, one scoped
+/// worker thread per chunk; within a chunk evaluation is the plain serial
+/// loop, so per-item results are bit-identical to `items.iter().map(f)`.
+///
+/// ```
+/// let squares = ros_exec::par_map(&[1i64, 2, 3, 4], |x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    run_chunked(threads(), items, &|_, item| f(item))
+}
+
+/// [`par_map`] with the item index: `out[i] = f(i, &items[i])`.
+///
+/// The index makes per-item seed derivation trivial:
+///
+/// ```
+/// use ros_exec::{par_map_indexed, ParSeed};
+/// let seeds = ParSeed::new(42);
+/// let draws = par_map_indexed(&[(); 3], |i, _| seeds.stream(i as u64));
+/// assert_eq!(draws.len(), 3);
+/// assert_ne!(draws[0], draws[1]);
+/// ```
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    run_chunked(threads(), items, &f)
+}
+
+/// [`par_map`] at an explicit worker count, ignoring the global setting.
+///
+/// Used by determinism tests and the `perf` benchmark to compare the
+/// same path at several thread counts inside one process.
+pub fn par_map_with<T, R, F>(n_threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    run_chunked(n_threads, items, &|_, item| f(item))
+}
+
+/// [`par_map_indexed`] at an explicit worker count.
+pub fn par_map_indexed_with<T, R, F>(n_threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    run_chunked(n_threads, items, &f)
+}
+
+/// The chunked scoped-thread executor behind every `par_map` variant.
+///
+/// Chunks are contiguous index ranges assembled back in chunk order, so
+/// the output ordering never depends on thread scheduling. A panic in
+/// any worker is propagated to the caller after the scope joins.
+fn run_chunked<T, R, F>(n_threads: usize, items: &[T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = n_threads.max(1).min(n);
+    if workers <= 1 {
+        // Serial fast path: no thread setup, identical evaluation order.
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk_len = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let start = w * chunk_len;
+            let end = ((w + 1) * chunk_len).min(n);
+            if start >= end {
+                break;
+            }
+            let slice = &items[start..end];
+            handles.push(scope.spawn(move || {
+                slice
+                    .iter()
+                    .enumerate()
+                    .map(|(j, t)| f(start + j, t))
+                    .collect::<Vec<R>>()
+            }));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => chunks.push(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    chunks.into_iter().flatten().collect()
+}
+
+/// Splits one master seed into independent per-item RNG seeds.
+///
+/// Each work item `i` gets `stream(i)`, a 64-bit seed derived from the
+/// master by a SplitMix64 finalizer over a Weyl sequence — the standard
+/// construction for statistically independent streams from one seed.
+/// The derivation depends only on `(master, index)`, never on which
+/// thread or in which order the item runs, which is what makes every
+/// parallelized random path bit-reproducible at any thread count
+/// (including 1).
+///
+/// ```
+/// let seeds = ros_exec::ParSeed::new(0xd21e);
+/// assert_eq!(seeds.stream(7), ros_exec::ParSeed::new(0xd21e).stream(7));
+/// assert_ne!(seeds.stream(0), seeds.stream(1));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParSeed {
+    master: u64,
+}
+
+/// Weyl-sequence increment (the SplitMix64 golden-gamma constant).
+const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// SplitMix64 finalizer: a bijective avalanche mix on 64 bits.
+fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl ParSeed {
+    /// Creates a seed splitter rooted at `master`.
+    pub fn new(master: u64) -> Self {
+        ParSeed { master }
+    }
+
+    /// The independent seed of work item `index`.
+    pub fn stream(&self, index: u64) -> u64 {
+        splitmix64(
+            self.master
+                .wrapping_add(GAMMA)
+                .wrapping_add(index.wrapping_mul(GAMMA)),
+        )
+    }
+
+    /// A nested stream: item `index` within named sub-domain `tag`.
+    ///
+    /// Use distinct tags when one master seed feeds several different
+    /// random consumers (e.g. decode-frame noise vs detect-frame noise)
+    /// so their streams can never collide at equal indices.
+    pub fn substream(&self, tag: u64, index: u64) -> u64 {
+        ParSeed::new(splitmix64(self.master ^ splitmix64(tag))).stream(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_stable_at_every_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for t in [1, 2, 3, 8, 64, 1000] {
+            let par = par_map_with(t, &items, |x| x * 3 + 1);
+            assert_eq!(par, serial, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn indexed_variant_sees_global_indices() {
+        let items = vec![10u64; 100];
+        let out = par_map_indexed_with(7, &items, |i, v| i as u64 + v);
+        let expect: Vec<u64> = (0..100).map(|i| i + 10).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn float_results_bit_identical_across_thread_counts() {
+        // A numerically touchy reduction per item: same per-item serial
+        // order ⇒ identical bits no matter the worker count.
+        let items: Vec<f64> = (0..1000).map(|i| 1e-3 * i as f64).collect();
+        let eval = |x: &f64| (0..50).fold(*x, |acc, k| (acc + 1.0 / (k as f64 + 1.7)).sin());
+        let one: Vec<u64> = par_map_with(1, &items, eval).iter().map(|v| v.to_bits()).collect();
+        for t in [2, 5, 8] {
+            let many: Vec<u64> = par_map_with(t, &items, eval).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(one, many, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(par_map_with(8, &empty, |x| *x).is_empty());
+        assert_eq!(par_map_with(8, &[5], |x| x + 1), vec![6]);
+        assert_eq!(par_map_with(3, &[1, 2], |x| x * 2), vec![2, 4]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = par_map_with(64, &[1, 2, 3], |x| x * x);
+        assert_eq!(out, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn override_takes_precedence() {
+        set_threads(Some(3));
+        assert_eq!(threads(), 3);
+        set_threads(None);
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            par_map_with(4, &[1, 2, 3, 4, 5, 6, 7, 8], |x| {
+                assert!(*x != 5, "boom");
+                *x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn par_seed_is_deterministic_and_spread() {
+        let s = ParSeed::new(0x5eed);
+        assert_eq!(s.stream(0), ParSeed::new(0x5eed).stream(0));
+        // No collisions over a modest index range (bijective mix of
+        // distinct inputs makes collisions astronomically unlikely).
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            assert!(seen.insert(s.stream(i)), "collision at {i}");
+        }
+        // Different masters diverge.
+        assert_ne!(ParSeed::new(1).stream(0), ParSeed::new(2).stream(0));
+    }
+
+    #[test]
+    fn substreams_do_not_collide_with_streams() {
+        let s = ParSeed::new(77);
+        for i in 0..100 {
+            assert_ne!(s.stream(i), s.substream(1, i));
+            assert_ne!(s.substream(1, i), s.substream(2, i));
+        }
+    }
+
+    #[test]
+    fn seeded_parallel_draws_match_serial() {
+        let s = ParSeed::new(0xabcdef);
+        let idx: Vec<u64> = (0..64).collect();
+        let serial: Vec<u64> = idx.iter().map(|&i| s.stream(i)).collect();
+        for t in [2, 8] {
+            assert_eq!(par_map_with(t, &idx, |&i| s.stream(i)), serial);
+        }
+    }
+}

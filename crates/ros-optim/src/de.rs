@@ -3,6 +3,25 @@
 //! Minimizes `f: ℝᴰ → ℝ` inside a box. The implementation is
 //! deterministic given the seed, which keeps the beam-shaping layouts
 //! (and therefore every downstream figure) reproducible.
+//!
+//! Two selection schemes coexist:
+//!
+//! * [`minimize`] — the classic **asynchronous** Storn & Price loop:
+//!   an accepted trial replaces its target immediately, so later
+//!   trials in the same generation already mutate against it. Every
+//!   historical layout (beam-shaping profiles, ASK amplitude
+//!   calibration) was produced by this trajectory, so it is preserved
+//!   bit-for-bit.
+//! * [`minimize_par`] — **generation-synchronous** selection: each
+//!   generation draws all of its randomness and builds all `NP` trial
+//!   vectors against the generation-start population, evaluates the
+//!   whole batch (fanned out over [`ros_exec::par_map`]), and only
+//!   then applies the greedy replacement. Because the RNG stream never
+//!   depends on objective values and each trial evaluates
+//!   independently, the result is bit-identical at any thread count —
+//!   the property `tests/determinism.rs` locks down. The two schemes
+//!   converge to the same optima but follow different trajectories,
+//!   so they are deliberately separate entry points.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -189,6 +208,140 @@ where
     }
 }
 
+/// Generation-synchronous DE with the per-generation trial batch
+/// evaluated in parallel on [`ros_exec`]'s scoped-thread executor.
+///
+/// Requires `F: Fn + Sync` (shared read-only across workers). The
+/// result is **bit-identical at any worker count** — including
+/// `ROS_EXEC_THREADS=1` — because the RNG stream is drawn before
+/// evaluation and never depends on objective values, and each trial is
+/// evaluated independently. It is *not* the same trajectory as
+/// [`minimize`] (synchronous vs asynchronous selection; see the module
+/// docs), though it converges to the same optima on the benchmark
+/// suite.
+///
+/// # Panics
+/// Panics on the same invalid inputs as [`minimize`].
+pub fn minimize_par<F>(f: F, bounds: &[(f64, f64)], config: &DeConfig) -> DeResult
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    let dim = bounds.len();
+    assert!(dim > 0, "at least one dimension required");
+    assert!(
+        bounds.iter().all(|&(lo, hi)| lo <= hi),
+        "every bound must satisfy lo <= hi"
+    );
+    assert!(config.population >= 4, "DE needs a population of at least 4");
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let np = config.population;
+
+    // Initial population: uniform in the box.
+    let mut pop: Vec<Vec<f64>> = (0..np)
+        .map(|_| {
+            bounds
+                .iter()
+                .map(|&(lo, hi)| if lo == hi { lo } else { rng.gen_range(lo..hi) })
+                .collect()
+        })
+        .collect();
+    let mut costs: Vec<f64> = ros_exec::par_map(&pop, |x| f(x));
+    let mut evaluations = np;
+
+    let mut best_idx = argmin(&costs);
+
+    let mut generation = 0;
+    while generation < config.max_generations {
+        generation += 1;
+
+        // Draw all randomness and build all NP trials against the
+        // generation-start population (synchronous DE). The draw order
+        // per member — r1/r2/r3, forced gene, CR coin per gene — is
+        // cost-independent, so every thread count sees the same stream.
+        let trials: Vec<Vec<f64>> = (0..np)
+            .map(|i| {
+                // Pick distinct indices r1, r2, r3 ≠ i.
+                let mut pick = || loop {
+                    let r = rng.gen_range(0..np);
+                    if r != i {
+                        return r;
+                    }
+                };
+                let r1 = pick();
+                let r2 = loop {
+                    let r = pick();
+                    if r != r1 {
+                        break r;
+                    }
+                };
+                let r3 = loop {
+                    let r = pick();
+                    if r != r1 && r != r2 {
+                        break r;
+                    }
+                };
+
+                // Mutant vector.
+                let mutant: Vec<f64> = (0..dim)
+                    .map(|d| match config.strategy {
+                        Strategy::Rand1Bin => pop[r1][d] + config.f * (pop[r2][d] - pop[r3][d]),
+                        Strategy::Best1Bin => {
+                            pop[best_idx][d] + config.f * (pop[r1][d] - pop[r2][d])
+                        }
+                        Strategy::RandToBest1Bin => {
+                            pop[i][d]
+                                + config.f * (pop[best_idx][d] - pop[i][d])
+                                + config.f * (pop[r1][d] - pop[r2][d])
+                        }
+                    })
+                    .collect();
+
+                // Binomial crossover with a guaranteed mutant gene.
+                let forced = rng.gen_range(0..dim);
+                (0..dim)
+                    .map(|d| {
+                        let take_mutant = d == forced || rng.gen::<f64>() < config.cr;
+                        let v = if take_mutant { mutant[d] } else { pop[i][d] };
+                        v.clamp(bounds[d].0, bounds[d].1)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Evaluate the whole batch (the parallelizable step), then
+        // apply greedy one-to-one selection.
+        let trial_costs = ros_exec::par_map(&trials, |x| f(x));
+        evaluations += np;
+        for (i, (trial, trial_cost)) in trials.into_iter().zip(trial_costs).enumerate() {
+            if trial_cost <= costs[i] {
+                pop[i] = trial;
+                costs[i] = trial_cost;
+                if trial_cost < costs[best_idx] {
+                    best_idx = i;
+                }
+            }
+        }
+
+        if costs[best_idx] <= config.target_cost {
+            break;
+        }
+        if config.tol > 0.0 {
+            let worst = costs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            if worst - costs[best_idx] < config.tol {
+                break;
+            }
+        }
+    }
+
+    DeResult {
+        x: pop[best_idx].clone(),
+        cost: costs[best_idx],
+        generations: generation,
+        evaluations,
+    }
+}
+
 fn argmin(xs: &[f64]) -> usize {
     let mut best = 0;
     for (i, &x) in xs.iter().enumerate() {
@@ -321,6 +474,42 @@ mod tests {
     #[should_panic(expected = "lo <= hi")]
     fn inverted_bounds_rejected() {
         minimize(testfn::sphere, &[(1.0, -1.0)], &DeConfig::default());
+    }
+
+    #[test]
+    fn parallel_bit_identical_across_thread_counts() {
+        let bounds = vec![(-5.0, 5.0); 4];
+        let cfg = DeConfig {
+            max_generations: 60,
+            seed: 0xbeef,
+            ..Default::default()
+        };
+        ros_exec::set_threads(Some(1));
+        let serial = minimize_par(testfn::rastrigin, &bounds, &cfg);
+        for t in [2, 8] {
+            ros_exec::set_threads(Some(t));
+            let par = minimize_par(testfn::rastrigin, &bounds, &cfg);
+            assert_eq!(serial.cost.to_bits(), par.cost.to_bits(), "threads={t}");
+            for (a, b) in serial.x.iter().zip(&par.x) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={t}");
+            }
+            assert_eq!(serial.evaluations, par.evaluations);
+            assert_eq!(serial.generations, par.generations);
+        }
+        ros_exec::set_threads(None);
+    }
+
+    #[test]
+    fn parallel_variant_solves_benchmarks() {
+        let r = minimize_par(testfn::sphere, &[(-5.0, 5.0); 4], &DeConfig::default());
+        assert!(r.cost < 1e-6, "sphere cost {}", r.cost);
+        let cfg = DeConfig {
+            population: 60,
+            max_generations: 800,
+            ..Default::default()
+        };
+        let r = minimize_par(testfn::rastrigin, &[(-5.12, 5.12); 3], &cfg);
+        assert!(r.cost < 1e-3, "rastrigin cost {}", r.cost);
     }
 
     #[test]

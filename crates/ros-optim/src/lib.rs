@@ -22,5 +22,5 @@ pub mod de;
 pub mod pso;
 pub mod testfn;
 
-pub use de::{minimize, DeConfig, DeResult, Strategy};
+pub use de::{minimize, minimize_par, DeConfig, DeResult, Strategy};
 pub use pso::{minimize_pso, PsoConfig};

@@ -71,17 +71,15 @@ pub fn per_sample_noise_sigma(budget: &RadarLinkBudget, chirp: &ChirpConfig, arr
     (total / 2.0).sqrt()
 }
 
-/// Synthesizes the IF frame for a set of echoes.
-///
-/// `rng` drives the AWGN; pass a seeded RNG for reproducible
-/// experiments.
-pub fn synthesize_frame<R: Rng>(
+/// Synthesizes the *deterministic* part of an IF frame: every echo's
+/// beat tone with steering phases and the radar's own antenna pattern,
+/// but **no thermal noise**. Pure function of its inputs — safe to run
+/// on worker threads ([`synthesize_frame`] layers the noise on top).
+pub fn synthesize_signal(
     chirp: &ChirpConfig,
     array: &RadarArray,
-    budget: &RadarLinkBudget,
     pose: Pose,
     echoes: &[Echo],
-    rng: &mut R,
 ) -> Frame {
     let n = chirp.n_samples;
     let k_rx = array.n_rx;
@@ -112,15 +110,55 @@ pub fn synthesize_frame<R: Rng>(
         }
     }
 
-    // Thermal noise.
-    let sigma = per_sample_noise_sigma(budget, chirp, array);
-    for ant in data.iter_mut() {
-        for s in ant.iter_mut() {
-            *s += Complex64::new(gaussian(rng) * sigma, gaussian(rng) * sigma);
+    Frame { data, pose }
+}
+
+/// Unit-variance complex Gaussian draws for one frame's thermal noise:
+/// `out[k][n]` pairs with sample `n` of antenna `k`. Draws consume the
+/// RNG in exactly the order [`synthesize_frame`] historically did
+/// (antenna-major, sample-major, re before im), so pre-drawing packets
+/// for a batch and applying them later is bit-identical to the serial
+/// capture loop.
+pub fn draw_noise<R: Rng>(n_rx: usize, n_samples: usize, rng: &mut R) -> Vec<Vec<Complex64>> {
+    (0..n_rx)
+        .map(|_| {
+            (0..n_samples)
+                .map(|_| {
+                    let re = gaussian(rng);
+                    let im = gaussian(rng);
+                    Complex64::new(re, im)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Adds pre-drawn unit-variance noise (from [`draw_noise`]), scaled by
+/// `sigma`, onto a frame. Deterministic; safe on worker threads.
+pub fn add_noise(frame: &mut Frame, noise: &[Vec<Complex64>], sigma: f64) {
+    for (ant, nz) in frame.data.iter_mut().zip(noise) {
+        for (s, g) in ant.iter_mut().zip(nz) {
+            *s += Complex64::new(g.re * sigma, g.im * sigma);
         }
     }
+}
 
-    Frame { data, pose }
+/// Synthesizes the IF frame for a set of echoes.
+///
+/// `rng` drives the AWGN; pass a seeded RNG for reproducible
+/// experiments.
+pub fn synthesize_frame<R: Rng>(
+    chirp: &ChirpConfig,
+    array: &RadarArray,
+    budget: &RadarLinkBudget,
+    pose: Pose,
+    echoes: &[Echo],
+    rng: &mut R,
+) -> Frame {
+    let mut frame = synthesize_signal(chirp, array, pose, echoes);
+    let noise = draw_noise(array.n_rx, chirp.n_samples, rng);
+    add_noise(&mut frame, &noise, per_sample_noise_sigma(budget, chirp, array));
+    frame
 }
 
 /// Standard normal sample via Box–Muller (avoids a rand_distr dep).

@@ -71,8 +71,16 @@ impl Impairments {
         if self.is_clean() {
             return;
         }
-        let n = frame.n_samples();
+        let walk = self.draw_walk(frame.n_samples(), rng);
+        self.apply_with_walk(frame, &walk);
+    }
 
+    /// Draws the per-frame phase random walk (the only stochastic part
+    /// of the impairment chain). Consumes the RNG exactly as [`apply`]
+    /// does — zero draws when phase noise is off — so walks can be
+    /// pre-drawn serially for a batch and applied on worker threads
+    /// via [`apply_with_walk`] with bit-identical results.
+    pub fn draw_walk<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<f64> {
         // Phase noise: one random walk shared by all antennas (common
         // LO), refreshed per frame.
         let mut walk = vec![0.0f64; n];
@@ -83,7 +91,15 @@ impl Impairments {
                 *w = acc;
             }
         }
+        walk
+    }
 
+    /// Deterministic half of [`apply`]: impairs a frame with a
+    /// pre-drawn phase walk. Safe on worker threads.
+    pub fn apply_with_walk(&self, frame: &mut Frame, walk: &[f64]) {
+        if self.is_clean() {
+            return;
+        }
         for ant in frame.data.iter_mut() {
             for (i, s) in ant.iter_mut().enumerate() {
                 let mut v = *s;

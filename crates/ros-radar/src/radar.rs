@@ -72,9 +72,57 @@ impl FmcwRadar {
         frame
     }
 
+    /// Captures a batch of frames, bit-identical to calling
+    /// [`FmcwRadar::capture`] once per job in order.
+    ///
+    /// The RNG is consumed serially up front — per frame, the thermal
+    /// noise draws then the impairment phase walk, exactly the order
+    /// the serial loop uses — while the deterministic synthesis
+    /// (echo beat tones, noise/impairment application) fans out over
+    /// [`ros_exec::par_map_indexed`]. Output order matches job order
+    /// at any thread count.
+    pub fn capture_batch<R: Rng>(&self, jobs: &[(Pose, Vec<Echo>)], rng: &mut R) -> Vec<Frame> {
+        let n = self.chirp.n_samples;
+        let k_rx = self.array.n_rx;
+        let packets: Vec<(Vec<Vec<Complex64>>, Vec<f64>)> = jobs
+            .iter()
+            .map(|_| {
+                let noise = crate::frontend::draw_noise(k_rx, n, rng);
+                let walk = if self.impairments.is_clean() {
+                    Vec::new()
+                } else {
+                    self.impairments.draw_walk(n, rng)
+                };
+                (noise, walk)
+            })
+            .collect();
+        let sigma = crate::frontend::per_sample_noise_sigma(&self.budget, &self.chirp, &self.array);
+        ros_exec::par_map_indexed(&packets, |i, (noise, walk)| {
+            let (pose, echoes) = &jobs[i];
+            let mut frame =
+                crate::frontend::synthesize_signal(&self.chirp, &self.array, *pose, echoes);
+            crate::frontend::add_noise(&mut frame, noise, sigma);
+            self.impairments.apply_with_walk(&mut frame, walk);
+            frame
+        })
+    }
+
     /// Detects prominent reflectors in a frame (local polar points).
     pub fn detect(&self, frame: &Frame) -> Vec<RadarPoint> {
         processing::detect_points(frame, &self.chirp, &self.array, &self.cfar, 2)
+    }
+
+    /// Runs [`FmcwRadar::detect`] (range FFT + CFAR + AoA sweep) over
+    /// a batch of frames in parallel. Detection is a pure function of
+    /// each frame, so the output is identical to a serial loop.
+    pub fn detect_batch(&self, frames: &[Frame]) -> Vec<Vec<RadarPoint>> {
+        ros_exec::par_map(frames, |f| self.detect(f))
+    }
+
+    /// Computes per-frame range spectra ([`processing::range_spectra`])
+    /// over a batch of frames in parallel.
+    pub fn range_spectra_batch(&self, frames: &[Frame]) -> Vec<Vec<Vec<Complex64>>> {
+        ros_exec::par_map(frames, processing::range_spectra)
     }
 
     /// Spotlight-beamforms on a known world position, returning the
@@ -132,6 +180,67 @@ mod tests {
                 .any(|p| (p.range_m - 4.0).abs() < 0.2 && p.rss_dbm() > -70.0),
             "ghost detection of sub-floor target"
         );
+    }
+
+    #[test]
+    fn capture_batch_matches_serial_captures() {
+        for impairments in [Impairments::default(), Impairments::eval_board()] {
+            let mut radar = FmcwRadar::ti_eval();
+            radar.impairments = impairments;
+            let jobs: Vec<(Pose, Vec<Echo>)> = (0..5)
+                .map(|i| {
+                    let x = -1.0 + 0.5 * i as f64;
+                    let echo = Echo::new(
+                        Vec3::new(x, 3.0, 0.0),
+                        Complex64::from_polar(10f64.powf(-40.0 / 20.0), 0.1 * i as f64),
+                    );
+                    (Pose::side_looking(Vec3::ZERO), vec![echo])
+                })
+                .collect();
+            let mut rng = StdRng::seed_from_u64(77);
+            let serial: Vec<Frame> = jobs
+                .iter()
+                .map(|(pose, echoes)| radar.capture(*pose, echoes, &mut rng))
+                .collect();
+            let mut rng = StdRng::seed_from_u64(77);
+            let batch = radar.capture_batch(&jobs, &mut rng);
+            assert_eq!(serial.len(), batch.len());
+            for (a, b) in serial.iter().zip(&batch) {
+                for (ra, rb) in a.data.iter().zip(&b.data) {
+                    for (sa, sb) in ra.iter().zip(rb) {
+                        assert_eq!(sa.re.to_bits(), sb.re.to_bits());
+                        assert_eq!(sa.im.to_bits(), sb.im.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn detect_batch_matches_serial_detect() {
+        let radar = FmcwRadar::ti_eval();
+        let mut rng = StdRng::seed_from_u64(42);
+        let jobs: Vec<(Pose, Vec<Echo>)> = (0..4)
+            .map(|i| {
+                let echo = Echo::new(
+                    Vec3::new(0.3 * i as f64, 3.5, 0.0),
+                    Complex64::from_polar(10f64.powf(-35.0 / 20.0), 0.0),
+                );
+                (Pose::side_looking(Vec3::ZERO), vec![echo])
+            })
+            .collect();
+        let frames = radar.capture_batch(&jobs, &mut rng);
+        let serial: Vec<Vec<RadarPoint>> = frames.iter().map(|f| radar.detect(f)).collect();
+        let batch = radar.detect_batch(&frames);
+        assert_eq!(serial.len(), batch.len());
+        for (a, b) in serial.iter().zip(&batch) {
+            assert_eq!(a.len(), b.len());
+            for (pa, pb) in a.iter().zip(b) {
+                assert_eq!(pa.range_m.to_bits(), pb.range_m.to_bits());
+                assert_eq!(pa.azimuth_rad.to_bits(), pb.azimuth_rad.to_bits());
+                assert_eq!(pa.power_mw.to_bits(), pb.power_mw.to_bits());
+            }
+        }
     }
 
     #[test]

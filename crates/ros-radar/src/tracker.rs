@@ -178,6 +178,43 @@ mod tests {
     }
 
     #[test]
+    fn no_measurement_on_empty_track_is_noop() {
+        let mut t = AlphaBetaTracker::roadside();
+        assert!(!t.step(0.1, None));
+        assert!(t.position().is_none());
+        assert_eq!(t.updates(), 0);
+        assert_eq!(t.misses(), 0);
+        assert!(!t.confirmed(1));
+    }
+
+    #[test]
+    fn zero_dt_update_keeps_velocity_finite() {
+        let mut t = AlphaBetaTracker::roadside();
+        t.step(0.0, Some(Vec3::new(1.0, 2.0, 0.0)));
+        // Second measurement at dt == 0: the β/dt velocity correction
+        // is guarded, so velocity stays finite instead of going NaN.
+        assert!(t.step(0.0, Some(Vec3::new(1.1, 2.0, 0.0))));
+        let v = t.velocity().unwrap();
+        assert!(v.x.is_finite() && v.y.is_finite());
+        assert_eq!(v, Vec3::ZERO);
+        // The position correction still applies.
+        assert!(t.position().unwrap().x > 1.0);
+    }
+
+    #[test]
+    fn measurement_exactly_at_gate_is_accepted() {
+        let mut t = AlphaBetaTracker::roadside();
+        t.step(0.1, Some(Vec3::new(0.0, 3.0, 0.0)));
+        let gate = t.gate_m;
+        // Distance equal to the gate is inside (`<=`), just past it
+        // is outside.
+        assert!(t.step(0.1, Some(Vec3::new(gate, 3.0, 0.0))));
+        assert_eq!(t.misses(), 0);
+        assert!(!t.step(0.1, Some(Vec3::new(gate * 3.0, 3.0, 0.0))));
+        assert_eq!(t.misses(), 1);
+    }
+
+    #[test]
     fn confirmation_threshold() {
         let mut t = AlphaBetaTracker::roadside();
         for _ in 0..3 {

@@ -301,6 +301,26 @@ fn check_file(rel: &Path, text: &str, out: &mut Vec<Violation>) {
             }
         }
 
+        // Rule: no-raw-spawn (everywhere outside crates/ros-exec).
+        // All fan-out goes through the ros-exec executor: ad-hoc
+        // threads dodge the `ROS_EXEC_THREADS` override, the chunked
+        // ordering guarantee, and the determinism tests built on both.
+        if crate_name != "ros-exec" {
+            for needle in ["thread::spawn", "thread::scope", "thread::Builder"] {
+                if clean.contains(needle) {
+                    out.push(Violation {
+                        file: rel.to_path_buf(),
+                        line: line_no,
+                        rule: "no-raw-spawn",
+                        message: format!(
+                            "direct `{needle}`; fan out through ros_exec::par_map so the \
+                             thread-count override and determinism guarantees hold"
+                        ),
+                    });
+                }
+            }
+        }
+
         // Rule: no-raw-cast (library crates only, marker-suppressible).
         if is_library && !has_allow_cast_marker(&raw_lines, idx) {
             for ty in find_numeric_casts(clean) {
@@ -484,6 +504,31 @@ mod tests {
         let mut out = Vec::new();
         check_file(Path::new("crates/ros-em/src/sample.rs"), src, &mut out);
         out.iter().map(|v| format!("{}:{}", v.rule, v.line)).collect()
+    }
+
+    #[test]
+    fn flags_raw_thread_spawn() {
+        let hits = scan_str("fn f() { std::thread::spawn(|| {}); }\n");
+        assert_eq!(hits, ["no-raw-spawn:1"]);
+        let hits = scan_str("fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n");
+        assert_eq!(hits, ["no-raw-spawn:1"]);
+    }
+
+    #[test]
+    fn ros_exec_may_spawn() {
+        let mut out = Vec::new();
+        check_file(
+            Path::new("crates/ros-exec/src/lib.rs"),
+            "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n",
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn spawn_in_test_block_is_fine() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(scan_str(src).is_empty());
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! Bit-reproducibility of every pipeline path wired into the
+//! [`ros_exec`] scoped-thread executor.
+//!
+//! The contract (DESIGN.md §9): parallel output is **bit-identical**
+//! (`f64::to_bits`) to the one-thread run at *any* worker count. Each
+//! test runs a path at 1, 2, and 8 threads and compares against the
+//! 1-thread reference. Random draws never move into workers — RNG
+//! packets are pre-drawn serially in the historical order, so the
+//! streams are unchanged too.
+//!
+//! `ros_exec::set_threads` is process-global; the shared [`LOCK`]
+//! serializes these tests within the binary, and a drop guard restores
+//! the default (`ROS_EXEC_THREADS` / core count) even on panic.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ros_core::encode::SpatialCode;
+use ros_core::reader::{DriveBy, Outcome, ReaderConfig};
+use ros_core::rcs_model;
+use ros_em::constants::LAMBDA_CENTER_M;
+use ros_em::{Complex64, Vec3};
+use ros_exec::ParSeed;
+use ros_optim::{minimize_par, DeConfig, Strategy};
+use ros_radar::echo::{Echo, Pose};
+use ros_radar::radar::FmcwRadar;
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// The worker counts every path is checked at (1 is the reference).
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Runs `f` with the executor pinned to `n` workers, holding the
+/// global lock and restoring the default afterwards (even on panic).
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            ros_exec::set_threads(None);
+        }
+    }
+    let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let _restore = Restore;
+    ros_exec::set_threads(Some(n));
+    f()
+}
+
+fn assert_f64_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: element {i} differs ({x} vs {y})"
+        );
+    }
+}
+
+fn assert_complex_bits_eq(a: &[Complex64], b: &[Complex64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.re.to_bits(), y.re.to_bits(), "{what}: re {i} differs");
+        assert_eq!(x.im.to_bits(), y.im.to_bits(), "{what}: im {i} differs");
+    }
+}
+
+#[test]
+fn par_map_preserves_order_and_values() {
+    let items: Vec<u64> = (0..103).collect();
+    let serial: Vec<f64> = items.iter().map(|&x| (x as f64 + 0.5).sqrt().sin()).collect();
+    for n in THREAD_COUNTS {
+        let par = with_threads(n, || {
+            ros_exec::par_map(&items, |&x| (x as f64 + 0.5).sqrt().sin())
+        });
+        assert_f64_bits_eq(&serial, &par, &format!("par_map@{n}"));
+
+        let indexed = with_threads(n, || {
+            ros_exec::par_map_indexed(&items, |i, &x| i as f64 * 1e-3 + (x as f64).cos())
+        });
+        let expect: Vec<f64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| i as f64 * 1e-3 + (x as f64).cos())
+            .collect();
+        assert_f64_bits_eq(&expect, &indexed, &format!("par_map_indexed@{n}"));
+    }
+}
+
+#[test]
+fn par_seed_streams_are_stable_and_distinct() {
+    let seed = ParSeed::new(0xD00D_F00D);
+    let streams: Vec<u64> = (0..64).map(|i| seed.stream(i)).collect();
+    // Deterministic: same derivation twice.
+    let again: Vec<u64> = (0..64).map(|i| seed.stream(i)).collect();
+    assert_eq!(streams, again);
+    // Distinct across indices and from the substream space.
+    for i in 0..64 {
+        for j in 0..64 {
+            if i != j {
+                assert_ne!(streams[i], streams[j], "stream collision {i}/{j}");
+            }
+            assert_ne!(
+                streams[i],
+                seed.substream(1, j as u64),
+                "stream/substream collision {i}/{j}"
+            );
+        }
+    }
+}
+
+#[test]
+fn rcs_u_grid_bit_identical_across_thread_counts() {
+    // n > PAR_GRID_THRESHOLD so the parallel branch actually engages.
+    let positions: Vec<f64> = (0..9).map(|k| 0.055 * k as f64).collect();
+    let n = 4096;
+    let reference = with_threads(1, || {
+        rcs_model::sample_rcs_factor(&positions, LAMBDA_CENTER_M, 1.0, n)
+    });
+    for t in THREAD_COUNTS {
+        let par = with_threads(t, || {
+            rcs_model::sample_rcs_factor(&positions, LAMBDA_CENTER_M, 1.0, n)
+        });
+        assert_f64_bits_eq(&reference, &par, &format!("sample_rcs_factor@{t}"));
+    }
+}
+
+#[test]
+fn de_minimize_par_bit_identical_across_thread_counts() {
+    let sphere = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+    let bounds = vec![(-4.0, 4.0); 6];
+    let cfg = DeConfig {
+        population: 24,
+        f: 0.7,
+        cr: 0.9,
+        max_generations: 60,
+        strategy: Strategy::RandToBest1Bin,
+        seed: 0xBEEF,
+        ..Default::default()
+    };
+    let reference = with_threads(1, || minimize_par(sphere, &bounds, &cfg));
+    for t in THREAD_COUNTS {
+        let r = with_threads(t, || minimize_par(sphere, &bounds, &cfg));
+        assert_eq!(r.cost.to_bits(), reference.cost.to_bits(), "cost@{t}");
+        assert_f64_bits_eq(&reference.x, &r.x, &format!("minimize_par x@{t}"));
+        assert_eq!(r.evaluations, reference.evaluations, "evaluations@{t}");
+        assert_eq!(r.generations, reference.generations, "generations@{t}");
+    }
+}
+
+fn capture_jobs() -> Vec<(Pose, Vec<Echo>)> {
+    (0..5)
+        .map(|i| {
+            let echoes: Vec<Echo> = (0..7)
+                .map(|k| {
+                    Echo::new(
+                        Vec3::new(-0.9 + 0.3 * k as f64, 2.5 + 0.05 * i as f64, 0.0),
+                        Complex64::from_polar(ros_em::db::db_to_lin(-40.0), 0.31 * k as f64),
+                    )
+                })
+                .collect();
+            (
+                Pose::side_looking(Vec3::new(0.04 * i as f64, 0.0, 0.0)),
+                echoes,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn capture_batch_bit_identical_across_thread_counts() {
+    let radar = FmcwRadar::ti_eval();
+    let jobs = capture_jobs();
+    let reference = with_threads(1, || {
+        let mut rng = StdRng::seed_from_u64(0xA11CE);
+        radar.capture_batch(&jobs, &mut rng)
+    });
+    for t in THREAD_COUNTS {
+        let frames = with_threads(t, || {
+            let mut rng = StdRng::seed_from_u64(0xA11CE);
+            radar.capture_batch(&jobs, &mut rng)
+        });
+        assert_eq!(frames.len(), reference.len());
+        for (f, r) in frames.iter().zip(&reference) {
+            for (fa, ra) in f.data.iter().zip(&r.data) {
+                assert_complex_bits_eq(ra, fa, &format!("capture_batch@{t}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn detect_batch_bit_identical_across_thread_counts() {
+    let radar = FmcwRadar::ti_eval();
+    let jobs = capture_jobs();
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let frames = {
+        let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        radar.capture_batch(&jobs, &mut rng)
+    };
+    let reference = with_threads(1, || radar.detect_batch(&frames));
+    for t in THREAD_COUNTS {
+        let points = with_threads(t, || radar.detect_batch(&frames));
+        assert_eq!(points.len(), reference.len());
+        for (ps, rs) in points.iter().zip(&reference) {
+            assert_eq!(ps.len(), rs.len(), "detect_batch@{t}: point count");
+            for (p, r) in ps.iter().zip(rs) {
+                assert_eq!(p.range_m.to_bits(), r.range_m.to_bits(), "range@{t}");
+                assert_eq!(
+                    p.azimuth_rad.to_bits(),
+                    r.azimuth_rad.to_bits(),
+                    "azimuth@{t}"
+                );
+                assert_eq!(p.power_mw.to_bits(), r.power_mw.to_bits(), "power@{t}");
+            }
+        }
+    }
+}
+
+fn drive_by_outcome(cfg: &ReaderConfig) -> Outcome {
+    let code = SpatialCode {
+        rows_per_stack: 8,
+        ..SpatialCode::paper_4bit()
+    };
+    let tag = code
+        .encode(&[true, false, true, true])
+        .expect("valid 4-bit word");
+    DriveBy::new(tag, 2.0).with_seed(0xD811).run(cfg)
+}
+
+fn assert_outcomes_bit_identical(a: &Outcome, b: &Outcome, what: &str) {
+    assert_eq!(a.bits, b.bits, "{what}: decoded bits");
+    assert_eq!(a.rss_trace.len(), b.rss_trace.len(), "{what}: trace length");
+    for (sa, sb) in a.rss_trace.iter().zip(&b.rss_trace) {
+        assert_eq!(sa.rss.re.to_bits(), sb.rss.re.to_bits(), "{what}: rss re");
+        assert_eq!(sa.rss.im.to_bits(), sb.rss.im.to_bits(), "{what}: rss im");
+        assert_eq!(
+            sa.radar_pos.x.to_bits(),
+            sb.radar_pos.x.to_bits(),
+            "{what}: pos"
+        );
+    }
+    match (&a.decode, &b.decode) {
+        (Some(da), Some(db)) => {
+            assert_eq!(
+                da.snr_linear.to_bits(),
+                db.snr_linear.to_bits(),
+                "{what}: snr"
+            );
+            assert_f64_bits_eq(
+                &da.slot_amplitudes,
+                &db.slot_amplitudes,
+                &format!("{what}: slot amplitudes"),
+            );
+        }
+        (None, None) => {}
+        _ => panic!("{what}: one run decoded, the other did not"),
+    }
+}
+
+#[test]
+fn drive_by_fast_bit_identical_across_thread_counts() {
+    let cfg = ReaderConfig::fast();
+    let reference = with_threads(1, || drive_by_outcome(&cfg));
+    for t in THREAD_COUNTS {
+        let o = with_threads(t, || drive_by_outcome(&cfg));
+        assert_outcomes_bit_identical(&reference, &o, &format!("fast@{t}"));
+    }
+}
+
+#[test]
+fn drive_by_full_bit_identical_across_thread_counts() {
+    let cfg = ReaderConfig::full();
+    let reference = with_threads(1, || drive_by_outcome(&cfg));
+    for t in THREAD_COUNTS {
+        let o = with_threads(t, || drive_by_outcome(&cfg));
+        assert_outcomes_bit_identical(&reference, &o, &format!("full@{t}"));
+    }
+}

@@ -330,3 +330,92 @@ proptest! {
         prop_assert!((sum.ratio() - lin).abs() < 1e-9 * lin);
     }
 }
+
+// DSP kernel agreement properties: every "fast path" (CZT zoom,
+// Goertzel single bin, non-uniform resampling) must agree with its
+// textbook reference on arbitrary inputs, not just the fixtures the
+// unit tests pin down.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Linear resampling preserves monotonicity: a nondecreasing trace
+    /// in stays nondecreasing out, including the clamped extrapolation
+    /// beyond the sample hull.
+    #[test]
+    fn resample_preserves_monotonicity(
+        steps in prop::collection::vec((0.01f64..1.0, 0.0f64..1.0), 2..40),
+        n in 2usize..64,
+        margin in 0.0f64..1.0,
+    ) {
+        let mut x = 0.0;
+        let mut y = 0.0;
+        let samples: Vec<Sample> = steps
+            .iter()
+            .map(|&(dx, dy)| {
+                x += dx;
+                y += dy;
+                Sample { x, y }
+            })
+            .collect();
+        let x0 = samples[0].x - margin;
+        let x1 = samples[samples.len() - 1].x + margin;
+        let out = resample_uniform(samples, x0, x1, n);
+        prop_assert_eq!(out.len(), n);
+        for w in out.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12, "not monotone: {} then {}", w[0], w[1]);
+        }
+    }
+
+    /// The Bluestein CZT on the unit DFT grid matches the direct DFT
+    /// sum for small arbitrary lengths — including non-powers-of-two,
+    /// which the FFT comparison above cannot cover.
+    #[test]
+    fn czt_matches_direct_dft_small_n(
+        values in prop::collection::vec((-1e2f64..1e2, -1e2f64..1e2), 2..17),
+    ) {
+        let n = values.len();
+        let x: Vec<Complex64> = values
+            .iter()
+            .map(|&(re, im)| Complex64::new(re, im))
+            .collect();
+        let w = Complex64::cis(-std::f64::consts::TAU / n as f64);
+        let out = ros_dsp::czt::czt(&x, n, w, Complex64::ONE);
+        prop_assert_eq!(out.len(), n);
+        for (k, got) in out.iter().enumerate() {
+            let mut direct = Complex64::ZERO;
+            for (i, &xi) in x.iter().enumerate() {
+                let ph = -std::f64::consts::TAU * (i * k) as f64 / n as f64;
+                direct += xi * Complex64::cis(ph);
+            }
+            prop_assert!(
+                (*got - direct).abs() < 1e-6 * (1.0 + direct.abs()),
+                "bin {k}: czt {got:?} vs direct {direct:?}"
+            );
+        }
+    }
+
+    /// Goertzel-style single-bin evaluation agrees with the FFT at
+    /// every on-grid bin (the FFT is unnormalized; `single_bin`
+    /// divides by N).
+    #[test]
+    fn goertzel_matches_fft_bin(
+        values in prop::collection::vec((-1e2f64..1e2, -1e2f64..1e2), 2..65),
+        k_raw in any::<usize>(),
+    ) {
+        let n = values.len().next_power_of_two();
+        let mut x: Vec<Complex64> = values
+            .iter()
+            .map(|&(re, im)| Complex64::new(re, im))
+            .collect();
+        x.resize(n, Complex64::ZERO);
+        let k = k_raw % n;
+        let got = ros_dsp::goertzel::single_bin(&x, k as f64 / n as f64);
+        let mut spec = x.clone();
+        fft_in_place(&mut spec);
+        let want = spec[k] / n as f64;
+        prop_assert!(
+            (got - want).abs() < 1e-9 * (1.0 + want.abs()),
+            "bin {k}/{n}: goertzel {got:?} vs fft {want:?}"
+        );
+    }
+}

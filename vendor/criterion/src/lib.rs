@@ -93,6 +93,18 @@ impl Bencher {
     }
 }
 
+/// Times `f` with the stub's warm-up + measurement loop and returns
+/// the median per-iteration time in nanoseconds.
+///
+/// Programmatic access for perf harnesses that write machine-readable
+/// reports (the upstream crate exposes this via its analysis output;
+/// the stub keeps a minimal equivalent).
+pub fn bench_median_ns<O, F: FnMut() -> O>(f: F) -> f64 {
+    let mut b = Bencher::new();
+    b.iter(f);
+    b.median_ns_per_iter()
+}
+
 fn report(name: &str, b: &Bencher) {
     let ns = b.median_ns_per_iter();
     if ns.is_nan() {

@@ -1,7 +1,7 @@
 #!/bin/sh
-# Pre-merge verification: build, test, then the static-analysis gate.
-# Each stage must pass before the next runs; any failure aborts with a
-# non-zero exit.
+# Pre-merge verification: build, test, determinism at multiple thread
+# counts, then the static-analysis gate. Each stage must pass before
+# the next runs; any failure aborts with a non-zero exit.
 set -eu
 
 cd "$(dirname "$0")"
@@ -12,7 +12,17 @@ cargo build --workspace --release
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
-echo "==> xtask lint (unit-safety / no-panic / no-raw-cast gate)"
+# The executor honours ROS_EXEC_THREADS as the pool-size default; the
+# determinism suite must hold whether the process defaults to one
+# worker or several (it also pins 1/2/8 internally -- this exercises
+# the env-override path on top).
+echo "==> determinism suite at ROS_EXEC_THREADS=1"
+ROS_EXEC_THREADS=1 cargo test -q -p ros-tests --test determinism
+
+echo "==> determinism suite at ROS_EXEC_THREADS=4"
+ROS_EXEC_THREADS=4 cargo test -q -p ros-tests --test determinism
+
+echo "==> xtask lint (unit-safety / no-panic / no-raw-cast / no-raw-spawn gate)"
 cargo run -q -p xtask -- lint
 
 echo "verify: all checks passed"

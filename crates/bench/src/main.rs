@@ -1,11 +1,12 @@
 //! The RoS experiment harness: regenerates every figure of the paper.
 //!
 //! ```text
-//! cargo run --release -p bench -- all
+//! cargo run --release -p bench -- all         # every figure ("figures" works too)
 //! cargo run --release -p bench -- fig15
 //! cargo run --release -p bench -- design
 //! cargo run --release -p bench -- --par all   # figure-level fan-out
 //! cargo run --release -p bench -- perf        # serial-vs-parallel timings
+//! cargo run --release -p bench -- smoke       # one full-pipeline drive-by
 //! ```
 //!
 //! Tables print to stdout and are mirrored as CSVs under `results/`.
@@ -15,6 +16,12 @@
 //! unaffected). `perf` times each parallelized pipeline stage at one
 //! thread versus the full thread pool and writes `BENCH_pipeline.json`
 //! at the repository root.
+//!
+//! Telemetry: `ROS_OBS=1` (summary) or `ROS_OBS=2` (per-frame detail)
+//! streams ndjson from every pipeline stage to stderr, or to
+//! `ROS_OBS_FILE` when set — see `ros-obs` and DESIGN.md §10. `smoke`
+//! runs a single 3-stack full-pipeline drive-by, the smallest command
+//! that exercises capture → CFAR → DBSCAN → discrimination → decode.
 
 mod figures;
 mod perf;
@@ -23,16 +30,24 @@ mod util;
 use figures::*;
 
 fn main() {
+    ros_obs::init_from_env();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let parallel = args.iter().any(|a| a == "--par");
     args.retain(|a| a != "--par");
 
     if args.iter().any(|a| a == "perf") {
         perf::run();
+        ros_obs::flush();
+        return;
+    }
+    if args.iter().any(|a| a == "smoke") {
+        smoke();
+        ros_obs::flush();
         return;
     }
 
-    let which: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+    let which: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all" || a == "figures")
+    {
         vec![
             "fig3", "fig4a", "fig4b", "fig5a", "fig5b", "fig6a", "fig6b", "fig8a", "fig8b",
             "fig10b", "fig10c", "fig11b", "fig11c", "fig11d", "fig13", "fig14", "fig15",
@@ -53,6 +68,40 @@ fn main() {
             run_one(name);
         }
     }
+    ros_obs::flush();
+}
+
+/// `smoke` sub-command: one 5-stack full-pipeline drive-by — the
+/// smallest run that touches every instrumented stage with a genuine
+/// tag classification (IF capture, CFAR, DBSCAN, two-feature
+/// discrimination, spotlight, OOK decode). With `ROS_OBS=1` the trace
+/// doubles as the telemetry smoke test wired into `verify.sh`.
+fn smoke() {
+    use ros_core::encode::SpatialCode;
+    use ros_core::reader::{DriveBy, ReaderConfig};
+
+    // 32 rows per stack: large enough for the size feature to
+    // classify the cluster as a tag (mirrors tests/obs_trace.rs).
+    let code = SpatialCode {
+        rows_per_stack: 32,
+        ..SpatialCode::paper_4bit()
+    };
+    let Ok(tag) = code.encode(&[true, false, true, true]) else {
+        eprintln!("smoke: 4-bit word failed to encode");
+        return;
+    };
+    let mut drive = DriveBy::new(tag, 3.0).with_seed(90125);
+    drive.half_span_m = 3.0;
+    let mut cfg = ReaderConfig::full();
+    cfg.frame_stride = 8;
+    let outcome = drive.run(&cfg);
+    println!(
+        "smoke: bits={:?} clusters={} detected={} snr_db={:.2}",
+        outcome.bits,
+        outcome.clusters.len(),
+        outcome.detected_center.is_some(),
+        outcome.snr_db().unwrap_or(f64::NAN),
+    );
 }
 
 /// Dispatches one experiment by name (the unit of figure-level

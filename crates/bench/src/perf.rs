@@ -2,7 +2,7 @@
 //! stage wired into the [`ros_exec`] executor.
 //!
 //! Each path runs the *same* code twice — once pinned to one worker
-//! (`ros_exec::set_threads(Some(1))`), once on the full thread pool —
+//! (a scoped [`ros_exec::ThreadGuard`]), once on the full thread pool —
 //! so the comparison isolates the executor fan-out from any algorithm
 //! difference (the outputs are bit-identical by construction; see
 //! `tests/determinism.rs`). Timings use the vendored criterion stub's
@@ -13,17 +13,26 @@
 //!
 //! ```json
 //! {
-//!   "threads": 4,
+//!   "requested_threads": 4,
+//!   "effective_threads": 4,
+//!   "available_parallelism": 4,
+//!   "valid": true,
 //!   "paths": [
-//!     {"name": "...", "serial_median_ns": 1.0, "parallel_median_ns": 1.0, "speedup": 1.0}
+//!     {"name": "...", "serial_median_ns": 1.0, "parallel_median_ns": 1.0,
+//!      "speedup": 1.0, "telemetry": [...]}
 //!   ]
 //! }
 //! ```
 //!
-//! On a single-core runner the speedups sit near 1.0 (the executor
-//! degrades to the serial loop); multi-core runners should see the
-//! embarrassingly-parallel paths (RCS grid, capture batch) approach
-//! the core count.
+//! A "parallel" run on a machine whose pool resolves to one worker is
+//! not a parallel measurement at all — the executor degrades to the
+//! serial loop and every speedup trivially reads ~1.0x. The record
+//! keeps both the requested and the effective worker counts and is
+//! marked `"valid": false` when the effective count is 1, so a
+//! single-core artifact can never be mistaken for a real scaling
+//! result. Each row also embeds the telemetry counters (`ros-obs`)
+//! from one instrumented run of the path, tying the timing to the
+//! amount of work it performed.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -41,6 +50,8 @@ struct PerfRow {
     name: &'static str,
     serial_ns: f64,
     parallel_ns: f64,
+    /// JSON array of the `ros-obs` metrics one run of the path touched.
+    telemetry: String,
 }
 
 impl PerfRow {
@@ -53,16 +64,25 @@ impl PerfRow {
     }
 }
 
-/// Times `work` at one thread and at the full pool.
+/// Times `work` at one thread and at the full pool, then captures one
+/// instrumented run's telemetry.
+///
+/// The pins are scoped guards, so the prior override (if the caller
+/// holds one) is restored even if `work` panics mid-measurement. The
+/// telemetry capture happens *outside* the timed loops — instrumented
+/// iterations are never part of the median.
 fn time_pair(name: &'static str, mut work: impl FnMut()) -> PerfRow {
-    ros_exec::set_threads(Some(1));
-    let serial_ns = criterion::bench_median_ns(&mut work);
-    ros_exec::set_threads(None);
+    let serial_ns = {
+        let _pin = ros_exec::ThreadGuard::pin(Some(1));
+        criterion::bench_median_ns(&mut work)
+    };
     let parallel_ns = criterion::bench_median_ns(&mut work);
+    let ((), report) = ros_obs::capture_scope(ros_obs::Level::Summary, &mut work);
     PerfRow {
         name,
         serial_ns,
         parallel_ns,
+        telemetry: report.metrics,
     }
 }
 
@@ -142,8 +162,22 @@ fn figure_fanout() {
 
 /// Runs all four wired paths and writes `BENCH_pipeline.json`.
 pub fn run() {
-    let threads = ros_exec::threads();
-    println!("pipeline perf: serial (1 thread) vs parallel ({threads} threads)");
+    let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let requested = ros_exec::threads();
+    let effective = requested.min(available);
+    let valid = effective > 1;
+    println!(
+        "pipeline perf: serial (1 thread) vs parallel \
+         ({requested} requested, {effective} effective of {available} cores)"
+    );
+    if !valid {
+        eprintln!(
+            "WARNING: the thread pool resolves to a single effective worker on this \
+             machine; the \"parallel\" columns below measure the serial path again. \
+             Speedups are meaningless and BENCH_pipeline.json will be marked \
+             \"valid\": false. Re-run on a multi-core machine for a real record."
+        );
+    }
     println!();
 
     let rows = vec![
@@ -167,7 +201,7 @@ pub fn run() {
         );
     }
 
-    let json = render_json(threads, &rows);
+    let json = render_json(requested, effective, available, valid, &rows);
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");
     match std::fs::write(&path, json) {
         Ok(()) => println!("\nwrote {}", path.display()),
@@ -176,15 +210,34 @@ pub fn run() {
 }
 
 /// Hand-rolled JSON (the workspace carries no serde).
-fn render_json(threads: usize, rows: &[PerfRow]) -> String {
+fn render_json(
+    requested: usize,
+    effective: usize,
+    available: usize,
+    valid: bool,
+    rows: &[PerfRow],
+) -> String {
     let mut s = String::from("{\n");
-    s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str(&format!("  \"requested_threads\": {requested},\n"));
+    s.push_str(&format!("  \"effective_threads\": {effective},\n"));
+    s.push_str(&format!("  \"available_parallelism\": {available},\n"));
+    s.push_str(&format!("  \"valid\": {valid},\n"));
+    if !valid {
+        s.push_str(
+            "  \"invalid_reason\": \"thread pool resolves to one effective worker; \
+             parallel timings duplicate the serial path\",\n",
+        );
+    }
     s.push_str("  \"paths\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"serial_median_ns\": {:.1}, \"parallel_median_ns\": {:.1}, \"speedup\": {:.4}}}{comma}\n",
-            r.name, r.serial_ns, r.parallel_ns, r.speedup()
+            "    {{\"name\": \"{}\", \"serial_median_ns\": {:.1}, \"parallel_median_ns\": {:.1}, \"speedup\": {:.4},\n     \"telemetry\": {}}}{comma}\n",
+            r.name,
+            r.serial_ns,
+            r.parallel_ns,
+            r.speedup(),
+            r.telemetry
         ));
     }
     s.push_str("  ]\n}\n");

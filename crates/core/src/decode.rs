@@ -140,6 +140,8 @@ pub fn decode(
     code: &SpatialCode,
     cfg: &DecoderConfig,
 ) -> Result<DecodeResult, DecodeError> {
+    let _span = ros_obs::span("decode");
+    ros_obs::count("decode.attempts", 1);
     let lambda = ros_em::constants::LAMBDA_CENTER_M;
     let u_max = (cfg.fov_rad / 2.0).sin();
 
@@ -175,6 +177,14 @@ pub fn decode(
         trace.push(Sample { x: u, y: p });
     }
     if trace.len() < 8 {
+        ros_obs::count("decode.errors", 1);
+        ros_obs::event(
+            "decode.error",
+            &[
+                ("reason", "too_few_samples".into()),
+                ("got", trace.len().into()),
+            ],
+        );
         return Err(DecodeError::TooFewSamples { got: trace.len() });
     }
     let n_used = trace.len();
@@ -240,6 +250,11 @@ pub fn decode(
         .map(|(_, &m)| m)
         .collect();
     if noise_bins.is_empty() {
+        ros_obs::count("decode.errors", 1);
+        ros_obs::event(
+            "decode.error",
+            &[("reason", "no_noise_reference".into())],
+        );
         return Err(DecodeError::NoNoiseReference);
     }
     let noise_rms = (noise_bins.iter().map(|m| m * m).sum::<f64>()
@@ -274,6 +289,36 @@ pub fn decode(
     // σ = 1 after normalization (band noise RMS); pooled slot variance
     // guards against wobbly peaks.
     let snr_linear = stats::ook_snr(&ones, &zeros, 1.0);
+
+    if ros_obs::enabled() {
+        ros_obs::count("decode.ok", 1);
+        ros_obs::hist("decode.snr_db", stats::snr_db(snr_linear));
+        for a in &slot_amplitudes {
+            ros_obs::hist("decode.slot_amp", *a);
+        }
+        if ros_obs::detail() {
+            for (i, (a, b)) in slot_amplitudes.iter().zip(&bits).enumerate() {
+                ros_obs::event_detail(
+                    "decode.slot",
+                    &[
+                        ("idx", i.into()),
+                        ("amp", (*a).into()),
+                        ("bit", (*b).into()),
+                        ("margin", (a - cfg.threshold * max_amp).into()),
+                    ],
+                );
+            }
+        }
+        let word: String = bits.iter().map(|b| if *b { '1' } else { '0' }).collect();
+        ros_obs::event(
+            "decode.result",
+            &[
+                ("bits", word.as_str().into()),
+                ("snr_db", stats::snr_db(snr_linear).into()),
+                ("n_samples", n_used.into()),
+            ],
+        );
+    }
 
     Ok(DecodeResult {
         bits,

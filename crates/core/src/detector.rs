@@ -127,6 +127,7 @@ pub fn score_clusters<F>(
 where
     F: FnMut(&[usize], Vec3, &[Vec3]) -> (f64, f64),
 {
+    let _span = ros_obs::span("detector.score");
     let with_members = cluster_members(cloud, cfg);
     let centers: Vec<Vec3> = with_members
         .iter()
@@ -154,6 +155,22 @@ where
             };
             let is_tag = features.size_m2 <= cfg.max_tag_area_m2
                 && features.rss_loss_db() <= cfg.max_rss_loss_db;
+            ros_obs::count("detector.clusters_scored", 1);
+            if is_tag {
+                ros_obs::count("detector.tags_classified", 1);
+            }
+            ros_obs::event_detail(
+                "detector.cluster",
+                &[
+                    ("cx", center.x.into()),
+                    ("cy", center.y.into()),
+                    ("n", s.count.into()),
+                    ("size_m2", features.size_m2.into()),
+                    ("loss_db", features.rss_loss_db().into()),
+                    ("native_dbm", features.rss_native_dbm.into()),
+                    ("is_tag", is_tag.into()),
+                ],
+            );
             ScoredCluster {
                 summary: s,
                 features,
@@ -166,10 +183,23 @@ where
 /// Picks the best tag candidate (smallest RSS loss among `is_tag`
 /// clusters), if any.
 pub fn pick_tag(clusters: &[ScoredCluster]) -> Option<&ScoredCluster> {
-    clusters
+    let best = clusters
         .iter()
         .filter(|c| c.is_tag)
-        .min_by(|a, b| a.features.rss_loss_db().total_cmp(&b.features.rss_loss_db()))
+        .min_by(|a, b| a.features.rss_loss_db().total_cmp(&b.features.rss_loss_db()));
+    match best {
+        Some(c) => ros_obs::event(
+            "detector.pick",
+            &[
+                ("found", true.into()),
+                ("cx", c.features.center.x.into()),
+                ("cy", c.features.center.y.into()),
+                ("loss_db", c.features.rss_loss_db().into()),
+            ],
+        ),
+        None => ros_obs::event("detector.pick", &[("found", false.into())]),
+    }
+    best
 }
 
 #[cfg(test)]

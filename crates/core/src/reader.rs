@@ -23,6 +23,7 @@ use crate::tag::Tag;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ros_em::jones::Polarization;
+use ros_em::units::cast::AsF64;
 use ros_em::{Complex64, Vec3};
 use ros_radar::echo::{Echo, Pose};
 use ros_radar::pointcloud::PointCloud;
@@ -269,6 +270,7 @@ impl DriveBy {
     }
 
     fn run_fast(&self, cfg: &ReaderConfig) -> Outcome {
+        let _span = ros_obs::span("reader.run_fast");
         let (times, truth, believed) = self.track(cfg);
         let ctx = self.context();
         let (tx, rx) = RadarMode::PolarizationSwitched.polarizations(self.radar.array.native_pol);
@@ -345,12 +347,31 @@ impl DriveBy {
                 rss,
             });
         }
+        ros_obs::count("reader.frames", samples.len());
+        if ros_obs::detail() {
+            for (i, s) in samples.iter().enumerate() {
+                let rss_dbm = 10.0 * s.rss.norm_sqr().max(1e-300).log10();
+                ros_obs::event_detail(
+                    "reader.frame",
+                    &[("i", i.into()), ("rss_dbm", rss_dbm.into())],
+                );
+            }
+        }
 
         let decode_result = decode(&samples, center_est, 0.0, self.tag.code(), &cfg.decoder);
+        ros_obs::event(
+            "reader.pass",
+            &[
+                ("mode", "fast".into()),
+                ("frames", samples.len().into()),
+                ("decoded", decode_result.is_ok().into()),
+            ],
+        );
         Outcome::from_parts(samples, decode_result, None, Vec::new())
     }
 
     fn run_full(&self, cfg: &ReaderConfig) -> Outcome {
+        let _span = ros_obs::span("reader.run_full");
         let (_, truth, believed) = self.track(cfg);
         let ctx = self.context();
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xf011);
@@ -365,17 +386,20 @@ impl DriveBy {
         // RNG pre-draw keeps the stream bit-identical while the IF
         // synthesis itself runs on worker threads.
         let mut jobs: Vec<(Pose, Vec<Echo>)> = Vec::with_capacity(truth.len() * 2);
-        for (i, pos_true) in truth.iter().enumerate() {
-            let pose_true = Pose::side_looking(*pos_true);
-            jobs.push((
-                pose_true,
-                self.gather_echoes(*pos_true, switched.0, switched.1, &ctx),
-            ));
-            if i % cfg.detect_stride == 0 {
+        {
+            let _gather = ros_obs::span("reader.gather_echoes");
+            for (i, pos_true) in truth.iter().enumerate() {
+                let pose_true = Pose::side_looking(*pos_true);
                 jobs.push((
                     pose_true,
-                    self.gather_echoes(*pos_true, native.0, native.1, &ctx),
+                    self.gather_echoes(*pos_true, switched.0, switched.1, &ctx),
                 ));
+                if i % cfg.detect_stride == 0 {
+                    jobs.push((
+                        pose_true,
+                        self.gather_echoes(*pos_true, native.0, native.1, &ctx),
+                    ));
+                }
             }
         }
         let mut frames = self.radar.capture_batch(&jobs, &mut rng).into_iter();
@@ -393,10 +417,15 @@ impl DriveBy {
         // Detection cloud from the native-mode frames (detection is a
         // pure per-frame function, so the fan-out changes nothing).
         let mut cloud = PointCloud::new();
-        let detections = ros_exec::par_map(&native_frames, |(frame, _)| self.radar.detect(frame));
-        for ((_, pos_believed), pts) in native_frames.iter().zip(&detections) {
-            cloud.add_frame(pts, &Pose::side_looking(*pos_believed));
+        {
+            let _detect = ros_obs::span("reader.detect");
+            let detections =
+                ros_exec::par_map(&native_frames, |(frame, _)| self.radar.detect(frame));
+            for ((_, pos_believed), pts) in native_frames.iter().zip(&detections) {
+                cloud.add_frame(pts, &Pose::side_looking(*pos_believed));
+            }
         }
+        ros_obs::gauge("reader.cloud_points", cloud.len().as_f64());
 
         // Score clusters; the RSS probe spotlights the candidate centre
         // across the pass in both modes, skipping frames where another
@@ -480,11 +509,14 @@ impl DriveBy {
         // Decode by spotlighting the detected centre (fall back to the
         // true mount if detection failed, flagged in the outcome).
         let spot = tag_center.unwrap_or(self.tag.mount());
-        let samples: Vec<RssSample> =
+        let samples: Vec<RssSample> = {
+            let _spotlight = ros_obs::span("reader.spotlight");
             ros_exec::par_map(&switched_frames, |(frame, pos_believed)| RssSample {
                 radar_pos: *pos_believed,
                 rss: self.radar.spotlight(frame, spot),
-            });
+            })
+        };
+        ros_obs::count("reader.frames", samples.len());
 
         let decode_result = decode(&samples, spot, 0.0, self.tag.code(), &cfg.decoder);
 
@@ -514,6 +546,16 @@ impl DriveBy {
 
         let mut outcome = Outcome::from_parts(samples, decode_result, tag_center, clusters);
         outcome.all_tags = all_tags;
+        ros_obs::event(
+            "reader.pass",
+            &[
+                ("mode", "full".into()),
+                ("frames", outcome.rss_trace.len().into()),
+                ("clusters", outcome.clusters.len().into()),
+                ("detected", outcome.detected_center.is_some().into()),
+                ("decoded", outcome.decode.is_some().into()),
+            ],
+        );
         outcome
     }
 

@@ -43,9 +43,19 @@ pub struct Detection {
 }
 
 impl Detection {
-    /// Detection SNR in dB.
+    /// Detection SNR in dB, clamped to ±120 dB.
+    ///
+    /// A blanked frame (or a training window of exact zeros) makes the
+    /// noise estimate 0, and the raw ratio would read +∞ — or NaN for
+    /// a 0/0 cell — either of which poisons every downstream statistic
+    /// it is averaged into. Power is clamped non-negative, the noise
+    /// floored at the smallest positive normal, and the result pinned
+    /// to a ±120 dB range no physical FMCW link exceeds; ordinary
+    /// detections are numerically unchanged.
     pub fn snr_db(&self) -> f64 {
-        10.0 * (self.power / self.noise).log10()
+        const SNR_CLAMP_DB: f64 = 120.0;
+        let ratio = self.power.max(0.0) / self.noise.max(f64::MIN_POSITIVE);
+        (10.0 * ratio.log10()).clamp(-SNR_CLAMP_DB, SNR_CLAMP_DB)
     }
 }
 
@@ -235,6 +245,38 @@ mod tests {
             );
             assert!(d.is_empty(), "fired on flat profile of length {n}");
         }
+    }
+
+    #[test]
+    fn snr_db_is_finite_for_degenerate_cells() {
+        // Zero noise estimate: previously +inf (or NaN for 0/0).
+        let d = Detection {
+            index: 0,
+            power: 5.0,
+            noise: 0.0,
+        };
+        assert!(d.snr_db().is_finite());
+        assert_eq!(d.snr_db(), 120.0);
+        let zz = Detection {
+            index: 0,
+            power: 0.0,
+            noise: 0.0,
+        };
+        assert!(zz.snr_db().is_finite(), "0/0 must not be NaN");
+        assert_eq!(zz.snr_db(), -120.0);
+        let silent = Detection {
+            index: 0,
+            power: 0.0,
+            noise: 1.0,
+        };
+        assert_eq!(silent.snr_db(), -120.0);
+        // The normal path is unchanged.
+        let normal = Detection {
+            index: 0,
+            power: 100.0,
+            noise: 1.0,
+        };
+        assert!((normal.snr_db() - 20.0).abs() < 1e-12);
     }
 
     #[test]

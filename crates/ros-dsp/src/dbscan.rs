@@ -45,6 +45,7 @@ pub enum Label {
 /// Complexity is O(n²) distance checks — fine for the few hundred
 /// points a merged radar point cloud contains.
 pub fn dbscan(points: &[[f64; 2]], params: &DbscanParams) -> (Vec<Label>, usize) {
+    let _span = ros_obs::span("dsp.dbscan");
     let n = points.len();
     let mut labels = vec![Option::<Label>::None; n];
     let mut cluster_id = 0usize;
@@ -95,10 +96,25 @@ pub fn dbscan(points: &[[f64; 2]], params: &DbscanParams) -> (Vec<Label>, usize)
         }
     }
 
-    (
-        labels.into_iter().map(|l| l.unwrap_or(Label::Noise)).collect(),
-        cluster_id,
-    )
+    let labels: Vec<Label> = labels
+        .into_iter()
+        .map(|l| l.unwrap_or(Label::Noise))
+        .collect();
+    if ros_obs::enabled() {
+        let noise = labels.iter().filter(|l| **l == Label::Noise).count();
+        ros_obs::count("dsp.dbscan.runs", 1);
+        ros_obs::count("dsp.dbscan.clusters", cluster_id);
+        ros_obs::count("dsp.dbscan.noise_points", noise);
+        ros_obs::event(
+            "dbscan",
+            &[
+                ("points", n.into()),
+                ("clusters", cluster_id.into()),
+                ("noise", noise.into()),
+            ],
+        );
+    }
+    (labels, cluster_id)
 }
 
 /// Summary of one DBSCAN cluster, as used by the tag detector (§6):

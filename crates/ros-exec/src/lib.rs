@@ -15,8 +15,8 @@
 //!    stream. `par_map` at 1, 2, or 64 threads therefore produces outputs
 //!    whose `f64::to_bits()` are identical to the serial evaluation.
 //!
-//! The worker count comes from, in priority order: the programmatic
-//! [`set_threads`] override, the `ROS_EXEC_THREADS` environment variable,
+//! The worker count comes from, in priority order: the scoped
+//! [`ThreadGuard`] override, the `ROS_EXEC_THREADS` environment variable,
 //! and finally [`std::thread::available_parallelism`]. `ROS_EXEC_THREADS=1`
 //! turns every wired path back into plain serial execution (used by
 //! `verify.sh` to cross-check determinism).
@@ -30,18 +30,57 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Global programmatic thread-count override (0 = unset).
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
-/// Sets (or clears, with `None`) the global worker-count override.
+/// An RAII worker-count override: pins the pool size for its scope and
+/// restores the *prior* value on drop (including on panic).
+///
+/// This replaces a bare `set_threads(Some(1))` → `set_threads(None)`
+/// pair, which clobbered any enclosing override and left the pool in
+/// the wrong state when the code between the calls panicked — a race
+/// waiting to happen for any test running concurrently in the same
+/// process. Guards nest correctly:
+///
+/// ```
+/// use ros_exec::ThreadGuard;
+/// let outer = ThreadGuard::pin(Some(4));
+/// assert_eq!(ros_exec::threads(), 4);
+/// {
+///     let _inner = ThreadGuard::pin(Some(1));
+///     assert_eq!(ros_exec::threads(), 1);
+/// } // inner drops: back to 4, not to "unset"
+/// assert_eq!(ros_exec::threads(), 4);
+/// drop(outer);
+/// ```
 ///
 /// Takes precedence over `ROS_EXEC_THREADS`. Intended for benchmarks
 /// and determinism tests that compare the same code path at several
-/// thread counts within one process; library code should not call it.
-pub fn set_threads(n: Option<usize>) {
-    THREAD_OVERRIDE.store(n.unwrap_or(0), Ordering::SeqCst);
+/// thread counts within one process; library code should not pin.
+/// Overlapping guards from *different* threads still contend for one
+/// global — hold a process-wide lock around cross-thread pinning (as
+/// `tests/determinism.rs` does).
+#[must_use = "dropping the guard immediately restores the prior thread count"]
+pub struct ThreadGuard {
+    prev: usize,
+}
+
+impl ThreadGuard {
+    /// Pins the worker count to `n` (or clears the override with
+    /// `None`) until the guard drops.
+    pub fn pin(n: Option<usize>) -> Self {
+        ThreadGuard {
+            prev: THREAD_OVERRIDE.swap(n.unwrap_or(0), Ordering::SeqCst),
+        }
+    }
+}
+
+impl Drop for ThreadGuard {
+    fn drop(&mut self) {
+        THREAD_OVERRIDE.store(self.prev, Ordering::SeqCst);
+    }
 }
 
 /// The worker count [`par_map`] will use.
 ///
-/// Resolution order: [`set_threads`] override, then `ROS_EXEC_THREADS`
+/// Resolution order: [`ThreadGuard`] override, then `ROS_EXEC_THREADS`
 /// (a positive integer), then [`std::thread::available_parallelism`]
 /// (1 if unavailable).
 pub fn threads() -> usize {
@@ -273,10 +312,34 @@ mod tests {
 
     #[test]
     fn override_takes_precedence() {
-        set_threads(Some(3));
+        let guard = ThreadGuard::pin(Some(3));
         assert_eq!(threads(), 3);
-        set_threads(None);
+        drop(guard);
         assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn thread_guards_nest_and_restore() {
+        let outer = ThreadGuard::pin(Some(4));
+        assert_eq!(threads(), 4);
+        {
+            let _inner = ThreadGuard::pin(Some(1));
+            assert_eq!(threads(), 1);
+        }
+        assert_eq!(threads(), 4, "inner guard must restore the outer pin");
+        drop(outer);
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn thread_guard_restores_on_panic() {
+        let before = threads();
+        let result = std::panic::catch_unwind(|| {
+            let _pin = ThreadGuard::pin(Some(7));
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        assert_eq!(threads(), before, "guard must restore across unwind");
     }
 
     #[test]

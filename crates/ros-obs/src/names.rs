@@ -1,0 +1,57 @@
+//! The fixed metric registration order.
+//!
+//! Every metric the pipeline emits is declared here, in the order it
+//! appears in exports (`metrics_json`, the `flush` metric lines).
+//! Pre-registering the full set at registry creation makes the export
+//! order a property of this table — not of which stage happened to
+//! touch its metric first, which would vary with configuration and
+//! thread scheduling. Names not in this table still work; they are
+//! appended after the fixed block in first-use order.
+//!
+//! Naming scheme: `<crate-or-stage>.<what>`, dB/meter suffixes spelled
+//! out (`_db`, `_m2`). Span durations land in `time.<stage>`.
+
+/// Metric kinds (mirrored by the registry's internal state).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Monotonic event count.
+    Counter,
+    /// Last-written value.
+    Gauge,
+    /// Count / sum / min / max aggregate.
+    Histogram,
+}
+
+/// Every pipeline metric, in export order.
+pub const ALL: &[(&str, Kind)] = &[
+    // Radar front end.
+    ("radar.frames_synthesized", Kind::Counter),
+    ("radar.cfar_detections", Kind::Counter),
+    ("radar.points_per_frame", Kind::Histogram),
+    // Clustering.
+    ("dsp.dbscan.runs", Kind::Counter),
+    ("dsp.dbscan.clusters", Kind::Counter),
+    ("dsp.dbscan.noise_points", Kind::Counter),
+    // Discrimination.
+    ("detector.clusters_scored", Kind::Counter),
+    ("detector.tags_classified", Kind::Counter),
+    // Decode.
+    ("decode.attempts", Kind::Counter),
+    ("decode.ok", Kind::Counter),
+    ("decode.errors", Kind::Counter),
+    ("decode.snr_db", Kind::Histogram),
+    ("decode.slot_amp", Kind::Histogram),
+    // Reader.
+    ("reader.frames", Kind::Counter),
+    ("reader.cloud_points", Kind::Gauge),
+    // Stage wall time (span durations), pipeline order.
+    ("time.reader.run_fast", Kind::Histogram),
+    ("time.reader.run_full", Kind::Histogram),
+    ("time.reader.gather_echoes", Kind::Histogram),
+    ("time.radar.capture_batch", Kind::Histogram),
+    ("time.reader.detect", Kind::Histogram),
+    ("time.dsp.dbscan", Kind::Histogram),
+    ("time.detector.score", Kind::Histogram),
+    ("time.reader.spotlight", Kind::Histogram),
+    ("time.decode", Kind::Histogram),
+];

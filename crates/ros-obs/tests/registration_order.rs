@@ -1,0 +1,54 @@
+//! Metric export order is a property of [`ros_obs::names::ALL`], not
+//! of runtime touch order. Two runs that exercise the pipeline in a
+//! different sequence (different configs, different thread timing)
+//! must still export metrics in the identical sequence, or diffing two
+//! telemetry records becomes line-matching guesswork.
+
+use ros_obs::{names, Level};
+
+#[test]
+fn export_order_is_the_names_table_regardless_of_touch_order() {
+    ros_obs::set_level(Level::Summary);
+    ros_obs::reset_metrics();
+
+    // Touch a scrambled subset — decode before radar, a dynamic name
+    // in the middle, reader last.
+    ros_obs::hist("decode.snr_db", 21.0);
+    ros_obs::count("zz.dynamic.late", 3);
+    ros_obs::count("radar.frames_synthesized", 7);
+    ros_obs::count("aa.dynamic.early", 1);
+    ros_obs::gauge("reader.cloud_points", 41.0);
+
+    let json = ros_obs::metrics_json();
+
+    // Every fixed name appears, in exactly the table's order.
+    let mut last_pos = 0usize;
+    for (name, _) in names::ALL {
+        let needle = format!("\"name\":\"{name}\"");
+        let pos = json
+            .find(&needle)
+            .unwrap_or_else(|| panic!("{name} missing from metrics_json"));
+        assert!(
+            pos > last_pos || last_pos == 0,
+            "{name} exported out of table order"
+        );
+        last_pos = pos;
+    }
+
+    // Dynamic names append after the fixed block, in first-use order
+    // ("zz" was touched before "aa", so it exports first).
+    let zz = json.find("zz.dynamic.late").expect("dynamic name exported");
+    let aa = json.find("aa.dynamic.early").expect("dynamic name exported");
+    assert!(zz > last_pos && aa > last_pos, "dynamics before fixed block");
+    assert!(zz < aa, "dynamic names must export in first-use order");
+
+    // The touched-only view preserves the same relative order.
+    let touched = ros_obs::metrics_json_touched();
+    let r = touched.find("\"name\":\"radar.frames_synthesized\"").expect("touched");
+    let d = touched.find("\"name\":\"decode.snr_db\"").expect("touched");
+    let g = touched.find("\"name\":\"reader.cloud_points\"").expect("touched");
+    assert!(r < d && d < g, "touched export must keep table order");
+
+    ros_obs::set_level(Level::Off);
+    ros_obs::reset_metrics();
+}

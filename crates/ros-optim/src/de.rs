@@ -484,10 +484,12 @@ mod tests {
             seed: 0xbeef,
             ..Default::default()
         };
-        ros_exec::set_threads(Some(1));
-        let serial = minimize_par(testfn::rastrigin, &bounds, &cfg);
+        let serial = {
+            let _pin = ros_exec::ThreadGuard::pin(Some(1));
+            minimize_par(testfn::rastrigin, &bounds, &cfg)
+        };
         for t in [2, 8] {
-            ros_exec::set_threads(Some(t));
+            let _pin = ros_exec::ThreadGuard::pin(Some(t));
             let par = minimize_par(testfn::rastrigin, &bounds, &cfg);
             assert_eq!(serial.cost.to_bits(), par.cost.to_bits(), "threads={t}");
             for (a, b) in serial.x.iter().zip(&par.x) {
@@ -496,7 +498,6 @@ mod tests {
             assert_eq!(serial.evaluations, par.evaluations);
             assert_eq!(serial.generations, par.generations);
         }
-        ros_exec::set_threads(None);
     }
 
     #[test]

@@ -92,6 +92,7 @@ pub fn detect_points(
     // Only the first half of the spectrum is physical (positive beat).
     let half = profile.len() / 2;
     let detections = ca_cfar(&profile[..half], cfar);
+    ros_obs::count("radar.cfar_detections", detections.len());
 
     let lambda = chirp.wavelength_m();
     let mut points = Vec::new();

@@ -11,6 +11,7 @@ use rand::Rng;
 use ros_dsp::cfar::CfarParams;
 use ros_em::jones::Polarization;
 use ros_em::radar_eq::RadarLinkBudget;
+use ros_em::units::cast::AsF64;
 use ros_em::{Complex64, Vec3};
 
 /// Which Tx port the radar fires (§7.1).
@@ -66,6 +67,7 @@ impl FmcwRadar {
     /// Captures one frame of IF data from the given echoes, applying
     /// the configured front-end impairments.
     pub fn capture<R: Rng>(&self, pose: Pose, echoes: &[Echo], rng: &mut R) -> Frame {
+        ros_obs::count("radar.frames_synthesized", 1);
         let mut frame =
             synthesize_frame(&self.chirp, &self.array, &self.budget, pose, echoes, rng);
         self.impairments.apply(&mut frame, rng);
@@ -82,6 +84,8 @@ impl FmcwRadar {
     /// [`ros_exec::par_map_indexed`]. Output order matches job order
     /// at any thread count.
     pub fn capture_batch<R: Rng>(&self, jobs: &[(Pose, Vec<Echo>)], rng: &mut R) -> Vec<Frame> {
+        let _span = ros_obs::span("radar.capture_batch");
+        ros_obs::count("radar.frames_synthesized", jobs.len());
         let n = self.chirp.n_samples;
         let k_rx = self.array.n_rx;
         let packets: Vec<(Vec<Vec<Complex64>>, Vec<f64>)> = jobs
@@ -109,7 +113,9 @@ impl FmcwRadar {
 
     /// Detects prominent reflectors in a frame (local polar points).
     pub fn detect(&self, frame: &Frame) -> Vec<RadarPoint> {
-        processing::detect_points(frame, &self.chirp, &self.array, &self.cfar, 2)
+        let pts = processing::detect_points(frame, &self.chirp, &self.array, &self.cfar, 2);
+        ros_obs::hist("radar.points_per_frame", pts.len().as_f64());
+        pts
     }
 
     /// Runs [`FmcwRadar::detect`] (range FFT + CFAR + AoA sweep) over

@@ -14,6 +14,10 @@
 //!
 //! * **no-unwrap** — `.unwrap()` / `.expect(...)` are forbidden outside
 //!   `#[cfg(test)]` blocks in every crate.
+//! * **no-println** — `println!` / `eprintln!` (and the no-newline
+//!   forms) are forbidden in library crates; diagnostics go through
+//!   `ros-obs` so they are levelled, machine-parseable, and silent by
+//!   default.
 //! * **no-raw-cast** — bare `as` numeric casts are forbidden in library
 //!   crates; use `ros_em::units::cast` or mark the line with
 //!   `lint: allow-cast(reason)` in a trailing comment.
@@ -301,6 +305,26 @@ fn check_file(rel: &Path, text: &str, out: &mut Vec<Violation>) {
             }
         }
 
+        // Rule: no-println (library crates only). Ad-hoc console
+        // output from library code is unconditional, unparseable, and
+        // interleaves with real diagnostics; route it through ros-obs
+        // events/metrics instead.
+        if is_library {
+            for needle in ["println!", "eprintln!", "print!", "eprint!"] {
+                if contains_macro_call(clean, needle) {
+                    out.push(Violation {
+                        file: rel.to_path_buf(),
+                        line: line_no,
+                        rule: "no-println",
+                        message: format!(
+                            "`{needle}` in library code; emit a ros_obs event/metric (or \
+                             return the data) so output is levelled and machine-readable"
+                        ),
+                    });
+                }
+            }
+        }
+
         // Rule: no-raw-spawn (everywhere outside crates/ros-exec).
         // All fan-out goes through the ros-exec executor: ad-hoc
         // threads dodge the `ROS_EXEC_THREADS` override, the chunked
@@ -381,6 +405,26 @@ fn check_file(rel: &Path, text: &str, out: &mut Vec<Violation>) {
             }
         }
     }
+}
+
+/// True when `clean` contains `needle` as a standalone macro call —
+/// not as the tail of a longer identifier (`println!` is a substring
+/// of `eprintln!` at offset 1; the preceding-char check rejects it).
+fn contains_macro_call(clean: &str, needle: &str) -> bool {
+    let bytes = clean.as_bytes();
+    let mut search_from = 0;
+    while let Some(pos) = clean[search_from..].find(needle) {
+        let at = search_from + pos;
+        search_from = at + needle.len();
+        let preceded_by_ident = at > 0
+            && bytes
+                .get(at - 1)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_');
+        if !preceded_by_ident {
+            return true;
+        }
+    }
+    false
 }
 
 /// True when this or the previous raw line carries the
@@ -528,6 +572,37 @@ mod tests {
     #[test]
     fn spawn_in_test_block_is_fine() {
         let src = "#[cfg(test)]\nmod tests {\n    fn f() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(scan_str(src).is_empty());
+    }
+
+    #[test]
+    fn flags_println_in_library_code() {
+        let hits = scan_str("fn f() { println!(\"x\"); }\n");
+        assert_eq!(hits, ["no-println:1"]);
+        // eprintln! is one violation, not two (println! matches inside
+        // it only at an identifier boundary, which is rejected).
+        let hits = scan_str("fn f() { eprintln!(\"x\"); }\n");
+        assert_eq!(hits, ["no-println:1"]);
+        let hits = scan_str("fn f() { eprint!(\"x\"); print!(\"y\"); }\n");
+        assert_eq!(hits, ["no-println:1", "no-println:1"]);
+    }
+
+    #[test]
+    fn println_allowed_in_tests_and_non_library_crates() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { println!(\"dbg\"); }\n}\n";
+        assert!(scan_str(src).is_empty());
+        let mut out = Vec::new();
+        check_file(
+            Path::new("crates/bench/src/sample.rs"),
+            "fn f() { println!(\"table row\"); }\n",
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn println_in_comments_and_strings_ignored() {
+        let src = "// println! lives here\nfn f() { let s = \"println!\"; }\n";
         assert!(scan_str(src).is_empty());
     }
 

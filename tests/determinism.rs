@@ -8,9 +8,10 @@
 //! packets are pre-drawn serially in the historical order, so the
 //! streams are unchanged too.
 //!
-//! `ros_exec::set_threads` is process-global; the shared [`LOCK`]
-//! serializes these tests within the binary, and a drop guard restores
-//! the default (`ROS_EXEC_THREADS` / core count) even on panic.
+//! The executor override is process-global; the shared [`LOCK`]
+//! serializes these tests within the binary, and the RAII
+//! [`ros_exec::ThreadGuard`] restores the default (`ROS_EXEC_THREADS`
+//! / core count) even on panic.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -33,15 +34,8 @@ const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 /// Runs `f` with the executor pinned to `n` workers, holding the
 /// global lock and restoring the default afterwards (even on panic).
 fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
-    struct Restore;
-    impl Drop for Restore {
-        fn drop(&mut self) {
-            ros_exec::set_threads(None);
-        }
-    }
     let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
-    let _restore = Restore;
-    ros_exec::set_threads(Some(n));
+    let _pin = ros_exec::ThreadGuard::pin(Some(n));
     f()
 }
 

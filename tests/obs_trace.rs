@@ -1,0 +1,170 @@
+//! Golden telemetry trace of a full-pipeline drive-by.
+//!
+//! With the null clock (no `init_from_env`) and one pinned worker, the
+//! summary-level ndjson stream of a frozen 3-stack fixture is fully
+//! deterministic: spans carry `dur_ns: 0`, metrics export in the fixed
+//! registration order, and event payloads are pure functions of the
+//! seeded scenario. The event/stage skeleton is pinned here, so a
+//! renamed stage, a dropped span, or a reordered export shows up as a
+//! loud diff — the telemetry schema is part of the repo's contract,
+//! same as the golden decode numbers.
+//!
+//! The trace must also be identical with the pool fanned out: summary
+//! events are only emitted from serial code (workers touch counters,
+//! which aggregate), so thread count must not change a single line.
+
+use ros_core::encode::SpatialCode;
+use ros_core::reader::{DriveBy, ReaderConfig};
+use ros_exec::ThreadGuard;
+use ros_obs::Level;
+use std::sync::Mutex;
+
+/// Serializes the tests in this binary: they share the process-global
+/// level, sink, and metric registry.
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Fixture seed — the end-to-end detecting fixture's, reused.
+const SEED: u64 = 90125;
+
+/// The frozen `ev[:stage]` skeleton of the summary trace, in emission
+/// order: pipeline spans/events first (spans appear where they *drop*),
+/// then the flushed metric lines in `ros_obs::names` order.
+///
+/// Regenerate by running this fixture with a memory sink and printing
+/// `skeleton(&lines)` — see `trace_skeleton()` below.
+const EXPECTED: &[&str] = &[
+    "span:reader.gather_echoes",
+    "span:radar.capture_batch",
+    "span:reader.detect",
+    "dbscan",
+    "span:dsp.dbscan",
+    "span:detector.score",
+    "detector.pick",
+    "span:reader.spotlight",
+    "decode.result",
+    "span:decode",
+    "decode.result",
+    "span:decode",
+    "reader.pass",
+    "span:reader.run_full",
+    "metric:radar.frames_synthesized",
+    "metric:radar.cfar_detections",
+    "metric:radar.points_per_frame",
+    "metric:dsp.dbscan.runs",
+    "metric:dsp.dbscan.clusters",
+    "metric:dsp.dbscan.noise_points",
+    "metric:detector.clusters_scored",
+    "metric:detector.tags_classified",
+    "metric:decode.attempts",
+    "metric:decode.ok",
+    "metric:decode.snr_db",
+    "metric:decode.slot_amp",
+    "metric:reader.frames",
+    "metric:reader.cloud_points",
+    "metric:time.reader.run_full",
+    "metric:time.reader.gather_echoes",
+    "metric:time.radar.capture_batch",
+    "metric:time.reader.detect",
+    "metric:time.dsp.dbscan",
+    "metric:time.detector.score",
+    "metric:time.reader.spotlight",
+    "metric:time.decode",
+];
+
+/// Runs the frozen 3-stack full-pipeline fixture with telemetry routed
+/// to memory, returning every emitted line.
+fn run_traced(threads: usize) -> Vec<String> {
+    let _pin = ThreadGuard::pin(Some(threads));
+    let buffer = ros_obs::install_memory_sink();
+    ros_obs::reset_metrics();
+    ros_obs::set_level(Level::Summary);
+
+    // A 32-row 4-bit tag, big enough for the discriminator to
+    // classify — the trace must cover a genuine detection, not the
+    // true-mount fallback.
+    let code = SpatialCode {
+        rows_per_stack: 32,
+        ..SpatialCode::paper_4bit()
+    };
+    let bits = [true, false, true, true];
+    let tag = code.encode(&bits).expect("4-bit word encodes");
+    let mut drive = DriveBy::new(tag, 3.0).with_seed(SEED);
+    drive.half_span_m = 3.0;
+    let mut cfg = ReaderConfig::full();
+    cfg.frame_stride = 8;
+    let outcome = drive.run(&cfg);
+    assert!(outcome.detected_center.is_some(), "fixture must detect");
+    assert_eq!(outcome.bits, bits, "fixture must decode");
+
+    ros_obs::flush();
+    ros_obs::set_level(Level::Off);
+    ros_obs::reset_metrics();
+    let lines = buffer.lock().expect("sink buffer").clone();
+    drop(buffer);
+    lines
+}
+
+/// Reduces ndjson lines to their `ev[:stage|:name]` skeleton.
+fn skeleton(lines: &[String]) -> Vec<String> {
+    lines
+        .iter()
+        .map(|l| {
+            let ev = field(l, "ev").expect("every line has an ev");
+            match ev.as_str() {
+                "span" => format!("span:{}", field(l, "stage").expect("span stage")),
+                "metric" => format!("metric:{}", field(l, "name").expect("metric name")),
+                _ => ev,
+            }
+        })
+        .collect()
+}
+
+/// Extracts a string field from one flat ndjson object.
+fn field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_string())
+}
+
+#[test]
+fn trace_skeleton_matches_golden() {
+    let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let lines = run_traced(1);
+
+    // Every line is a flat, braced, parseable-looking object.
+    for l in &lines {
+        assert!(
+            l.starts_with('{') && l.ends_with('}') && l.contains("\"ev\":\""),
+            "malformed ndjson line: {l}"
+        );
+    }
+
+    // The null clock keeps spans bit-stable.
+    for l in lines.iter().filter(|l| l.contains("\"ev\":\"span\"")) {
+        assert!(
+            l.contains("\"dur_ns\":0"),
+            "span carried wall time without an installed clock: {l}"
+        );
+    }
+
+    let got = skeleton(&lines);
+    assert_eq!(
+        got,
+        EXPECTED,
+        "telemetry skeleton drifted;\n got: {got:#?}"
+    );
+}
+
+#[test]
+fn trace_is_identical_across_thread_counts() {
+    let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let one = run_traced(1);
+    for t in [2, 8] {
+        let many = run_traced(t);
+        assert_eq!(
+            one, many,
+            "summary trace must be bit-identical at {t} threads"
+        );
+    }
+}

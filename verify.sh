@@ -22,7 +22,24 @@ ROS_EXEC_THREADS=1 cargo test -q -p ros-tests --test determinism
 echo "==> determinism suite at ROS_EXEC_THREADS=4"
 ROS_EXEC_THREADS=4 cargo test -q -p ros-tests --test determinism
 
-echo "==> xtask lint (unit-safety / no-panic / no-raw-cast / no-raw-spawn gate)"
+echo "==> xtask lint (unit-safety / no-panic / no-raw-cast / no-raw-spawn / no-println gate)"
 cargo run -q -p xtask -- lint
+
+# Telemetry smoke: a full-pipeline drive-by with ROS_OBS=1 must emit a
+# parseable ndjson trace that covers every stage of the pipeline.
+echo "==> telemetry smoke (ROS_OBS=1 drive-by trace)"
+OBS_TRACE=target/obs_smoke.ndjson
+rm -f "$OBS_TRACE"
+ROS_OBS=1 ROS_OBS_FILE="$OBS_TRACE" cargo run -q --release -p bench -- smoke
+for stage in radar.capture_batch reader.detect dsp.dbscan detector.score decode; do
+    grep -q "\"stage\":\"$stage\"" "$OBS_TRACE" || {
+        echo "verify: telemetry trace missing span for stage '$stage'" >&2
+        exit 1
+    }
+done
+grep -q '"ev":"metric"' "$OBS_TRACE" || {
+    echo "verify: telemetry trace missing metric export" >&2
+    exit 1
+}
 
 echo "verify: all checks passed"

@@ -7,6 +7,8 @@
 //! cargo run --release -p bench -- --par all   # figure-level fan-out
 //! cargo run --release -p bench -- perf        # serial-vs-parallel timings
 //! cargo run --release -p bench -- smoke       # one full-pipeline drive-by
+//! cargo run --release -p bench -- faults      # fault-injection sweep
+//! cargo run --release -p bench -- faults --smoke   # reduced CI matrix
 //! ```
 //!
 //! Tables print to stdout and are mirrored as CSVs under `results/`.
@@ -23,6 +25,7 @@
 //! runs a single 3-stack full-pipeline drive-by, the smallest command
 //! that exercises capture → CFAR → DBSCAN → discrimination → decode.
 
+mod faults;
 mod figures;
 mod perf;
 mod util;
@@ -42,6 +45,11 @@ fn main() {
     }
     if args.iter().any(|a| a == "smoke") {
         smoke();
+        ros_obs::flush();
+        return;
+    }
+    if args.iter().any(|a| a == "faults") {
+        faults::run(args.iter().any(|a| a == "--smoke"));
         ros_obs::flush();
         return;
     }

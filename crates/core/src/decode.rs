@@ -48,6 +48,13 @@ pub struct DecoderConfig {
     /// Bit-decision threshold as a fraction of the largest slot
     /// amplitude.
     pub threshold: f64,
+    /// Half-width of the erasure dead zone around the effective bit
+    /// threshold, as a fraction of that threshold: slot amplitudes
+    /// within `±erasure_margin · T` of `T` decode as *erasures* — the
+    /// bit value is still reported, but the slot index lands in
+    /// [`DecodeResult::erasures`] and the pass verdict degrades to
+    /// `PartialDecode`. 0 disables erasure marking.
+    pub erasure_margin: f64,
     /// Compensate the range/antenna envelope using this link budget
     /// (`None` = use the raw RSS trace).
     pub envelope_budget: Option<RadarLinkBudget>,
@@ -65,6 +72,7 @@ impl Default for DecoderConfig {
             n_grid: 512,
             zero_pad: 8,
             threshold: 0.45,
+            erasure_margin: 0.10,
             envelope_budget: Some(RadarLinkBudget::ti_eval()),
             window: ros_dsp::window::Window::Hann,
             use_czt: false,
@@ -87,6 +95,12 @@ pub struct DecodeResult {
     pub spectrum_mags: Vec<f64>,
     /// Number of samples that survived the FoV filter.
     pub n_samples_used: usize,
+    /// Samples rejected for non-finite RSS (saturation artefacts,
+    /// corrupted frames) before any decoding.
+    pub n_samples_nonfinite: usize,
+    /// Slot indices whose amplitude fell inside the erasure dead zone
+    /// around the decision threshold — bits too marginal to trust.
+    pub erasures: Vec<usize>,
 }
 
 impl DecodeResult {
@@ -145,9 +159,19 @@ pub fn decode(
     let lambda = ros_em::constants::LAMBDA_CENTER_M;
     let u_max = (cfg.fov_rad / 2.0).sin();
 
-    // 1–2: map to u, compensate envelope.
+    // 1–2: map to u, compensate envelope. Non-finite RSS (clipped
+    // ADC artefacts, corrupted frames) is rejected here — one NaN
+    // sample would otherwise spread through the resampler into every
+    // spectrum bin and decode as garbage instead of a typed error.
     let mut trace: Vec<Sample> = Vec::with_capacity(samples.len());
+    let mut nonfinite = 0usize;
     for s in samples {
+        if !s.rss.re.is_finite() || !s.rss.im.is_finite() || !s.radar_pos.x.is_finite()
+            || !s.radar_pos.y.is_finite()
+        {
+            nonfinite += 1;
+            continue;
+        }
         let v = s.radar_pos - tag_center;
         let ground = (v.x * v.x + v.y * v.y).sqrt();
         if ground < 1e-6 {
@@ -267,12 +291,27 @@ pub fn decode(
     let slot_amplitudes: Vec<f64> = slot_amps_raw.iter().map(|a| a / noise_rms).collect();
     let spectrum_mags: Vec<f64> = mags.iter().map(|m| m / noise_rms).collect();
 
-    // 5: threshold into bits and estimate SNR.
+    // 5: threshold into bits and estimate SNR. The effective decision
+    // level is `T = max(threshold·max_amp, 4·noise_rms)`; amplitudes
+    // inside the `±erasure_margin·T` dead zone around it decode as
+    // erasures — the bit is still reported but flagged as untrusted,
+    // which the reader surfaces as a `PartialDecode` verdict.
     let max_amp = slot_amplitudes.iter().cloned().fold(0.0, f64::max);
+    let effective_t = (cfg.threshold * max_amp).max(4.0);
     let bits: Vec<bool> = slot_amplitudes
         .iter()
         .map(|&a| a > cfg.threshold * max_amp && a > 4.0)
         .collect();
+    let erasures: Vec<usize> = if cfg.erasure_margin > 0.0 {
+        slot_amplitudes
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| (a - effective_t).abs() <= cfg.erasure_margin * effective_t)
+            .map(|(i, _)| i)
+            .collect()
+    } else {
+        Vec::new()
+    };
 
     let ones: Vec<f64> = slot_amplitudes
         .iter()
@@ -318,6 +357,15 @@ pub fn decode(
                 ("n_samples", n_used.into()),
             ],
         );
+        if !erasures.is_empty() {
+            ros_obs::event(
+                "decode.partial",
+                &[
+                    ("erasures", erasures.len().into()),
+                    ("slots", bits.len().into()),
+                ],
+            );
+        }
     }
 
     Ok(DecodeResult {
@@ -327,6 +375,8 @@ pub fn decode(
         spectrum_spacings_m: spacings,
         spectrum_mags,
         n_samples_used: n_used,
+        n_samples_nonfinite: nonfinite,
+        erasures,
     })
 }
 
@@ -478,6 +528,102 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, DecodeError::TooFewSamples { .. }));
         assert!(err.to_string().contains("samples"));
+    }
+
+    #[test]
+    fn nonfinite_samples_filtered_not_propagated() {
+        let tag = code8()
+            .encode(&[true; 4])
+            .unwrap()
+            .mounted_at(Vec3::new(0.0, 2.0, 0.0));
+        let mut trace = synth_trace(&tag, 2.0, None, 6);
+        // Corrupt a third of the trace with NaN/∞ RSS.
+        for (i, s) in trace.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                s.rss = if i % 6 == 0 {
+                    Complex64::new(f64::NAN, 0.0)
+                } else {
+                    Complex64::new(f64::INFINITY, f64::INFINITY)
+                };
+            }
+        }
+        let r = decode(
+            &trace,
+            tag.mount(),
+            0.0,
+            tag.code(),
+            &DecoderConfig::default(),
+        )
+        .unwrap();
+        assert!(r.n_samples_nonfinite > 100);
+        assert_eq!(r.bits, vec![true; 4]);
+        assert!(r.snr_db().is_finite());
+        assert!(r.slot_amplitudes.iter().all(|a| a.is_finite()));
+    }
+
+    #[test]
+    fn all_nonfinite_trace_is_typed_error_not_nan() {
+        let s = RssSample {
+            radar_pos: Vec3::new(1.0, 0.0, 0.0),
+            rss: Complex64::new(f64::NAN, f64::NAN),
+        };
+        let err = decode(
+            &vec![s; 200],
+            Vec3::new(0.0, 2.0, 0.0),
+            0.0,
+            &code8(),
+            &DecoderConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, DecodeError::TooFewSamples { got: 0 }));
+    }
+
+    #[test]
+    fn marginal_slot_amplitude_is_an_erasure() {
+        // A clean decode has no erasures; shrinking the dead zone to 0
+        // never creates any; a wide margin flags the weakest slots.
+        let tag = code8()
+            .encode(&[true, false, true, true])
+            .unwrap()
+            .mounted_at(Vec3::new(0.0, 2.0, 0.0));
+        let trace = synth_trace(&tag, 2.0, None, 7);
+        let clean = decode(
+            &trace,
+            tag.mount(),
+            0.0,
+            tag.code(),
+            &DecoderConfig::default(),
+        )
+        .unwrap();
+        assert!(clean.erasures.is_empty(), "clean fixture must not erase");
+        let off = decode(
+            &trace,
+            tag.mount(),
+            0.0,
+            tag.code(),
+            &DecoderConfig {
+                erasure_margin: 0.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(off.erasures.is_empty());
+        // A margin wide enough to reach the strongest slot flags it.
+        let max = clean.slot_amplitudes.iter().cloned().fold(0.0, f64::max);
+        let t = (0.45 * max).max(4.0);
+        let needed = (max - t).abs() / t + 0.05;
+        let wide = decode(
+            &trace,
+            tag.mount(),
+            0.0,
+            tag.code(),
+            &DecoderConfig {
+                erasure_margin: needed,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!wide.erasures.is_empty(), "margin {needed} must flag slots");
     }
 
     #[test]

@@ -11,14 +11,66 @@
 //! parity bits in positions 1, 2, 4 (1-indexed), plus helpers to
 //! protect arbitrary-length bit messages (nibble-chunked).
 
+/// Typed FEC failure: malformed input to the codec, reported instead
+/// of panicking so faulted decode paths degrade gracefully.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FecError {
+    /// The value does not fit in 4 bits.
+    OversizedNibble {
+        /// The offending value.
+        value: u8,
+    },
+    /// A coded stream whose length is not a multiple of 7.
+    LengthNotMultipleOf7 {
+        /// The offending length.
+        len: usize,
+    },
+    /// Fewer coded blocks than the message needs.
+    CodedTooShort {
+        /// Blocks available.
+        blocks: usize,
+        /// Message bits requested.
+        message_len: usize,
+    },
+}
+
+impl std::fmt::Display for FecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FecError::OversizedNibble { value } => {
+                write!(f, "value {value} does not fit in a 4-bit nibble")
+            }
+            FecError::LengthNotMultipleOf7 { len } => {
+                write!(f, "coded length {len} is not a multiple of 7")
+            }
+            FecError::CodedTooShort {
+                blocks,
+                message_len,
+            } => write!(
+                f,
+                "{blocks} coded block(s) cannot carry a {message_len}-bit message"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FecError {}
+
 /// Encodes a 4-bit nibble (low bits of `nibble`) into 7 coded bits.
 ///
 /// Bit layout (1-indexed): p1 p2 d1 p4 d2 d3 d4.
 ///
-/// # Panics
-/// Panics when `nibble >= 16`.
-pub fn hamming74_encode(nibble: u8) -> [bool; 7] {
-    assert!(nibble < 16, "a nibble has 4 bits");
+/// # Errors
+/// [`FecError::OversizedNibble`] when `nibble >= 16`.
+pub fn hamming74_encode(nibble: u8) -> Result<[bool; 7], FecError> {
+    if nibble >= 16 {
+        return Err(FecError::OversizedNibble { value: nibble });
+    }
+    Ok(encode_nibble(nibble))
+}
+
+/// Infallible core: encodes the low 4 bits of `nibble`.
+fn encode_nibble(nibble: u8) -> [bool; 7] {
     let d1 = nibble & 1 != 0;
     let d2 = nibble & 2 != 0;
     let d3 = nibble & 4 != 0;
@@ -61,7 +113,7 @@ pub fn hamming74_decode(mut code: [bool; 7]) -> (u8, Option<usize>) {
 /// let msg = [true, false, true, true];
 /// let mut coded = protect(&msg);
 /// coded[5] = !coded[5]; // channel error
-/// let (back, fixed) = recover(&coded, 4);
+/// let (back, fixed) = recover(&coded, 4).unwrap();
 /// assert_eq!(back, msg.to_vec());
 /// assert_eq!(fixed, 1);
 /// ```
@@ -74,7 +126,7 @@ pub fn protect(bits: &[bool]) -> Vec<bool> {
                 nibble |= 1 << i;
             }
         }
-        out.extend_from_slice(&hamming74_encode(nibble));
+        out.extend_from_slice(&encode_nibble(nibble));
     }
     out
 }
@@ -84,15 +136,21 @@ pub fn protect(bits: &[bool]) -> Vec<bool> {
 /// Returns `(bits, corrections)` — the decoded message and how many
 /// bits were corrected across all blocks.
 ///
-/// # Panics
-/// Panics when `coded.len()` is not a multiple of 7 or too short for
-/// `message_len`.
-pub fn recover(coded: &[bool], message_len: usize) -> (Vec<bool>, usize) {
-    assert!(coded.len() % 7 == 0, "coded length must be a multiple of 7");
-    assert!(
-        coded.len() / 7 * 4 >= message_len,
-        "coded message too short"
-    );
+/// # Errors
+/// [`FecError::LengthNotMultipleOf7`] for a torn coded stream (e.g.
+/// after frame drops), [`FecError::CodedTooShort`] when fewer blocks
+/// arrived than `message_len` needs.
+pub fn recover(coded: &[bool], message_len: usize) -> Result<(Vec<bool>, usize), FecError> {
+    if coded.len() % 7 != 0 {
+        return Err(FecError::LengthNotMultipleOf7 { len: coded.len() });
+    }
+    let blocks = coded.len() / 7;
+    if blocks * 4 < message_len {
+        return Err(FecError::CodedTooShort {
+            blocks,
+            message_len,
+        });
+    }
     let mut bits = Vec::with_capacity(message_len);
     let mut corrections = 0;
     for block in coded.chunks(7) {
@@ -107,7 +165,7 @@ pub fn recover(coded: &[bool], message_len: usize) -> (Vec<bool>, usize) {
         }
     }
     bits.truncate(message_len);
-    (bits, corrections)
+    Ok((bits, corrections))
 }
 
 /// Residual word-error probability of one Hamming(7,4) block given a
@@ -127,7 +185,7 @@ mod tests {
     #[test]
     fn all_nibbles_roundtrip() {
         for n in 0..16u8 {
-            let code = hamming74_encode(n);
+            let code = hamming74_encode(n).unwrap();
             let (back, fixed) = hamming74_decode(code);
             assert_eq!(back, n);
             assert_eq!(fixed, None);
@@ -138,7 +196,7 @@ mod tests {
     fn every_single_flip_corrected() {
         for n in 0..16u8 {
             for flip in 0..7 {
-                let mut code = hamming74_encode(n);
+                let mut code = hamming74_encode(n).unwrap();
                 code[flip] = !code[flip];
                 let (back, fixed) = hamming74_decode(code);
                 assert_eq!(back, n, "nibble {n}, flip {flip}");
@@ -152,7 +210,7 @@ mod tests {
         let msg = [true, false, true, true, false, true];
         let coded = protect(&msg);
         assert_eq!(coded.len(), 14); // 2 blocks
-        let (back, corrections) = recover(&coded, msg.len());
+        let (back, corrections) = recover(&coded, msg.len()).unwrap();
         assert_eq!(back, msg.to_vec());
         assert_eq!(corrections, 0);
     }
@@ -164,7 +222,7 @@ mod tests {
         // One flip per block is fully correctable.
         coded[3] = !coded[3];
         coded[9] = !coded[9];
-        let (back, corrections) = recover(&coded, msg.len());
+        let (back, corrections) = recover(&coded, msg.len()).unwrap();
         assert_eq!(back, msg.to_vec());
         assert_eq!(corrections, 2);
     }
@@ -180,14 +238,43 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "multiple of 7")]
-    fn bad_coded_length_rejected() {
-        recover(&[false; 6], 4);
+    fn bad_coded_length_is_typed_error() {
+        assert_eq!(
+            recover(&[false; 6], 4),
+            Err(FecError::LengthNotMultipleOf7 { len: 6 })
+        );
     }
 
     #[test]
-    #[should_panic(expected = "4 bits")]
-    fn oversized_nibble_rejected() {
-        hamming74_encode(16);
+    fn short_coded_stream_is_typed_error() {
+        // One 7-bit block carries 4 message bits, not 8.
+        assert_eq!(
+            recover(&[false; 7], 8),
+            Err(FecError::CodedTooShort {
+                blocks: 1,
+                message_len: 8
+            })
+        );
+    }
+
+    #[test]
+    fn oversized_nibble_is_typed_error() {
+        assert_eq!(
+            hamming74_encode(16),
+            Err(FecError::OversizedNibble { value: 16 })
+        );
+        assert!(hamming74_encode(15).is_ok());
+    }
+
+    #[test]
+    fn errors_display_their_context() {
+        let e = FecError::CodedTooShort {
+            blocks: 1,
+            message_len: 8,
+        };
+        assert!(e.to_string().contains("8-bit"));
+        assert!(FecError::LengthNotMultipleOf7 { len: 6 }
+            .to_string()
+            .contains('6'));
     }
 }

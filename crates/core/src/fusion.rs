@@ -161,6 +161,8 @@ mod tests {
             spectrum_spacings_m: vec![],
             spectrum_mags: vec![],
             n_samples_used: 100,
+            n_samples_nonfinite: 0,
+            erasures: vec![],
         };
         let garbage = DecodeResult {
             bits: vec![false, true],
@@ -169,6 +171,8 @@ mod tests {
             spectrum_spacings_m: vec![],
             spectrum_mags: vec![],
             n_samples_used: 100,
+            n_samples_nonfinite: 0,
+            erasures: vec![],
         };
         let fused = fuse_amplitudes(&[good, garbage]);
         assert_eq!(fused.bits, vec![true, false]);
@@ -183,6 +187,8 @@ mod tests {
             spectrum_spacings_m: vec![],
             spectrum_mags: vec![],
             n_samples_used: 10,
+            n_samples_nonfinite: 0,
+            erasures: vec![],
         };
         let fused = fuse_majority(&[
             mk(vec![true, false]),
@@ -203,6 +209,8 @@ mod tests {
             spectrum_spacings_m: vec![],
             spectrum_mags: vec![],
             n_samples_used: 10,
+            n_samples_nonfinite: 0,
+            erasures: vec![],
         };
         let fused = fuse_majority(&[mk(true), mk(false)]);
         assert_eq!(fused.bits, vec![false]);

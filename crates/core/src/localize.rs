@@ -40,15 +40,45 @@ pub struct TrackCorrection {
     pub n_observations: usize,
 }
 
+/// Typed localization failure: degenerate observation sets are
+/// reported, not panicked on — a pass with zero detected tags is a
+/// normal outcome under faults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LocalizeError {
+    /// No tag observations at all (nothing detected this pass).
+    NoObservations,
+    /// Observations exist but every weight is zero (or negative).
+    ZeroWeights,
+}
+
+impl std::fmt::Display for LocalizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LocalizeError::NoObservations => write!(f, "no tag observations"),
+            LocalizeError::ZeroWeights => write!(f, "all observation weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for LocalizeError {}
+
 /// Estimates the track bias from tag observations (weighted least
 /// squares; closed form for the constant-offset model).
 ///
-/// # Panics
-/// Panics when `observations` is empty or all weights are zero.
-pub fn estimate_correction(observations: &[TagObservation]) -> TrackCorrection {
-    assert!(!observations.is_empty(), "need at least one observation");
+/// # Errors
+/// [`LocalizeError::NoObservations`] for an empty set,
+/// [`LocalizeError::ZeroWeights`] when no observation carries weight.
+pub fn estimate_correction(
+    observations: &[TagObservation],
+) -> Result<TrackCorrection, LocalizeError> {
+    if observations.is_empty() {
+        return Err(LocalizeError::NoObservations);
+    }
     let wsum: f64 = observations.iter().map(|o| o.weight).sum();
-    assert!(wsum > 0.0, "all observation weights are zero");
+    if !(wsum > 0.0) {
+        // lint note: `!(> 0)` also rejects a NaN weight sum.
+        return Err(LocalizeError::ZeroWeights);
+    }
 
     let mut bias = Vec3::ZERO;
     for o in observations {
@@ -61,11 +91,11 @@ pub fn estimate_correction(observations: &[TagObservation]) -> TrackCorrection {
         let r = o.observed - o.surveyed - bias;
         rss += o.weight * r.norm_sqr();
     }
-    TrackCorrection {
+    Ok(TrackCorrection {
         bias,
         residual_m: (rss / wsum).sqrt(),
         n_observations: observations.len(),
-    }
+    })
 }
 
 /// Applies a correction to a believed track.
@@ -92,7 +122,7 @@ mod tests {
             obs(0.4, 2.8, 0.0, 3.0, 1.0),
             obs(5.4, 2.8, 5.0, 3.0, 1.0),
         ];
-        let c = estimate_correction(&observations);
+        let c = estimate_correction(&observations).unwrap();
         assert!((c.bias.x - 0.4).abs() < 1e-12);
         assert!((c.bias.y + 0.2).abs() < 1e-12);
         assert!(c.residual_m < 1e-12);
@@ -104,7 +134,7 @@ mod tests {
             obs(1.0, 3.0, 0.0, 3.0, 9.0), // offset 1.0, strong
             obs(5.0, 3.0, 5.0, 3.0, 1.0), // offset 0.0, weak
         ];
-        let c = estimate_correction(&observations);
+        let c = estimate_correction(&observations).unwrap();
         assert!((c.bias.x - 0.9).abs() < 1e-12);
     }
 
@@ -128,9 +158,25 @@ mod tests {
             obs(0.5, 3.0, 0.0, 3.0, 1.0),
             obs(4.5, 3.0, 5.0, 3.0, 1.0),
         ];
-        let c = estimate_correction(&observations);
+        let c = estimate_correction(&observations).unwrap();
         assert!(c.bias.x.abs() < 1e-12); // offsets cancel
         assert!(c.residual_m > 0.4);
+    }
+
+    #[test]
+    fn degenerate_observation_sets_are_typed_errors() {
+        assert_eq!(
+            estimate_correction(&[]),
+            Err(LocalizeError::NoObservations)
+        );
+        assert_eq!(
+            estimate_correction(&[obs(0.0, 0.0, 0.0, 0.0, 0.0)]),
+            Err(LocalizeError::ZeroWeights)
+        );
+        assert_eq!(
+            estimate_correction(&[obs(0.0, 0.0, 0.0, 0.0, f64::NAN)]),
+            Err(LocalizeError::ZeroWeights)
+        );
     }
 
     #[test]
@@ -166,7 +212,8 @@ mod tests {
             observed: Vec3::new(center.x, center.y, 0.0),
             surveyed,
             weight: 1.0,
-        }]);
+        }])
+        .unwrap();
         // The drift stretches the ±3 m track by 6%; the detected tag
         // centre shifts accordingly and the correction recovers a
         // same-magnitude bias.

@@ -25,7 +25,9 @@ use rand::{Rng, SeedableRng};
 use ros_em::jones::Polarization;
 use ros_em::units::cast::AsF64;
 use ros_em::{Complex64, Vec3};
+use ros_fault::{BurstDraw, CorruptionMode, FaultPlan, FaultSchedule, FrameFaults};
 use ros_radar::echo::{Echo, Pose};
+use ros_radar::impairments::saturate_frame;
 use ros_radar::pointcloud::PointCloud;
 use ros_radar::radar::{FmcwRadar, RadarMode};
 use ros_scene::objects::ClutterObject;
@@ -114,6 +116,11 @@ pub struct DriveBy {
     pub ground_coeff: Option<f64>,
     /// Transient blockage events (passing traffic occluding the tag).
     pub blockages: Vec<Blockage>,
+    /// Deterministic fault-injection plan (`None` = clean run). The
+    /// plan is realized against the pass's frame timeline with
+    /// [`FaultPlan::schedule`] — drawn serially, so any plan is
+    /// bit-identical at every thread count.
+    pub faults: Option<FaultPlan>,
 }
 
 /// A transient line-of-sight blockage (§7.3: "detection and decoding
@@ -151,12 +158,19 @@ impl DriveBy {
             lateral: LateralProfile::Straight,
             ground_coeff: None,
             blockages: Vec::new(),
+            faults: None,
         }
     }
 
     /// Adds a transient blockage event.
     pub fn with_blockage(mut self, b: Blockage) -> Self {
         self.blockages.push(b);
+        self
+    }
+
+    /// Attaches a fault-injection plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -269,9 +283,23 @@ impl DriveBy {
         ros_em::db::db_to_lin(floor_dbm) / std::f64::consts::SQRT_2
     }
 
+    /// Realizes the fault plan (if any) against a frame timeline and
+    /// displaces the believed track by the scheduled tracking spikes.
+    fn fault_schedule(&self, times: &[f64], believed: &mut [Vec3]) -> Option<FaultSchedule> {
+        let schedule = self.faults.as_ref().map(|p| p.schedule(times))?;
+        ros_scene::tracking::apply_spikes(
+            believed,
+            schedule
+                .spikes()
+                .map(|(i, s)| (i, Vec3::new(s.dx_m, s.dy_m, 0.0))),
+        );
+        Some(schedule)
+    }
+
     fn run_fast(&self, cfg: &ReaderConfig) -> Outcome {
         let _span = ros_obs::span("reader.run_fast");
-        let (times, truth, believed) = self.track(cfg);
+        let (times, truth, mut believed) = self.track(cfg);
+        let schedule = self.fault_schedule(&times, &mut believed);
         let ctx = self.context();
         let (tx, rx) = RadarMode::PolarizationSwitched.polarizations(self.radar.array.native_pol);
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -340,12 +368,47 @@ impl DriveBy {
         });
 
         let mut samples = Vec::with_capacity(truth.len());
-        for (mut rss, pos_believed) in clean_rss.into_iter().zip(&believed) {
+        let mut frame_verdicts = Vec::new();
+        let mut degraded = 0usize;
+        for (i, (mut rss, pos_believed)) in clean_rss.into_iter().zip(&believed).enumerate() {
+            // Receiver noise is drawn for every frame — faulted or not —
+            // so the RNG stream stays aligned with the clean run and a
+            // zero-rate plan is bit-identical to no plan at all.
             rss += Complex64::new(gauss(&mut rng) * sigma, gauss(&mut rng) * sigma);
-            samples.push(RssSample {
+            let ff = match &schedule {
+                Some(sch) => *sch.get(i),
+                None => FrameFaults::clean(),
+            };
+            if let Some(b) = &ff.burst {
+                let sigma_b = sigma * ros_em::db::db_to_lin(b.excess_db);
+                // lint: allow-cast(frame index, lossless widening)
+                let (g_re, g_im) = b.gaussian_pair(i as u64);
+                rss += Complex64::new(g_re * sigma_b, g_im * sigma_b);
+            }
+            if let Some(fs) = ff.saturation {
+                rss = Complex64::new(rss.re.clamp(-fs, fs), rss.im.clamp(-fs, fs));
+            }
+            if !ff.is_clean() {
+                degraded += 1;
+                ff.record(0);
+            }
+            if schedule.is_some() {
+                frame_verdicts.push(FrameVerdict::from_faults(i, &ff, 0));
+            }
+            if ff.dropped {
+                continue;
+            }
+            let s = RssSample {
                 radar_pos: *pos_believed,
                 rss,
-            });
+            };
+            samples.push(s);
+            if ff.duplicated {
+                samples.push(s);
+            }
+        }
+        if degraded > 0 {
+            ros_obs::count("reader.frames_degraded", degraded);
         }
         ros_obs::count("reader.frames", samples.len());
         if ros_obs::detail() {
@@ -359,20 +422,24 @@ impl DriveBy {
         }
 
         let decode_result = decode(&samples, center_est, 0.0, self.tag.code(), &cfg.decoder);
+        let mut outcome = Outcome::from_parts(samples, decode_result, None, Vec::new());
+        outcome.frame_verdicts = frame_verdicts;
         ros_obs::event(
             "reader.pass",
             &[
                 ("mode", "fast".into()),
-                ("frames", samples.len().into()),
-                ("decoded", decode_result.is_ok().into()),
+                ("frames", outcome.rss_trace.len().into()),
+                ("decoded", outcome.decode.is_some().into()),
+                ("verdict", outcome.verdict.name().into()),
             ],
         );
-        Outcome::from_parts(samples, decode_result, None, Vec::new())
+        outcome
     }
 
     fn run_full(&self, cfg: &ReaderConfig) -> Outcome {
         let _span = ros_obs::span("reader.run_full");
-        let (_, truth, believed) = self.track(cfg);
+        let (times, truth, mut believed) = self.track(cfg);
+        let schedule = self.fault_schedule(&times, &mut believed);
         let ctx = self.context();
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xf011);
         let native = RadarMode::Native.polarizations(self.radar.array.native_pol);
@@ -390,15 +457,25 @@ impl DriveBy {
             let _gather = ros_obs::span("reader.gather_echoes");
             for (i, pos_true) in truth.iter().enumerate() {
                 let pose_true = Pose::side_looking(*pos_true);
-                jobs.push((
-                    pose_true,
-                    self.gather_echoes(*pos_true, switched.0, switched.1, &ctx),
-                ));
+                // An interference burst is one extra strong scatterer in
+                // this frame's scene — both Tx modes of the frame see it,
+                // exactly as a co-channel radar in the field would.
+                let burst = schedule
+                    .as_ref()
+                    .and_then(|sch| sch.get(i).burst.as_ref())
+                    .map(|b| self.burst_echo(&pose_true, b));
+                let mut sw_echoes = self.gather_echoes(*pos_true, switched.0, switched.1, &ctx);
+                if let Some(e) = &burst {
+                    sw_echoes.push(*e);
+                }
+                jobs.push((pose_true, sw_echoes));
                 if i % cfg.detect_stride == 0 {
-                    jobs.push((
-                        pose_true,
-                        self.gather_echoes(*pos_true, native.0, native.1, &ctx),
-                    ));
+                    let mut nat_echoes =
+                        self.gather_echoes(*pos_true, native.0, native.1, &ctx);
+                    if let Some(e) = &burst {
+                        nat_echoes.push(*e);
+                    }
+                    jobs.push((pose_true, nat_echoes));
                 }
             }
         }
@@ -414,18 +491,89 @@ impl DriveBy {
             }
         }
 
+        // ADC saturation clips the captured IF frames in place — both
+        // the decode (switched) frame and, where one exists, the paired
+        // native frame of the same pass index.
+        if let Some(sch) = &schedule {
+            for (i, (frame, _)) in switched_frames.iter_mut().enumerate() {
+                if let Some(fs) = sch.get(i).saturation {
+                    saturate_frame(frame, fs);
+                }
+            }
+            for (j, (frame, _)) in native_frames.iter_mut().enumerate() {
+                if let Some(fs) = sch.get(j * cfg.detect_stride).saturation {
+                    saturate_frame(frame, fs);
+                }
+            }
+        }
+
         // Detection cloud from the native-mode frames (detection is a
         // pure per-frame function, so the fan-out changes nothing).
+        // Dropped frames never reach the cloud; corrupted ones have
+        // their returns mangled (NaN/∞/outlier range) *before* DBSCAN,
+        // which the hardened clustering must absorb.
         let mut cloud = PointCloud::new();
+        let mut corrupted_points = vec![0usize; switched_frames.len()];
         {
             let _detect = ros_obs::span("reader.detect");
             let detections =
                 ros_exec::par_map(&native_frames, |(frame, _)| self.radar.detect(frame));
-            for ((_, pos_believed), pts) in native_frames.iter().zip(&detections) {
-                cloud.add_frame(pts, &Pose::side_looking(*pos_believed));
+            for (j, ((_, pos_believed), pts)) in
+                native_frames.iter().zip(&detections).enumerate()
+            {
+                let idx = j * cfg.detect_stride;
+                let ff = match &schedule {
+                    Some(sch) => *sch.get(idx),
+                    None => FrameFaults::clean(),
+                };
+                if ff.dropped {
+                    continue;
+                }
+                let pose = Pose::side_looking(*pos_believed);
+                if let Some(c) = &ff.corruption {
+                    let mut mangled = pts.clone();
+                    for (k, p) in mangled.iter_mut().enumerate() {
+                        match c.mode {
+                            CorruptionMode::NaN => p.range_m = f64::NAN,
+                            CorruptionMode::Inf => {
+                                p.range_m = f64::INFINITY;
+                                p.power_mw = f64::INFINITY;
+                            }
+                            CorruptionMode::Outlier { offset_m } => {
+                                // lint: allow-cast(point index, lossless widening)
+                                p.range_m += (2.0 * c.unit(k as u64) - 1.0) * offset_m;
+                            }
+                        }
+                    }
+                    if idx < corrupted_points.len() {
+                        corrupted_points[idx] = mangled.len();
+                    }
+                    cloud.add_frame(&mangled, &pose);
+                } else {
+                    cloud.add_frame(pts, &pose);
+                }
             }
         }
         ros_obs::gauge("reader.cloud_points", cloud.len().as_f64());
+
+        // One serial bookkeeping pass per frame: fault counters and the
+        // per-frame verdicts the outcome reports.
+        let mut frame_verdicts = Vec::new();
+        if let Some(sch) = &schedule {
+            let mut degraded = 0usize;
+            for i in 0..switched_frames.len() {
+                let ff = sch.get(i);
+                let cp = corrupted_points[i];
+                if !ff.is_clean() {
+                    degraded += 1;
+                    ff.record(cp);
+                }
+                frame_verdicts.push(FrameVerdict::from_faults(i, ff, cp));
+            }
+            if degraded > 0 {
+                ros_obs::count("reader.frames_degraded", degraded);
+            }
+        }
 
         // Score clusters; the RSS probe spotlights the candidate centre
         // across the pass in both modes, skipping frames where another
@@ -470,6 +618,12 @@ impl DriveBy {
                     continue;
                 }
                 let idx = j * cfg.detect_stride;
+                // A dropped frame contributes neither half of the pair.
+                if let Some(sch) = &schedule {
+                    if sch.get(idx).dropped {
+                        continue;
+                    }
+                }
                 let Some((frame_sw, _)) = switched_frames.get(idx) else {
                     break;
                 };
@@ -511,10 +665,11 @@ impl DriveBy {
         let spot = tag_center.unwrap_or(self.tag.mount());
         let samples: Vec<RssSample> = {
             let _spotlight = ros_obs::span("reader.spotlight");
-            ros_exec::par_map(&switched_frames, |(frame, pos_believed)| RssSample {
+            let raw = ros_exec::par_map(&switched_frames, |(frame, pos_believed)| RssSample {
                 radar_pos: *pos_believed,
                 rss: self.radar.spotlight(frame, spot),
-            })
+            });
+            apply_stream_faults(raw, schedule.as_ref())
         };
         ros_obs::count("reader.frames", samples.len());
 
@@ -536,6 +691,7 @@ impl DriveBy {
                     rss: self.radar.spotlight(frame, center),
                 })
                 .collect();
+            let trace = apply_stream_faults(trace, schedule.as_ref());
             if let Ok(dec) = decode(&trace, center, 0.0, self.tag.code(), &cfg.decoder) {
                 all_tags.push(DecodedTag {
                     center,
@@ -546,6 +702,13 @@ impl DriveBy {
 
         let mut outcome = Outcome::from_parts(samples, decode_result, tag_center, clusters);
         outcome.all_tags = all_tags;
+        outcome.frame_verdicts = frame_verdicts;
+        // Detection failure is a degraded pass even when the true-mount
+        // fallback happened to decode: the reader would not have known
+        // where to point in the field.
+        if outcome.detected_center.is_none() {
+            outcome.verdict = PassVerdict::NoTag;
+        }
         ros_obs::event(
             "reader.pass",
             &[
@@ -554,9 +717,22 @@ impl DriveBy {
                 ("clusters", outcome.clusters.len().into()),
                 ("detected", outcome.detected_center.is_some().into()),
                 ("decoded", outcome.decode.is_some().into()),
+                ("verdict", outcome.verdict.name().into()),
             ],
         );
         outcome
+    }
+
+    /// Materializes one frame's interference burst as an extra echo:
+    /// a strong scatterer at a burst-drawn range/azimuth whose
+    /// per-sample amplitude sits `excess_db` above the thermal floor.
+    fn burst_echo(&self, pose: &Pose, b: &BurstDraw) -> Echo {
+        let range = 1.0 + 5.0 * b.unit(0);
+        let az = (b.unit(1) - 0.5) * 1.4;
+        let pos = pose.pos + Vec3::new(range * az.sin(), range * az.cos(), 0.0);
+        let amp = ros_em::db::db_to_lin(self.radar.noise_floor_dbm() + b.excess_db);
+        let phase = std::f64::consts::TAU * b.unit(2);
+        Echo::new(pos, Complex64::from_polar(amp, phase))
     }
 
     fn gather_echoes(
@@ -573,6 +749,106 @@ impl DriveBy {
             }
         }
         echoes
+    }
+}
+
+/// Applies frame-stream faults to a per-frame spotlight trace:
+/// dropped frames vanish, duplicated ones appear twice. With no
+/// schedule the trace passes through untouched.
+fn apply_stream_faults(raw: Vec<RssSample>, schedule: Option<&FaultSchedule>) -> Vec<RssSample> {
+    let Some(sch) = schedule else {
+        return raw;
+    };
+    let mut out = Vec::with_capacity(raw.len());
+    for (i, s) in raw.into_iter().enumerate() {
+        let ff = sch.get(i);
+        if ff.dropped {
+            continue;
+        }
+        out.push(s);
+        if ff.duplicated {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Typed degradation verdict for one drive-by pass: the reader never
+/// panics or leaks NaN under faults — it reports one of these.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PassVerdict {
+    /// Full decode, every slot trusted.
+    Clean,
+    /// Bits were produced but some slot amplitudes sat inside the
+    /// erasure dead-zone around the decision threshold — resolved
+    /// count and erased slot indices attached.
+    PartialDecode {
+        /// Slots decoded outside the erasure band.
+        bits_resolved: usize,
+        /// Slot indices flagged as erasures.
+        erasures: Vec<usize>,
+    },
+    /// No tag: detection failed or decoding returned a typed error.
+    NoTag,
+}
+
+impl PassVerdict {
+    /// Stable lowercase label (observability payloads, bench CSV).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PassVerdict::Clean => "clean",
+            PassVerdict::PartialDecode { .. } => "partial_decode",
+            PassVerdict::NoTag => "no_tag",
+        }
+    }
+
+    /// Anything other than a clean full decode.
+    pub fn is_degraded(&self) -> bool {
+        !matches!(self, PassVerdict::Clean)
+    }
+}
+
+/// Per-frame fault exposure of one pass (populated only when a fault
+/// plan was attached; indexed by decoding-frame number).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrameVerdict {
+    /// Decoding-frame index.
+    pub index: usize,
+    /// Frame was dropped from the decode stream.
+    pub dropped: bool,
+    /// Frame was duplicated in the decode stream.
+    pub duplicated: bool,
+    /// Frame's ADC output was clipped.
+    pub saturated: bool,
+    /// Frame carried an interference burst.
+    pub jammed: bool,
+    /// Point-cloud returns corrupted in this frame (full pipeline).
+    pub corrupted_points: usize,
+    /// Believed track displaced by a tracking spike.
+    pub tracking_spiked: bool,
+}
+
+impl FrameVerdict {
+    fn from_faults(index: usize, ff: &FrameFaults, corrupted_points: usize) -> Self {
+        FrameVerdict {
+            index,
+            dropped: ff.dropped,
+            duplicated: ff.duplicated,
+            saturated: ff.saturation.is_some(),
+            jammed: ff.burst.is_some(),
+            corrupted_points,
+            tracking_spiked: ff.spike.is_some(),
+        }
+    }
+
+    /// True when this frame was touched by any fault.
+    pub fn is_degraded(&self) -> bool {
+        self.dropped
+            || self.duplicated
+            || self.saturated
+            || self.jammed
+            || self.corrupted_points > 0
+            || self.tracking_spiked
     }
 }
 
@@ -602,6 +878,10 @@ pub struct Outcome {
     /// Every tag-classified cluster decoded independently (full
     /// pipeline only; advertising-board scenes).
     pub all_tags: Vec<DecodedTag>,
+    /// Typed degradation verdict of the pass.
+    pub verdict: PassVerdict,
+    /// Per-frame fault exposure (empty unless a fault plan was set).
+    pub frame_verdicts: Vec<FrameVerdict>,
 }
 
 impl Outcome {
@@ -612,6 +892,14 @@ impl Outcome {
         clusters: Vec<ScoredCluster>,
     ) -> Self {
         let decode = decode.ok();
+        let verdict = match &decode {
+            None => PassVerdict::NoTag,
+            Some(d) if !d.erasures.is_empty() => PassVerdict::PartialDecode {
+                bits_resolved: d.bits.len().saturating_sub(d.erasures.len()),
+                erasures: d.erasures.clone(),
+            },
+            Some(_) => PassVerdict::Clean,
+        };
         Outcome {
             bits: decode.as_ref().map(|d| d.bits.clone()).unwrap_or_default(),
             decode,
@@ -619,6 +907,8 @@ impl Outcome {
             clusters,
             rss_trace,
             all_tags: Vec::new(),
+            verdict,
+            frame_verdicts: Vec::new(),
         }
     }
 

@@ -79,23 +79,42 @@ pub fn ca_cfar(power: &[f64], params: &CfarParams) -> Vec<Detection> {
         let right_lo = (i + params.guard + 1).min(n);
         let right_hi = (right_lo + params.training).min(n);
 
+        // Non-finite cells (saturated FFT bins, blanked samples) are
+        // excluded from the training average — one NaN in a window
+        // would otherwise poison the noise estimate for every cell it
+        // slides through — and can never fire themselves: a NaN power
+        // fails every comparison below, and a +∞ one is no real
+        // detection either.
+        if !power[i].is_finite() {
+            continue;
+        }
         let mut sum = 0.0;
         let mut count = 0usize;
+        let mut train = |lo: usize, hi: usize| {
+            for &p in &power[lo..hi] {
+                if p.is_finite() {
+                    sum += p;
+                    count += 1;
+                }
+            }
+        };
         if left_hi > left_lo {
-            sum += power[left_lo..left_hi].iter().sum::<f64>();
-            count += left_hi - left_lo;
+            train(left_lo, left_hi);
         }
         if right_hi > right_lo {
-            sum += power[right_lo..right_hi].iter().sum::<f64>();
-            count += right_hi - right_lo;
+            train(right_lo, right_hi);
         }
         if count == 0 {
             continue;
         }
         let noise = sum / count.as_f64();
 
-        let is_local_max = (i == 0 || power[i] >= power[i - 1])
-            && (i + 1 >= n || power[i] > power[i + 1]);
+        // A NaN neighbour is "unknown", not "bigger": `!(a < b)` keeps
+        // the original `>=` semantics on the left while treating NaN
+        // as not-larger; the explicit NaN check does the same on the
+        // strict right-hand comparison.
+        let is_local_max = (i == 0 || !(power[i] < power[i - 1]))
+            && (i + 1 >= n || power[i] > power[i + 1] || power[i + 1].is_nan());
 
         if is_local_max && power[i] > params.threshold_factor * noise {
             detections.push(Detection {
@@ -277,6 +296,31 @@ mod tests {
             noise: 1.0,
         };
         assert!((normal.snr_db() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonfinite_cells_never_fire_and_do_not_poison_training() {
+        // A NaN and a +∞ cell sit inside the training windows of a
+        // genuine target: the target must still be detected with a
+        // finite noise estimate, and the corrupted cells themselves
+        // must not appear as detections.
+        let mut p = flat_noise(64, 1.0);
+        p[30] = 100.0;
+        p[20] = f64::NAN;
+        p[38] = f64::INFINITY;
+        let d = ca_cfar(&p, &CfarParams::default());
+        assert!(d.iter().any(|d| d.index == 30), "target lost to NaN cell");
+        for det in &d {
+            assert!(det.index != 20 && det.index != 38, "corrupt cell fired");
+            assert!(det.noise.is_finite() && det.power.is_finite());
+            assert!(det.snr_db().is_finite());
+        }
+    }
+
+    #[test]
+    fn all_nan_profile_is_silent() {
+        let p = vec![f64::NAN; 48];
+        assert!(ca_cfar(&p, &CfarParams::default()).is_empty());
     }
 
     #[test]

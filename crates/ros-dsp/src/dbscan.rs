@@ -51,9 +51,19 @@ pub fn dbscan(points: &[[f64; 2]], params: &DbscanParams) -> (Vec<Label>, usize)
     let mut cluster_id = 0usize;
     let eps2 = params.eps * params.eps;
 
+    // Corrupted returns (NaN/∞ coordinates) are labelled noise up
+    // front and excluded from every neighbourhood. Without the guard a
+    // NaN coordinate silently fails both `<=` comparisons — isolated
+    // by accident, not by design — and an ∞ one would poison centroid
+    // sums if it ever joined a cluster.
+    let finite = |i: usize| points[i][0].is_finite() && points[i][1].is_finite();
+
     let neighbours = |i: usize| -> Vec<usize> {
         (0..n)
             .filter(|&j| {
+                if !finite(j) {
+                    return false;
+                }
                 let dx = points[i][0] - points[j][0];
                 let dy = points[i][1] - points[j][1];
                 dx * dx + dy * dy <= eps2
@@ -63,6 +73,10 @@ pub fn dbscan(points: &[[f64; 2]], params: &DbscanParams) -> (Vec<Label>, usize)
 
     for i in 0..n {
         if labels[i].is_some() {
+            continue;
+        }
+        if !finite(i) {
+            labels[i] = Some(Label::Noise);
             continue;
         }
         let nb = neighbours(i);
@@ -245,6 +259,34 @@ mod tests {
         let pts: Vec<[f64; 2]> = (0..30).map(|i| [i as f64 * 0.2, 0.0]).collect();
         let (_, n) = dbscan(&pts, &DbscanParams { eps: 0.25, min_pts: 2 });
         assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn nonfinite_points_are_noise_and_never_cluster() {
+        // A dense blob plus corrupted returns: NaN, ∞, mixed. The blob
+        // must still cluster; every corrupted point must be noise.
+        let mut pts = blob(0.0, 0.0, 20, 0.2);
+        pts.push([f64::NAN, 0.0]);
+        pts.push([0.0, f64::INFINITY]);
+        pts.push([f64::NAN, f64::NAN]);
+        pts.push([f64::NEG_INFINITY, f64::NAN]);
+        let (labels, n) = dbscan(&pts, &DbscanParams { eps: 0.5, min_pts: 4 });
+        assert_eq!(n, 1);
+        assert!(labels[..20].iter().all(|l| matches!(l, Label::Cluster(0))));
+        assert!(labels[20..].iter().all(|&l| l == Label::Noise));
+        // And the cluster summary stays finite.
+        let sums = summarize_clusters(&pts, &labels);
+        assert_eq!(sums.len(), 1);
+        assert!(sums[0].cx.is_finite() && sums[0].cy.is_finite());
+        assert!(sums[0].bbox_area.is_finite() && sums[0].rms_radius.is_finite());
+    }
+
+    #[test]
+    fn all_nonfinite_input_is_all_noise() {
+        let pts = vec![[f64::NAN, f64::NAN]; 12];
+        let (labels, n) = dbscan(&pts, &DbscanParams { eps: 10.0, min_pts: 1 });
+        assert_eq!(n, 0);
+        assert!(labels.iter().all(|&l| l == Label::Noise));
     }
 
     #[test]

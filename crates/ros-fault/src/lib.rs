@@ -1,0 +1,47 @@
+//! Deterministic fault injection for the RoS pipeline.
+//!
+//! Every other layer of this workspace assumes a clean radar: no frame
+//! ever drops, no chirp saturates, no interferer lights up mid-pass.
+//! The paper's own evaluation (§7) stresses rain, fog, blockage and
+//! tracking error, and roadside mmWave deployments treat transient
+//! interference and dropout as the *normal* operating regime — so the
+//! reader has to degrade gracefully, and proving that it does needs a
+//! fault harness whose injections are exactly reproducible.
+//!
+//! This crate provides that harness in two halves:
+//!
+//! * [`FaultPlan`] — the *declaration*: a seed plus a list of
+//!   [`FaultSpec`]s (fault kind × rate × time window). Plans are plain
+//!   data; they can be built in tests, swept by `bench faults`, or
+//!   attached to a `DriveBy` scenario.
+//! * [`FaultSchedule`] — the *realization*: [`FaultPlan::schedule`]
+//!   draws every per-frame fault decision **serially, up front**, from
+//!   [`ros_exec::ParSeed`] substreams keyed by `(spec index, frame
+//!   index)`. The schedule is a pure function of `(plan, frame times)`
+//!   — never of thread count or scheduling — which is what makes any
+//!   faulted pipeline run bit-identical at 1, 2, or 8 workers, the
+//!   same guarantee `capture_batch`'s pre-drawn noise packets give the
+//!   clean pipeline.
+//!
+//! Consumers walk the schedule at the pipeline's natural seams (frame
+//! capture, echo synthesis, point-cloud assembly, track estimation)
+//! and call [`FrameFaults::record`] from serial code so every injected
+//! fault lands in a `ros-obs` `fault.*` counter and traces show
+//! exactly what was injected.
+//!
+//! ```
+//! use ros_fault::{FaultKind, FaultPlan};
+//! let plan = FaultPlan::new(7).with(FaultKind::FrameDrop, 0.5);
+//! let times: Vec<f64> = (0..100).map(|i| i as f64 * 1e-3).collect();
+//! let schedule = plan.schedule(&times);
+//! let dropped = schedule.frames.iter().filter(|f| f.dropped).count();
+//! assert!(dropped > 25 && dropped < 75, "rate 0.5 over 100 frames");
+//! // Bit-exactly reproducible: same plan, same times, same schedule.
+//! assert_eq!(schedule, plan.schedule(&times));
+//! ```
+
+mod plan;
+mod schedule;
+
+pub use plan::{CorruptionMode, FaultKind, FaultPlan, FaultSpec, TimeWindow};
+pub use schedule::{BurstDraw, CorruptDraw, FaultSchedule, FrameFaults, SpikeDraw};

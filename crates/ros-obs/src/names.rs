@@ -41,9 +41,19 @@ pub const ALL: &[(&str, Kind)] = &[
     ("decode.errors", Kind::Counter),
     ("decode.snr_db", Kind::Histogram),
     ("decode.slot_amp", Kind::Histogram),
+    // Fault injection (ros-fault): one counter per injected fault, so
+    // traces show exactly what a FaultPlan realized. Emitted from
+    // serial reader code only — the export stays thread-invariant.
+    ("fault.frames_dropped", Kind::Counter),
+    ("fault.frames_duplicated", Kind::Counter),
+    ("fault.frames_saturated", Kind::Counter),
+    ("fault.bursts_injected", Kind::Counter),
+    ("fault.points_corrupted", Kind::Counter),
+    ("fault.tracking_spikes", Kind::Counter),
     // Reader.
     ("reader.frames", Kind::Counter),
     ("reader.cloud_points", Kind::Gauge),
+    ("reader.frames_degraded", Kind::Counter),
     // Stage wall time (span durations), pipeline order.
     ("time.reader.run_fast", Kind::Histogram),
     ("time.reader.run_full", Kind::Histogram),

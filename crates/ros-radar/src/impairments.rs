@@ -126,6 +126,21 @@ impl Impairments {
     }
 }
 
+/// Hard-clips every I/Q rail of a frame at ±`full_scale` \[√mW\] —
+/// an ADC driven into saturation by a strong in-band signal. Unlike
+/// [`Impairments::apply`] this is not part of a front-end profile; it
+/// is the per-frame seam the fault-injection layer (`ros-fault`
+/// `AdcSaturation`) clips through. Deterministic and in-place, so it
+/// composes with pre-drawn noise packets without touching any RNG.
+pub fn saturate_frame(frame: &mut Frame, full_scale: f64) {
+    let fs = full_scale.max(0.0);
+    for ant in frame.data.iter_mut() {
+        for s in ant.iter_mut() {
+            *s = Complex64::new(s.re.clamp(-fs, fs), s.im.clamp(-fs, fs));
+        }
+    }
+}
+
 /// Mid-rise uniform quantizer with clipping at ±`full_scale`.
 fn quantize(x: f64, bits: u32, full_scale: f64) -> f64 {
     debug_assert!(full_scale > 0.0);
@@ -166,6 +181,24 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         Impairments::default().apply(&mut f, &mut rng);
         assert_eq!(f.data, orig);
+    }
+
+    #[test]
+    fn saturate_frame_clips_both_rails() {
+        let mut f = frame(11);
+        let fs = 1e-5;
+        saturate_frame(&mut f, fs);
+        for ant in &f.data {
+            for s in ant {
+                assert!(s.re.abs() <= fs && s.im.abs() <= fs);
+            }
+        }
+        // Samples already inside the rails are untouched.
+        let mut g = frame(11);
+        let wide = 1e6;
+        let orig = g.data.clone();
+        saturate_frame(&mut g, wide);
+        assert_eq!(g.data, orig);
     }
 
     #[test]

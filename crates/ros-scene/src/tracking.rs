@@ -76,6 +76,24 @@ impl TrackingError {
     }
 }
 
+/// Applies transient per-frame spike offsets to a believed track in
+/// place — the tracking-error seam the fault-injection layer
+/// (`ros-fault` `TrackingSpike`) perturbs through. Unlike
+/// [`TrackingError`]'s drift/jitter (slow, integrated errors), a spike
+/// displaces a *single* frame's believed pose: a GNSS multipath hit or
+/// a dead-reckoning glitch. Out-of-range indices are ignored, so a
+/// schedule longer than the track is harmless.
+pub fn apply_spikes<I>(believed: &mut [Vec3], spikes: I)
+where
+    I: IntoIterator<Item = (usize, Vec3)>,
+{
+    for (i, offset) in spikes {
+        if let Some(p) = believed.get_mut(i) {
+            *p += offset;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +142,17 @@ mod tests {
     #[test]
     fn empty_track() {
         assert!(TrackingError::drift(0.1).apply(&[]).is_empty());
+    }
+
+    #[test]
+    fn spikes_displace_only_their_frames() {
+        let mut track = straight_track(5, 1.0);
+        apply_spikes(
+            &mut track,
+            [(1, Vec3::new(0.3, -0.2, 0.0)), (99, Vec3::new(9.0, 9.0, 9.0))],
+        );
+        assert_eq!(track[0], Vec3::new(0.0, 0.0, 0.0));
+        assert_eq!(track[1], Vec3::new(1.3, -0.2, 0.0));
+        assert_eq!(track[2], Vec3::new(2.0, 0.0, 0.0));
     }
 }

@@ -14,6 +14,10 @@
 //!
 //! * **no-unwrap** — `.unwrap()` / `.expect(...)` are forbidden outside
 //!   `#[cfg(test)]` blocks in every crate.
+//! * **no-panic** — `panic!` / `todo!` / `unimplemented!` /
+//!   `unreachable!` are forbidden in library crates: faulted inputs
+//!   must degrade to typed errors, not abort the pipeline. Provably
+//!   dead arms can be marked `lint: allow-panic(reason)`.
 //! * **no-println** — `println!` / `eprintln!` (and the no-newline
 //!   forms) are forbidden in library crates; diagnostics go through
 //!   `ros-obs` so they are levelled, machine-parseable, and silent by
@@ -305,6 +309,27 @@ fn check_file(rel: &Path, text: &str, out: &mut Vec<Violation>) {
             }
         }
 
+        // Rule: no-panic (library crates only, marker-suppressible).
+        // The fault-injection layer feeds library code malformed input
+        // on purpose; the graceful-degradation contract says such input
+        // comes back as a typed error, never an abort.
+        if is_library && !has_marker(&raw_lines, idx, "lint: allow-panic(") {
+            for needle in ["panic!", "todo!", "unimplemented!", "unreachable!"] {
+                if contains_macro_call(clean, needle) {
+                    out.push(Violation {
+                        file: rel.to_path_buf(),
+                        line: line_no,
+                        rule: "no-panic",
+                        message: format!(
+                            "`{needle}` in library code; return a typed error so faulted \
+                             input degrades instead of aborting, or mark a provably dead \
+                             arm with `lint: allow-panic(reason)`"
+                        ),
+                    });
+                }
+            }
+        }
+
         // Rule: no-println (library crates only). Ad-hoc console
         // output from library code is unconditional, unparseable, and
         // interleaves with real diagnostics; route it through ros-obs
@@ -427,11 +452,16 @@ fn contains_macro_call(clean: &str, needle: &str) -> bool {
     false
 }
 
+/// True when this or the previous raw line carries the given
+/// `lint: allow-…(` marker.
+fn has_marker(raw_lines: &[&str], idx: usize, marker: &str) -> bool {
+    raw_lines[idx].contains(marker) || (idx > 0 && raw_lines[idx - 1].contains(marker))
+}
+
 /// True when this or the previous raw line carries the
 /// `lint: allow-cast(...)` marker.
 fn has_allow_cast_marker(raw_lines: &[&str], idx: usize) -> bool {
-    let marker = "lint: allow-cast(";
-    raw_lines[idx].contains(marker) || (idx > 0 && raw_lines[idx - 1].contains(marker))
+    has_marker(raw_lines, idx, "lint: allow-cast(")
 }
 
 /// Finds `as <numeric>` casts in a cleaned line; returns the target
@@ -627,6 +657,47 @@ mod tests {
     #[test]
     fn unwrap_or_is_fine() {
         assert!(scan_str("fn f() { y.unwrap_or(0); y.unwrap_or_else(|| 0); }\n").is_empty());
+    }
+
+    #[test]
+    fn flags_panic_macros_in_library_code() {
+        let hits = scan_str("fn f() { panic!(\"boom\"); }\n");
+        assert_eq!(hits, ["no-panic:1"]);
+        let hits = scan_str("fn f() { todo!() }\n");
+        assert_eq!(hits, ["no-panic:1"]);
+        let hits = scan_str("fn f() { unimplemented!() }\n");
+        assert_eq!(hits, ["no-panic:1"]);
+        let hits = scan_str("fn f(x: u8) { match x { _ => unreachable!() } }\n");
+        assert_eq!(hits, ["no-panic:1"]);
+    }
+
+    #[test]
+    fn allow_panic_marker_suppresses() {
+        let same = "fn f() { unreachable!() } // lint: allow-panic(n is 0..4 by construction)\n";
+        assert!(scan_str(same).is_empty());
+        let above = "// lint: allow-panic(dead arm)\nfn f() { panic!(\"x\") }\n";
+        assert!(scan_str(above).is_empty());
+    }
+
+    #[test]
+    fn panic_allowed_in_tests_and_non_library_crates() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { panic!(\"assert helper\"); }\n}\n";
+        assert!(scan_str(src).is_empty());
+        let mut out = Vec::new();
+        check_file(
+            Path::new("crates/bench/src/sample.rs"),
+            "fn f() { panic!(\"bad CLI flag\"); }\n",
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn assert_macros_are_not_panic_violations() {
+        // assert!/assert_eq! state invariants; the no-panic rule only
+        // targets the explicit panic family.
+        let src = "fn f(a: usize, b: usize) { assert_eq!(a, b); assert!(a > 0); }\n";
+        assert!(scan_str(src).is_empty());
     }
 
     #[test]

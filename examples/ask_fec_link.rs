@@ -70,7 +70,7 @@ fn main() {
     println!("\ninjecting a bit flip at position 2 (a faded coding peak)…");
     rx_coded[2] = !rx_coded[2];
 
-    let (recovered, corrections) = fec::recover(&rx_coded, 4);
+    let (recovered, corrections) = fec::recover(&rx_coded, 4).expect("well-formed coded stream");
     println!(
         "recovered {:?} with {corrections} correction(s)",
         recovered.iter().map(|&b| b as u8).collect::<Vec<_>>()

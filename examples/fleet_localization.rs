@@ -89,7 +89,8 @@ fn main() {
         observed: Vec3::new(center.x, center.y, 0.0),
         surveyed,
         weight: 1.0,
-    }]);
+    }])
+    .expect("one weighted observation");
     println!(
         "estimated dead-reckoning bias: ({:.3}, {:.3}) m",
         correction.bias.x, correction.bias.y

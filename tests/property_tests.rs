@@ -136,7 +136,7 @@ proptest! {
         let mut corrupted = coded.clone();
         let idx = flip % corrupted.len();
         corrupted[idx] = !corrupted[idx];
-        let (back, fixes) = ros_core::fec::recover(&corrupted, bits.len());
+        let (back, fixes) = ros_core::fec::recover(&corrupted, bits.len()).unwrap();
         prop_assert_eq!(back, bits);
         prop_assert!(fixes <= 1);
     }
@@ -204,6 +204,8 @@ proptest! {
             spectrum_spacings_m: vec![],
             spectrum_mags: vec![],
             n_samples_used: 10,
+            n_samples_nonfinite: 0,
+            erasures: vec![],
         };
         let passes: Vec<DecodeResult> = (0..n).map(|_| mk()).collect();
         let vote = ros_core::fusion::fuse_majority(&passes);
@@ -391,6 +393,69 @@ proptest! {
                 (*got - direct).abs() < 1e-6 * (1.0 + direct.abs()),
                 "bin {k}: czt {got:?} vs direct {direct:?}"
             );
+        }
+    }
+
+    /// Hamming(7,4) corrects up to one flip in *every* block — the
+    /// full correction budget across a multi-block message, not just a
+    /// single corrupted block.
+    #[test]
+    fn hamming_corrects_one_flip_per_block(
+        bits in prop::collection::vec(any::<bool>(), 1..24),
+        flips in prop::collection::vec(any::<usize>(), 6),
+    ) {
+        let coded = ros_core::fec::protect(&bits);
+        let n_blocks = coded.len() / 7;
+        let mut corrupted = coded.clone();
+        let mut expected_fixes = 0;
+        for (block, flip) in flips.iter().take(n_blocks).enumerate() {
+            // Offset 0..=6 flips that bit of the block; 7 leaves the
+            // block clean, so the budget itself is also exercised.
+            let offset = flip % 8;
+            if offset < 7 {
+                corrupted[block * 7 + offset] ^= true;
+                expected_fixes += 1;
+            }
+        }
+        let (back, fixes) = ros_core::fec::recover(&corrupted, bits.len()).unwrap();
+        prop_assert_eq!(back, bits);
+        prop_assert_eq!(fixes, expected_fixes);
+        prop_assert!(fixes <= n_blocks, "fixes beyond the correction budget");
+    }
+
+    /// CFAR never reports an SNR outside the ±120 dB physical clamp —
+    /// for any power profile, including NaN/±∞ poisoned cells, zero
+    /// floors, and a deliberately injected dominant spike.
+    #[test]
+    fn cfar_snr_always_inside_clamp(
+        cells in prop::collection::vec((any::<u8>(), 0.0f64..1e6), 8..96),
+        spike_at in any::<usize>(),
+        spike_db in 0.0f64..200.0,
+    ) {
+        use ros_dsp::cfar::{ca_cfar, CfarParams};
+        // Half the cells stay ordinary power readings; the rest are
+        // poisoned with the degenerate values a corrupted frame can
+        // produce (NaN, ±∞, a dead zero floor).
+        let mut power: Vec<f64> = cells
+            .iter()
+            .map(|&(tag, v)| match tag % 8 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => 0.0,
+                _ => v,
+            })
+            .collect();
+        let idx = spike_at % power.len();
+        power[idx] = 10f64.powf(spike_db / 10.0);
+        for det in ca_cfar(&power, &CfarParams::default()) {
+            let snr = det.snr_db();
+            prop_assert!(snr.is_finite(), "non-finite SNR from cell {}", det.index);
+            prop_assert!(
+                (-120.0..=120.0).contains(&snr),
+                "SNR {snr} dB outside the ±120 dB clamp"
+            );
+            prop_assert!(det.power.is_finite() && det.noise.is_finite());
         }
     }
 

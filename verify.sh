@@ -42,4 +42,20 @@ grep -q '"ev":"metric"' "$OBS_TRACE" || {
     exit 1
 }
 
+# Fault smoke: the reduced fault matrix must run clean (the command
+# itself fails on any 1-vs-2-thread divergence or panic) and its
+# telemetry must carry the fault counters.
+echo "==> fault-injection smoke (bench faults --smoke)"
+FAULT_TRACE=target/fault_smoke.ndjson
+rm -f "$FAULT_TRACE"
+ROS_OBS=1 ROS_OBS_FILE="$FAULT_TRACE" cargo run -q --release -p bench -- faults --smoke
+grep -q '"name":"fault\.' "$FAULT_TRACE" || {
+    echo "verify: fault trace missing fault.* counters" >&2
+    exit 1
+}
+grep -q '"name":"reader.frames_degraded"' "$FAULT_TRACE" || {
+    echo "verify: fault trace missing reader.frames_degraded" >&2
+    exit 1
+}
+
 echo "verify: all checks passed"

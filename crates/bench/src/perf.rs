@@ -30,7 +30,11 @@
 //! keeps both the requested and the effective worker counts and is
 //! marked `"valid": false` when the effective count is 1, so a
 //! single-core artifact can never be mistaken for a real scaling
-//! result. Each row also embeds the telemetry counters (`ros-obs`)
+//! result. The canonical multi-core invocation,
+//! `cargo run --release -p bench -- perf --require-valid`, goes one
+//! step further: it exits non-zero on an invalid record, so CI or a
+//! results-collection script cannot accidentally bless one.
+//! Each row also embeds the telemetry counters (`ros-obs`)
 //! from one instrumented run of the path, tying the timing to the
 //! amount of work it performed.
 
@@ -161,7 +165,13 @@ fn figure_fanout() {
 }
 
 /// Runs all four wired paths and writes `BENCH_pipeline.json`.
-pub fn run() {
+///
+/// With `require_valid`, a run whose thread pool resolves to a single
+/// effective worker exits non-zero after writing the artifact — the
+/// canonical multi-core invocation is
+/// `cargo run --release -p bench -- perf --require-valid`, which can
+/// never silently publish a serial-vs-serial record.
+pub fn run(require_valid: bool) {
     let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let requested = ros_exec::threads();
     let effective = requested.min(available);
@@ -206,6 +216,15 @@ pub fn run() {
     match std::fs::write(&path, json) {
         Ok(()) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("\nfailed to write {}: {e}", path.display()),
+    }
+
+    if require_valid && !valid {
+        eprintln!(
+            "error: --require-valid was set and this record is \"valid\": false \
+             (single effective worker). Refusing to bless it."
+        );
+        ros_obs::flush();
+        std::process::exit(1);
     }
 }
 

@@ -27,7 +27,7 @@ impl CMatrix {
     }
 
     /// The identity.
-    pub fn identity(n: usize) -> Self {
+    pub(crate) fn identity(n: usize) -> Self {
         let mut m = Self::zeros(n);
         for i in 0..n {
             m[(i, i)] = Complex64::ONE;
@@ -47,7 +47,7 @@ impl CMatrix {
     }
 
     /// Frobenius norm of the off-diagonal part.
-    pub fn off_diagonal_norm(&self) -> f64 {
+    pub(crate) fn off_diagonal_norm(&self) -> f64 {
         let mut s = 0.0;
         for i in 0..self.n {
             for j in 0..self.n {

@@ -100,7 +100,7 @@ pub fn ook_snr(ones: &[f64], zeros: &[f64], noise_sigma: f64) -> f64 {
         }
     };
     let sigma2 = pooled_var.max(noise_sigma * noise_sigma);
-    if sigma2 == 0.0 {
+    if sigma2 <= 0.0 {
         return f64::INFINITY;
     }
     (mu1 - mu0).powi(2) / sigma2

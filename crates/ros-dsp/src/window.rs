@@ -53,14 +53,6 @@ impl Window {
         }
     }
 
-    /// Applies the window to a complex signal in place.
-    pub fn apply_complex(self, signal: &mut [ros_em::Complex64]) {
-        let n = signal.len();
-        for (i, s) in signal.iter_mut().enumerate() {
-            *s = *s * self.coeff(i, n);
-        }
-    }
-
     /// Coherent gain: mean of the coefficients (amplitude scaling a
     /// windowed tone suffers); used to normalize peak amplitudes.
     pub fn coherent_gain(self, n: usize) -> f64 {

@@ -102,7 +102,7 @@ impl Vec3 {
     #[inline]
     pub fn normalized(self) -> Option<Vec3> {
         let n = self.norm();
-        if n == 0.0 {
+        if n <= 0.0 {
             None
         } else {
             Some(self / n)

@@ -309,6 +309,7 @@ impl Hertz {
 impl Meters {
     /// Ratio of two lengths (dimensionless).
     #[inline]
+    // lint: allow-dead-pub(unit-algebra API completing Meters arithmetic)
     pub fn per(self, o: Meters) -> f64 {
         self.0 / o.0
     }
@@ -381,7 +382,7 @@ impl Radians {
 /// ("zero total power").
 pub fn db_power_sum<I: IntoIterator<Item = Db>>(dbs: I) -> Db {
     let total: f64 = dbs.into_iter().map(|d| d.ratio()).sum();
-    if total == 0.0 {
+    if total <= 0.0 {
         Db::new(f64::NEG_INFINITY)
     } else {
         Db::from_ratio(total)

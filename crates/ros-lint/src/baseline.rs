@@ -1,0 +1,226 @@
+//! The grandfathered-debt baseline.
+//!
+//! `lint-baseline.json` (checked in at the workspace root) records
+//! findings that predate a rule and are tracked rather than fixed.
+//! Matching is by `(rule, file, message)` with a count — deliberately
+//! *not* by line, so unrelated edits that shift code do not churn the
+//! baseline. If a file accumulates more findings of the same shape
+//! than the baseline grants, the excess is new debt and fails the
+//! gate; if it has fewer, the surplus entries are reported as stale so
+//! the baseline can be re-tightened with `xtask lint
+//! --update-baseline`.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::json::{self, Value};
+use crate::rules::Finding;
+
+/// Canonical baseline file name, resolved against the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.json";
+
+type Key = (String, String, String);
+
+/// Parsed baseline: grandfathered finding counts keyed by
+/// `(rule, file, message)`.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    counts: BTreeMap<Key, usize>,
+}
+
+/// One finding judged against the baseline.
+#[derive(Debug)]
+pub struct JudgedFinding {
+    /// The finding itself.
+    pub finding: Finding,
+    /// Covered by a baseline entry (tracked debt, not a gate failure).
+    pub baselined: bool,
+}
+
+/// All findings of a run, judged, plus baseline bookkeeping.
+#[derive(Debug, Default)]
+pub struct Judged {
+    /// Every finding, in (file, line, rule) order, judged.
+    pub findings: Vec<JudgedFinding>,
+    /// Baseline entries whose debt has (partially) disappeared:
+    /// `(rule, file, message, surplus_count)`.
+    pub stale: Vec<(String, String, String, usize)>,
+}
+
+impl Judged {
+    /// Number of non-baselined findings — the gate fails when > 0.
+    pub fn new_count(&self) -> usize {
+        self.findings.iter().filter(|f| !f.baselined).count()
+    }
+
+    /// Number of baselined findings.
+    pub fn baselined_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.baselined).count()
+    }
+}
+
+impl Baseline {
+    /// Judges `findings` (sorted by the engine) against this baseline.
+    pub fn judge(&self, findings: &[Finding]) -> Judged {
+        let mut remaining = self.counts.clone();
+        let mut out = Judged::default();
+        for f in findings {
+            let key = (f.rule.to_string(), f.file.clone(), f.message.clone());
+            let slot = remaining.get_mut(&key);
+            let baselined = match slot {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    true
+                }
+                _ => false,
+            };
+            out.findings.push(JudgedFinding {
+                finding: f.clone(),
+                baselined,
+            });
+        }
+        for ((rule, file, message), n) in remaining {
+            if n > 0 {
+                out.stale.push((rule, file, message, n));
+            }
+        }
+        out
+    }
+}
+
+/// Loads the baseline; a missing file is an empty baseline, a
+/// malformed one is an error (a silently ignored baseline would turn
+/// the gate green by accident).
+pub fn load(path: &Path) -> Result<Baseline, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Baseline::default()),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    let doc =
+        json::parse(&text).map_err(|e| format!("malformed baseline {}: {e}", path.display()))?;
+    let entries = doc
+        .get("entries")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("baseline {} has no `entries` array", path.display()))?;
+    let mut counts = BTreeMap::new();
+    for e in entries {
+        let field = |k: &str| -> Result<String, String> {
+            e.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("baseline entry missing string field `{k}`"))
+        };
+        let count = e
+            .get("count")
+            .and_then(Value::as_f64)
+            .filter(|n| (1.0..=1e6).contains(n) && n.fract() <= 0.0)
+            .ok_or_else(|| "baseline entry missing positive integer `count`".to_string())?;
+        let n = count as usize; // lint: allow-cast(validated integral, 1..=1e6)
+        counts.insert((field("rule")?, field("file")?, field("message")?), n);
+    }
+    Ok(Baseline { counts })
+}
+
+/// Renders the current findings as a fresh baseline document.
+pub fn render(findings: &[Finding]) -> String {
+    let mut counts: BTreeMap<Key, usize> = BTreeMap::new();
+    for f in findings {
+        *counts
+            .entry((f.rule.to_string(), f.file.clone(), f.message.clone()))
+            .or_insert(0) += 1;
+    }
+    let mut s = String::from("{\n  \"version\": 1,\n  \"entries\": [\n");
+    let total = counts.len();
+    for (i, ((rule, file, message), n)) in counts.iter().enumerate() {
+        let comma = if i + 1 < total { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"count\": {n}, \"message\": \"{}\"}}{comma}\n",
+            json::escape(rule),
+            json::escape(file),
+            json::escape(message)
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Finding, Severity};
+
+    fn finding(rule: &'static str, file: &str, line: usize, msg: &str) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Error,
+            file: file.to_string(),
+            line,
+            message: msg.to_string(),
+        }
+    }
+
+    #[test]
+    fn render_load_judge_round_trip() {
+        let fs = [
+            finding("float-eq", "a.rs", 3, "m1"),
+            finding("float-eq", "a.rs", 9, "m1"),
+            finding("dead-pub", "b.rs", 1, "m2"),
+        ];
+        let rendered = render(&fs);
+        let dir = std::env::temp_dir().join(format!("ros-lint-bl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join(BASELINE_FILE);
+        std::fs::write(&path, &rendered).expect("write");
+        let bl = load(&path).expect("load");
+
+        // The same findings judge fully baselined, line moves included.
+        let moved = [
+            finding("float-eq", "a.rs", 30, "m1"),
+            finding("float-eq", "a.rs", 90, "m1"),
+            finding("dead-pub", "b.rs", 10, "m2"),
+        ];
+        let judged = bl.judge(&moved);
+        assert_eq!(judged.new_count(), 0);
+        assert_eq!(judged.baselined_count(), 3);
+        assert!(judged.stale.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn excess_findings_are_new_and_missing_are_stale() {
+        let bl_src = render(&[
+            finding("float-eq", "a.rs", 3, "m1"),
+            finding("no-unwrap", "gone.rs", 7, "m3"),
+        ]);
+        let dir = std::env::temp_dir().join(format!("ros-lint-bl2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join(BASELINE_FILE);
+        std::fs::write(&path, &bl_src).expect("write");
+        let bl = load(&path).expect("load");
+
+        // Two findings of a shape granted once: one new. The unwrap
+        // debt is gone: stale.
+        let judged = bl.judge(&[
+            finding("float-eq", "a.rs", 3, "m1"),
+            finding("float-eq", "a.rs", 4, "m1"),
+        ]);
+        assert_eq!(judged.new_count(), 1);
+        assert_eq!(judged.baselined_count(), 1);
+        assert_eq!(judged.stale.len(), 1);
+        assert_eq!(judged.stale[0].1, "gone.rs");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_empty_malformed_is_error() {
+        let none = load(Path::new("/nonexistent/lint-baseline.json")).expect("missing = empty");
+        assert_eq!(none.judge(&[]).new_count(), 0);
+        let dir = std::env::temp_dir().join(format!("ros-lint-bl3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join(BASELINE_FILE);
+        std::fs::write(&path, "{ not json").expect("write");
+        assert!(load(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

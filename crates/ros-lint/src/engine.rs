@@ -1,0 +1,324 @@
+//! Workspace loading and the gate driver.
+//!
+//! The engine walks the repository, lexes and scans every Rust file,
+//! runs the per-file and cross-crate rules, applies the baseline, and
+//! renders the human and JSON reports. It never prints and never
+//! exits — `xtask` owns the terminal and the exit code.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use crate::baseline::{self, Baseline};
+use crate::lexer::{self, Token};
+use crate::report;
+use crate::rules;
+use crate::scan::{self, FileFacts};
+
+/// How a file participates in analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FileRole {
+    /// `crates/<lib>/src` — every rule applies.
+    Library,
+    /// `crates/{bench,xtask}/src` — measurement harnesses: the
+    /// crate-wide rules apply, the library-API rules do not.
+    Harness,
+    /// Integration tests, examples, per-crate `tests/` — scanned only
+    /// as a reference corpus (for `dead-pub`), no rules applied.
+    Reference,
+}
+
+/// Crates whose binaries are harnesses rather than library API.
+pub const NON_LIBRARY_CRATES: &[&str] = &["bench", "xtask"];
+
+/// One fully analyzed source file.
+pub struct FileAnalysis {
+    /// Workspace-relative path, forward slashes.
+    pub rel: String,
+    /// Owning crate (`ros-em`, `bench`, …; `ros-tests` / `ros-examples`
+    /// for the top-level test and example trees).
+    pub crate_name: String,
+    /// Analysis role.
+    pub role: FileRole,
+    /// Raw source text.
+    pub text: String,
+    /// Complete token stream.
+    pub tokens: Vec<Token>,
+    /// Structural facts (items, test regions).
+    pub facts: FileFacts,
+    /// `lint: allow-…(…)` markers by 1-based line.
+    pub markers: HashMap<usize, Vec<String>>,
+    /// The file opens with module-level inner docs (`//!` / `/*!`),
+    /// the repo's convention for documenting file modules.
+    pub has_module_docs: bool,
+}
+
+impl FileAnalysis {
+    /// Builds the analysis for one file.
+    pub fn new(rel: String, crate_name: String, role: FileRole, text: String) -> Self {
+        let tokens = lexer::lex(&text);
+        let facts = scan::analyze(&text, &tokens);
+        let mut markers: HashMap<usize, Vec<String>> = HashMap::new();
+        for t in tokens.iter().filter(|t| t.is_trivia()) {
+            let body = t.text(&text);
+            if body.contains("lint: allow-") {
+                markers.entry(t.line).or_default().push(body.to_string());
+            }
+        }
+        let has_module_docs = leading_inner_docs(&text, &tokens);
+        FileAnalysis {
+            rel,
+            crate_name,
+            role,
+            text,
+            tokens,
+            facts,
+            markers,
+            has_module_docs,
+        }
+    }
+
+    /// True when `line` (or the line above it) carries a
+    /// `lint: allow-<which>(` marker.
+    pub fn has_marker(&self, line: usize, which: &str) -> bool {
+        let probe = |l: usize| {
+            self.markers
+                .get(&l)
+                .is_some_and(|ms| ms.iter().any(|m| m.contains(which)))
+        };
+        probe(line) || (line > 1 && probe(line - 1))
+    }
+
+    /// True for files where the library-API rules apply.
+    pub fn is_library(&self) -> bool {
+        self.role == FileRole::Library
+    }
+}
+
+/// True when the token stream opens with inner docs (`//!` or `/*!`),
+/// skipping plain comments. Used both for whole files (module docs)
+/// and for inline `mod` bodies.
+pub fn leading_inner_docs<'a, I>(text: &str, tokens: I) -> bool
+where
+    I: IntoIterator<Item = &'a Token>,
+{
+    for t in tokens {
+        match t.kind {
+            lexer::TokenKind::LineComment | lexer::TokenKind::BlockComment => {}
+            lexer::TokenKind::DocComment => {
+                let s = t.text(text);
+                return s.starts_with("//!") || s.starts_with("/*!");
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Walks the workspace and analyzes every relevant Rust file:
+/// `crates/*/src` (rule targets) plus `crates/*/tests`, `tests/`, and
+/// `examples/` (reference corpus). Files come back sorted by path.
+pub fn load_workspace(root: &Path) -> std::io::Result<Vec<FileAnalysis>> {
+    let mut paths: Vec<(PathBuf, String, FileRole)> = Vec::new();
+
+    let crates_dir = root.join("crates");
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let dir = entry?.path();
+        if !dir.is_dir() {
+            continue;
+        }
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let src = dir.join("src");
+        if src.is_dir() {
+            let role = if NON_LIBRARY_CRATES.contains(&name.as_str()) {
+                FileRole::Harness
+            } else {
+                FileRole::Library
+            };
+            collect_rs(&src, &mut paths, &name, role)?;
+        }
+        let tests = dir.join("tests");
+        if tests.is_dir() {
+            collect_rs(&tests, &mut paths, &name, FileRole::Reference)?;
+        }
+    }
+    for (sub, crate_name) in [("tests", "ros-tests"), ("examples", "ros-examples")] {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut paths, crate_name, FileRole::Reference)?;
+        }
+    }
+    paths.sort();
+
+    let mut out = Vec::with_capacity(paths.len());
+    for (path, crate_name, role) in paths {
+        let text = std::fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.push(FileAnalysis::new(rel, crate_name, role, text));
+    }
+    Ok(out)
+}
+
+fn collect_rs(
+    dir: &Path,
+    out: &mut Vec<(PathBuf, String, FileRole)>,
+    crate_name: &str,
+    role: FileRole,
+) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out, crate_name, role)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push((path.clone(), crate_name.to_string(), role));
+        }
+    }
+    Ok(())
+}
+
+/// Options for one gate run.
+#[derive(Debug, Default)]
+pub struct GateOptions {
+    /// Write the machine-readable findings artifact here.
+    pub json_path: Option<PathBuf>,
+    /// Rewrite the baseline to match the current findings instead of
+    /// judging against it.
+    pub update_baseline: bool,
+    /// Ignore the baseline entirely (every finding is "new").
+    pub no_baseline: bool,
+}
+
+/// The outcome of one gate run, ready for the driver to print.
+pub struct GateOutcome {
+    /// The gate passed (no non-baselined findings).
+    pub passed: bool,
+    /// Human-readable report (print as-is).
+    pub human_report: String,
+    /// Actions the engine performed (file writes), for the driver log.
+    pub notes: Vec<String>,
+}
+
+/// Runs the full gate: load → analyze → baseline → report.
+///
+/// `root` is the workspace root (the directory holding `crates/` and
+/// `lint-baseline.json`).
+pub fn run_gate(root: &Path, opts: &GateOptions) -> Result<GateOutcome, String> {
+    let files =
+        load_workspace(root).map_err(|e| format!("cannot walk {}: {e}", root.display()))?;
+    let findings = rules::check_all(&files);
+
+    let baseline_path = root.join(baseline::BASELINE_FILE);
+    let mut notes = Vec::new();
+
+    if opts.update_baseline {
+        let rendered = baseline::render(&findings);
+        std::fs::write(&baseline_path, rendered)
+            .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+        notes.push(format!(
+            "baseline updated: {} ({} finding(s) grandfathered)",
+            baseline_path.display(),
+            findings.len()
+        ));
+    }
+
+    let baseline = if opts.no_baseline {
+        Baseline::default()
+    } else {
+        baseline::load(&baseline_path)?
+    };
+    let judged = baseline.judge(&findings);
+
+    let n_files = files
+        .iter()
+        .filter(|f| f.role != FileRole::Reference)
+        .count();
+    if let Some(json_path) = &opts.json_path {
+        let artifact = report::json_report(&judged, n_files);
+        if let Some(parent) = json_path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+            }
+        }
+        std::fs::write(json_path, artifact)
+            .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+        notes.push(format!("findings artifact: {}", json_path.display()));
+    }
+
+    let passed = judged.new_count() == 0;
+    let human_report = report::human_report(&judged, n_files);
+    Ok(GateOutcome {
+        passed,
+        human_report,
+        notes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fa(src: &str) -> FileAnalysis {
+        FileAnalysis::new(
+            "crates/ros-em/src/s.rs".to_string(),
+            "ros-em".to_string(),
+            FileRole::Library,
+            src.to_string(),
+        )
+    }
+
+    #[test]
+    fn marker_probes_finding_line_and_line_above() {
+        let f = fa(
+            "// lint: allow-cast(above)\nlet a = n as f64;\nlet b = m as f64; // lint: allow-cast(same)\n\nlet c = k as f64;\n",
+        );
+        assert!(f.has_marker(2, "allow-cast"));
+        assert!(f.has_marker(3, "allow-cast"));
+        assert!(!f.has_marker(5, "allow-cast"));
+        // Marker names do not cross-suppress.
+        assert!(!f.has_marker(2, "allow-panic"));
+    }
+
+    #[test]
+    fn marker_in_string_literal_is_not_a_marker() {
+        let f = fa("let s = \"lint: allow-cast(nope)\";\nlet a = n as f64;\n");
+        assert!(!f.has_marker(2, "allow-cast"));
+    }
+
+    #[test]
+    fn leading_inner_docs_rules() {
+        let yes = fa("//! module docs\nfn f() {}\n");
+        assert!(yes.has_module_docs);
+        let block = fa("/*! module docs */\nfn f() {}\n");
+        assert!(block.has_module_docs);
+        // Plain comments may precede the inner doc.
+        let after_comment = fa("// SPDX-ish header\n//! docs\n");
+        assert!(after_comment.has_module_docs);
+        // An item before any `//!` means the file has no module docs.
+        let no = fa("fn f() {}\n//! too late\n");
+        assert!(!no.has_module_docs);
+        // Outer docs at the top document the first item, not the module.
+        let outer = fa("/// item docs\nfn f() {}\n");
+        assert!(!outer.has_module_docs);
+        assert!(!fa("").has_module_docs);
+    }
+
+    #[test]
+    fn roles_and_is_library() {
+        assert!(fa("").is_library());
+        let bench = FileAnalysis::new(
+            "crates/bench/src/main.rs".to_string(),
+            "bench".to_string(),
+            FileRole::Harness,
+            String::new(),
+        );
+        assert!(!bench.is_library());
+        assert!(NON_LIBRARY_CRATES.contains(&"bench") && NON_LIBRARY_CRATES.contains(&"xtask"));
+    }
+}

@@ -1,0 +1,328 @@
+//! Minimal JSON reading and writing (the workspace carries no serde).
+//!
+//! Covers exactly what the lint engine needs: writing the findings
+//! artifact and round-tripping `lint-baseline.json`. The parser is a
+//! plain recursive-descent over the full JSON grammar (objects,
+//! arrays, strings with escapes, numbers, booleans, null); numbers are
+//! kept as `f64`, which is exact for every count the baseline stores.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; `BTreeMap` keeps key order deterministic.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key`, if this is an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure, with the byte offset where it happened.
+#[derive(Debug)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: &'static str,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+/// Parses one JSON document (trailing whitespace allowed).
+pub fn parse(src: &str) -> Result<Value, ParseError> {
+    let mut p = Parser { b: src.as_bytes(), i: 0 };
+    p.ws();
+    let v = p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(ParseError { at: p.i, msg: "trailing content" });
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.b.get(self.i).is_some_and(u8::is_ascii_whitespace) {
+            self.i += 1;
+        }
+    }
+
+    fn err(&self, msg: &'static str) -> ParseError {
+        ParseError { at: self.i, msg }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err("unexpected character"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, word: &'static str, v: Value) -> Result<Value, ParseError> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("bad literal"))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.eat(b'{')?;
+        let mut m = BTreeMap::new();
+        self.ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(Value::Obj(m));
+        }
+        loop {
+            self.ws();
+            let k = self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            let v = self.value()?;
+            m.insert(k, v);
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Value::Obj(m));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.eat(b'[')?;
+        let mut a = Vec::new();
+        self.ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(Value::Arr(a));
+        }
+        loop {
+            self.ws();
+            a.push(self.value()?);
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Value::Arr(a));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            let Some(code) = hex else {
+                                return Err(self.err("bad \\u escape"));
+                            };
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.i += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.i += 1;
+                }
+                Some(&c) if c < 0x80 => {
+                    s.push(char::from(c));
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the whole char.
+                    let start = self.i;
+                    self.i += 1;
+                    while self.b.get(self.i).is_some_and(|c| (0x80..0xc0).contains(c)) {
+                        self.i += 1;
+                    }
+                    match std::str::from_utf8(&self.b[start..self.i]) {
+                        Ok(chunk) => s.push_str(chunk),
+                        Err(_) => return Err(self.err("invalid UTF-8")),
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.i;
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+}
+
+/// Escapes `s` as a JSON string body (no surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(src: &str) -> Value {
+        parse(src).unwrap_or_else(|e| panic!("{src:?}: {e}"))
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert!(matches!(p("null"), Value::Null));
+        assert!(matches!(p("true"), Value::Bool(true)));
+        assert_eq!(p("-1.5e2").as_f64(), Some(-150.0));
+        assert_eq!(p("\"a b\"").as_str(), Some("a b"));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = p(r#"{"a": [1, {"b": "c"}], "d": null}"#);
+        let arr = v.get("a").and_then(Value::as_arr).expect("a");
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].get("b").and_then(Value::as_str), Some("c"));
+        assert!(matches!(v.get("d"), Some(Value::Null)));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = p(r#""q\" b\\ n\n t\t uA""#);
+        assert_eq!(v.as_str(), Some("q\" b\\ n\n t\t uA"));
+        // escape() produces text parse() accepts, for any content.
+        let nasty = "a\"b\\c\nd\te\u{1}f";
+        let rendered = format!("\"{}\"", escape(nasty));
+        assert_eq!(p(&rendered).as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"unterminated"] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+        // The error carries a byte offset.
+        let e = parse("[1, !]").expect_err("bad token");
+        assert!(e.at > 0 && e.to_string().contains("byte"));
+    }
+}

@@ -1,0 +1,38 @@
+//! ros-lint — token-level static analysis for the RoS workspace.
+//!
+//! The pipeline's correctness story (bit-identical parallelism, typed
+//! degradation, fixed-order telemetry) is guarded by conventions that
+//! `rustc` cannot see. This crate is the gate that enforces them: a
+//! dependency-free analyzer that lexes every workspace source file
+//! into a real token stream ([`lexer`]), recovers the item structure
+//! lint rules need ([`scan`]), and runs a catalog of rules with stable
+//! IDs ([`rules::RULES`]) — including cross-crate rules the old
+//! line-oriented scanner structurally could not express (`dead-pub`'s
+//! reference graph, `obs-names`' reconciliation against
+//! `ros_obs::names::ALL`).
+//!
+//! Findings are judged against a checked-in baseline
+//! (`lint-baseline.json`, see [`baseline`]): grandfathered debt is
+//! tracked, anything new fails the gate. [`engine::run_gate`] is the
+//! whole entry point; `cargo run -p xtask -- lint` is the thin driver
+//! around it:
+//!
+//! ```text
+//! cargo run -p xtask -- lint                      # gate (human report)
+//! cargo run -p xtask -- lint --json target/lint.json
+//! cargo run -p xtask -- lint --update-baseline    # re-grandfather
+//! ```
+//!
+//! The crate never prints and never exits — it returns strings and
+//! verdicts, which keeps it honest under its own `no-println` rule.
+
+pub mod baseline;
+pub mod engine;
+pub mod json;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+pub use engine::{run_gate, FileAnalysis, FileRole, GateOptions, GateOutcome};
+pub use rules::{Finding, RuleInfo, Severity, RULES};

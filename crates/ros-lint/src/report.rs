@@ -1,0 +1,217 @@
+//! Report rendering: the human console report and the `--json`
+//! machine artifact. Pure string builders — the driver decides where
+//! they go.
+
+use std::collections::BTreeMap;
+
+use crate::baseline::Judged;
+use crate::json;
+use crate::rules::RULES;
+
+/// Per-rule tallies of one run.
+#[derive(Debug, Default, Clone, Copy)]
+struct Tally {
+    found: usize,
+    baselined: usize,
+}
+
+fn tallies(judged: &Judged) -> BTreeMap<&'static str, Tally> {
+    let mut map: BTreeMap<&'static str, Tally> = BTreeMap::new();
+    for r in RULES {
+        map.insert(r.id, Tally::default());
+    }
+    for jf in &judged.findings {
+        let t = map.entry(jf.finding.rule).or_default();
+        t.found += 1;
+        if jf.baselined {
+            t.baselined += 1;
+        }
+    }
+    map
+}
+
+/// Renders the human console report: new findings in full, baselined
+/// debt and stale entries summarized, then the per-rule table and the
+/// verdict line.
+pub fn human_report(judged: &Judged, n_files: usize) -> String {
+    let mut s = String::new();
+    for jf in judged.findings.iter().filter(|f| !f.baselined) {
+        let f = &jf.finding;
+        s.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            f.file, f.line, f.rule, f.message
+        ));
+    }
+
+    let map = tallies(judged);
+    let any_found = map.values().any(|t| t.found > 0);
+    if any_found {
+        s.push_str(&format!(
+            "\n{:<20} {:>6} {:>10} {:>6}\n",
+            "rule", "found", "baselined", "new"
+        ));
+        for r in RULES {
+            let t = map.get(r.id).copied().unwrap_or_default();
+            if t.found == 0 {
+                continue;
+            }
+            s.push_str(&format!(
+                "{:<20} {:>6} {:>10} {:>6}\n",
+                r.id,
+                t.found,
+                t.baselined,
+                t.found - t.baselined
+            ));
+        }
+    }
+
+    if !judged.stale.is_empty() {
+        s.push_str(&format!(
+            "\nnote: {} stale baseline entr{} (debt repaid); run \
+             `cargo run -p xtask -- lint --update-baseline` to re-tighten:\n",
+            judged.stale.len(),
+            if judged.stale.len() == 1 { "y" } else { "ies" }
+        ));
+        for (rule, file, _msg, n) in &judged.stale {
+            s.push_str(&format!("  {file}: [{rule}] x{n}\n"));
+        }
+    }
+
+    let new = judged.new_count();
+    let baselined = judged.baselined_count();
+    if new == 0 {
+        s.push_str(&format!(
+            "\nros-lint: {n_files} files clean ({baselined} baselined finding(s) tracked)\n"
+        ));
+    } else {
+        s.push_str(&format!(
+            "\nros-lint: {new} new violation(s) in {n_files} files scanned \
+             ({baselined} baselined)\n"
+        ));
+    }
+    s
+}
+
+/// Renders the machine-readable findings artifact.
+pub fn json_report(judged: &Judged, n_files: usize) -> String {
+    let map = tallies(judged);
+    let mut s = String::from("{\n");
+    s.push_str("  \"version\": 1,\n");
+    s.push_str(&format!("  \"files_scanned\": {n_files},\n"));
+    s.push_str(&format!("  \"clean\": {},\n", judged.new_count() == 0));
+    s.push_str("  \"rules\": [\n");
+    for (i, r) in RULES.iter().enumerate() {
+        let t = map.get(r.id).copied().unwrap_or_default();
+        let comma = if i + 1 < RULES.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"id\": \"{}\", \"severity\": \"{}\", \"summary\": \"{}\", \
+             \"found\": {}, \"baselined\": {}, \"new\": {}}}{comma}\n",
+            r.id,
+            r.severity.as_str(),
+            json::escape(r.summary),
+            t.found,
+            t.baselined,
+            t.found - t.baselined
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"findings\": [\n");
+    let total = judged.findings.len();
+    for (i, jf) in judged.findings.iter().enumerate() {
+        let f = &jf.finding;
+        let comma = if i + 1 < total { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \
+             \"line\": {}, \"baselined\": {}, \"message\": \"{}\"}}{comma}\n",
+            f.rule,
+            f.severity.as_str(),
+            json::escape(&f.file),
+            f.line,
+            jf.baselined,
+            json::escape(&f.message)
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"stale_baseline\": [\n");
+    let total = judged.stale.len();
+    for (i, (rule, file, message, n)) in judged.stale.iter().enumerate() {
+        let comma = if i + 1 < total { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"count\": {n}, \"message\": \"{}\"}}{comma}\n",
+            json::escape(rule),
+            json::escape(file),
+            json::escape(message)
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Finding, Severity};
+
+    fn judged() -> Judged {
+        let mk = |rule: &'static str, file: &str, line: usize, msg: &str, baselined: bool| {
+            crate::baseline::JudgedFinding {
+                finding: Finding {
+                    rule,
+                    severity: Severity::Error,
+                    file: file.to_string(),
+                    line,
+                    message: msg.to_string(),
+                },
+                baselined,
+            }
+        };
+        Judged {
+            findings: vec![
+                mk("no-unwrap", "crates/a/src/x.rs", 3, "`.unwrap()` in library code", false),
+                mk("float-eq", "crates/b/src/y.rs", 9, "`==` on floats", true),
+            ],
+            stale: vec![(
+                "no-panic".to_string(),
+                "crates/c/src/z.rs".to_string(),
+                "panic! in library code".to_string(),
+                2,
+            )],
+        }
+    }
+
+    #[test]
+    fn human_report_shows_new_debt_and_verdict() {
+        let r = human_report(&judged(), 42);
+        assert!(r.contains("crates/a/src/x.rs:3: [no-unwrap]"));
+        // Baselined findings are tallied, not listed line-by-line.
+        assert!(!r.contains("crates/b/src/y.rs:9:"));
+        assert!(r.contains("stale baseline"));
+        assert!(r.contains("1 new violation(s) in 42 files"));
+
+        let clean = Judged {
+            findings: vec![],
+            stale: vec![],
+        };
+        let r = human_report(&clean, 7);
+        assert!(r.contains("7 files clean"));
+    }
+
+    #[test]
+    fn json_report_round_trips_through_own_parser() {
+        let s = json_report(&judged(), 42);
+        let v = crate::json::parse(&s).expect("self-produced JSON must parse");
+        assert_eq!(v.get("version").and_then(|x| x.as_f64()), Some(1.0));
+        assert_eq!(v.get("files_scanned").and_then(|x| x.as_f64()), Some(42.0));
+        assert_eq!(v.get("clean"), Some(&crate::json::Value::Bool(false)));
+        let rules = v.get("rules").and_then(|x| x.as_arr()).expect("rules");
+        assert_eq!(rules.len(), RULES.len());
+        let findings = v.get("findings").and_then(|x| x.as_arr()).expect("findings");
+        assert_eq!(findings.len(), 2);
+        let f0 = &findings[0];
+        assert_eq!(f0.get("rule").and_then(|x| x.as_str()), Some("no-unwrap"));
+        assert_eq!(f0.get("baselined"), Some(&crate::json::Value::Bool(false)));
+        let stale = v.get("stale_baseline").and_then(|x| x.as_arr()).expect("stale");
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].get("count").and_then(|x| x.as_f64()), Some(2.0));
+    }
+}

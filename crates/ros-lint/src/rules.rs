@@ -1,0 +1,1277 @@
+//! The rule engine: stable rule IDs, severities, and the checks.
+//!
+//! Two rule shapes exist. *Per-file* rules see one analyzed file at a
+//! time (`no-unwrap` … `doc-pub`). *Workspace* rules see every file at
+//! once (`dead-pub` builds a cross-crate reference graph; `obs-names`
+//! reconciles instrumentation sites against `ros_obs::names::ALL`).
+//! All rules work on the token stream from [`crate::lexer`] — string
+//! literals, comments, and `#[cfg(test)]` regions can no longer fool
+//! them the way they fooled the old line scanner.
+//!
+//! Rule IDs are stable: they key the baseline file and the JSON
+//! artifact, so renaming one invalidates grandfathered debt.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::engine::{leading_inner_docs, FileAnalysis, FileRole};
+use crate::lexer::TokenKind;
+use crate::scan::{Item, ItemKind, Visibility};
+
+/// How bad a finding is. Every current rule is an [`Severity::Error`]
+/// (the gate fails on any non-baselined finding); the distinction is
+/// carried through the JSON schema for forward compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the gate unless baselined.
+    Error,
+    /// Reported, never fatal.
+    Warning,
+}
+
+impl Severity {
+    /// Stable lowercase name used in reports and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// Static description of one rule.
+pub struct RuleInfo {
+    /// Stable identifier (baseline key, JSON field, report tag).
+    pub id: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+    /// One-line summary for reports and docs.
+    pub summary: &'static str,
+}
+
+/// The rule catalog, in report order. Seven rules migrated from the
+/// old line scanner, four that need the token stream.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "no-unwrap",
+        severity: Severity::Error,
+        summary: ".unwrap()/.expect() forbidden outside #[cfg(test)]",
+    },
+    RuleInfo {
+        id: "no-panic",
+        severity: Severity::Error,
+        summary: "panic!/todo!/unimplemented!/unreachable! forbidden in library crates",
+    },
+    RuleInfo {
+        id: "no-println",
+        severity: Severity::Error,
+        summary: "println!-family output forbidden in library crates (use ros-obs)",
+    },
+    RuleInfo {
+        id: "no-raw-spawn",
+        severity: Severity::Error,
+        summary: "thread::spawn/scope/Builder forbidden outside ros-exec",
+    },
+    RuleInfo {
+        id: "no-raw-cast",
+        severity: Severity::Error,
+        summary: "bare `as` numeric casts forbidden in library crates",
+    },
+    RuleInfo {
+        id: "typed-conversions",
+        severity: Severity::Error,
+        summary: "inline dB/angle conversion idioms forbidden outside ros_em::units",
+    },
+    RuleInfo {
+        id: "typed-db-params",
+        severity: Severity::Error,
+        summary: "public fns must not take bare f64 *_db/*_deg parameters",
+    },
+    RuleInfo {
+        id: "float-eq",
+        severity: Severity::Error,
+        summary: "==/!= on floating-point operands outside tests/approx helpers",
+    },
+    RuleInfo {
+        id: "doc-pub",
+        severity: Severity::Error,
+        summary: "every pub item in a library crate carries a doc comment",
+    },
+    RuleInfo {
+        id: "dead-pub",
+        severity: Severity::Error,
+        summary: "pub library items must be referenced from another crate, tests, or examples",
+    },
+    RuleInfo {
+        id: "obs-names",
+        severity: Severity::Error,
+        summary: "instrumentation names must match ros_obs::names::ALL (both directions)",
+    },
+];
+
+/// Looks a rule up by ID.
+pub fn rule(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// One reported violation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Finding {
+    /// Stable rule ID.
+    pub rule: &'static str,
+    /// Severity (from the catalog).
+    pub severity: Severity,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human explanation; stable per site class (baseline key part).
+    pub message: String,
+}
+
+/// The one file allowed to spell out raw dB/angle conversions.
+const UNITS_MODULE: &str = "crates/ros-em/src/units.rs";
+
+/// The file declaring the canonical metric name table.
+const NAMES_MODULE: &str = "crates/ros-obs/src/names.rs";
+
+/// Numeric primitive types whose `as` casts the cast rule rejects.
+const NUMERIC_TYPES: &[&str] = &[
+    "f64", "f32", "usize", "u64", "u32", "u16", "u8", "isize", "i64", "i32", "i16", "i8",
+];
+
+/// Runs every rule over the analyzed workspace; findings come back
+/// sorted by (file, line, rule).
+pub fn check_all(files: &[FileAnalysis]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mod_docs: HashMap<&str, bool> = files
+        .iter()
+        .map(|f| (f.rel.as_str(), f.has_module_docs))
+        .collect();
+    for fa in files.iter().filter(|f| f.role != FileRole::Reference) {
+        check_file(fa, &mut out);
+        doc_pub(fa, &mod_docs, &mut out);
+    }
+    dead_pub(files, &mut out);
+    obs_names(files, &mut out);
+    out.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    out
+}
+
+/// A trivia-free window over one file's token stream, with the
+/// helpers every token-pattern rule needs.
+struct View<'a> {
+    fa: &'a FileAnalysis,
+    /// `code[ci]` = index into `fa.tokens` of the ci-th non-trivia
+    /// token.
+    code: Vec<usize>,
+}
+
+impl<'a> View<'a> {
+    fn new(fa: &'a FileAnalysis) -> Self {
+        let code = (0..fa.tokens.len())
+            .filter(|&i| !fa.tokens[i].is_trivia())
+            .collect();
+        View { fa, code }
+    }
+
+    fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    fn kind(&self, ci: usize) -> Option<TokenKind> {
+        self.code.get(ci).map(|&i| self.fa.tokens[i].kind)
+    }
+
+    fn text(&self, ci: usize) -> &str {
+        self.code
+            .get(ci)
+            .map(|&i| self.fa.tokens[i].text(&self.fa.text))
+            .unwrap_or("")
+    }
+
+    fn line(&self, ci: usize) -> usize {
+        self.code.get(ci).map(|&i| self.fa.tokens[i].line).unwrap_or(0)
+    }
+
+    fn in_test(&self, ci: usize) -> bool {
+        self.code
+            .get(ci)
+            .is_some_and(|&i| self.fa.facts.in_test.get(i).copied().unwrap_or(false))
+    }
+
+    fn is_punct(&self, ci: usize, p: &str) -> bool {
+        self.kind(ci) == Some(TokenKind::Punct) && self.text(ci) == p
+    }
+
+    fn is_ident(&self, ci: usize, id: &str) -> bool {
+        self.kind(ci) == Some(TokenKind::Ident) && self.text(ci) == id
+    }
+
+    fn ident_in(&self, ci: usize, set: &[&str]) -> bool {
+        self.kind(ci) == Some(TokenKind::Ident) && set.contains(&self.text(ci))
+    }
+
+    /// Token index (into `fa.tokens`) of the ci-th code token.
+    fn tok_idx(&self, ci: usize) -> usize {
+        self.code.get(ci).copied().unwrap_or(0)
+    }
+}
+
+fn push(out: &mut Vec<Finding>, id: &'static str, fa: &FileAnalysis, line: usize, message: String) {
+    let severity = rule(id).map_or(Severity::Error, |r| r.severity);
+    out.push(Finding {
+        rule: id,
+        severity,
+        file: fa.rel.clone(),
+        line,
+        message,
+    });
+}
+
+/// Runs the per-file rules over one file. (`doc-pub` additionally
+/// needs the workspace module-docs map and runs from [`check_all`];
+/// the two cross-crate rules likewise.)
+pub fn check_file(fa: &FileAnalysis, out: &mut Vec<Finding>) {
+    let v = View::new(fa);
+    no_unwrap(&v, out);
+    no_panic(&v, out);
+    no_println(&v, out);
+    no_raw_spawn(&v, out);
+    no_raw_cast(&v, out);
+    typed_conversions(&v, out);
+    typed_db_params(fa, out);
+    float_eq(&v, out);
+}
+
+fn no_unwrap(v: &View<'_>, out: &mut Vec<Finding>) {
+    for ci in 0..v.len() {
+        if v.in_test(ci) || !v.is_punct(ci, ".") {
+            continue;
+        }
+        let needle = if v.is_ident(ci + 1, "unwrap") && v.is_punct(ci + 2, "(") {
+            ".unwrap()"
+        } else if v.is_ident(ci + 1, "expect") && v.is_punct(ci + 2, "(") {
+            ".expect("
+        } else {
+            continue;
+        };
+        push(
+            out,
+            "no-unwrap",
+            v.fa,
+            v.line(ci + 1),
+            format!("`{needle}` outside #[cfg(test)]; return a Result or handle the None case"),
+        );
+    }
+}
+
+fn no_panic(v: &View<'_>, out: &mut Vec<Finding>) {
+    if !v.fa.is_library() {
+        return;
+    }
+    for ci in 0..v.len() {
+        if v.in_test(ci)
+            || !v.ident_in(ci, &["panic", "todo", "unimplemented", "unreachable"])
+            || !v.is_punct(ci + 1, "!")
+        {
+            continue;
+        }
+        let line = v.line(ci);
+        if v.fa.has_marker(line, "lint: allow-panic(") {
+            continue;
+        }
+        push(
+            out,
+            "no-panic",
+            v.fa,
+            line,
+            format!(
+                "`{}!` in library code; return a typed error so faulted input degrades \
+                 instead of aborting, or mark a provably dead arm with \
+                 `lint: allow-panic(reason)`",
+                v.text(ci)
+            ),
+        );
+    }
+}
+
+fn no_println(v: &View<'_>, out: &mut Vec<Finding>) {
+    if !v.fa.is_library() {
+        return;
+    }
+    for ci in 0..v.len() {
+        if v.in_test(ci)
+            || !v.ident_in(ci, &["println", "eprintln", "print", "eprint"])
+            || !v.is_punct(ci + 1, "!")
+        {
+            continue;
+        }
+        push(
+            out,
+            "no-println",
+            v.fa,
+            v.line(ci),
+            format!(
+                "`{}!` in library code; emit a ros_obs event/metric (or return the data) \
+                 so output is levelled and machine-readable",
+                v.text(ci)
+            ),
+        );
+    }
+}
+
+fn no_raw_spawn(v: &View<'_>, out: &mut Vec<Finding>) {
+    if v.fa.crate_name == "ros-exec" {
+        return;
+    }
+    for ci in 0..v.len() {
+        if v.in_test(ci)
+            || !v.is_ident(ci, "thread")
+            || !v.is_punct(ci + 1, "::")
+            || !v.ident_in(ci + 2, &["spawn", "scope", "Builder"])
+        {
+            continue;
+        }
+        push(
+            out,
+            "no-raw-spawn",
+            v.fa,
+            v.line(ci),
+            format!(
+                "direct `thread::{}`; fan out through ros_exec::par_map so the \
+                 thread-count override and determinism guarantees hold",
+                v.text(ci + 2)
+            ),
+        );
+    }
+}
+
+fn no_raw_cast(v: &View<'_>, out: &mut Vec<Finding>) {
+    if !v.fa.is_library() {
+        return;
+    }
+    for ci in 0..v.len() {
+        if v.in_test(ci) || !v.is_ident(ci, "as") {
+            continue;
+        }
+        let ty = v.text(ci + 1);
+        if v.kind(ci + 1) != Some(TokenKind::Ident) || !NUMERIC_TYPES.contains(&ty) {
+            continue;
+        }
+        let line = v.line(ci);
+        if v.fa.has_marker(line, "lint: allow-cast(") {
+            continue;
+        }
+        push(
+            out,
+            "no-raw-cast",
+            v.fa,
+            line,
+            format!(
+                "raw `as {ty}` cast; use ros_em::units::cast (or try_from), or mark the \
+                 line with `lint: allow-cast(reason)`"
+            ),
+        );
+    }
+}
+
+/// Literal receivers of `.powf(` that spell a dB-to-linear conversion.
+const DB_BASE_LITERALS: &[&str] = &["10f64", "10.0f64", "10.0", "10_f64", "10."];
+
+/// Divisors inside `powf(x / …)` that mark the dB families.
+const DB_DIVISORS: &[&str] = &["10.0", "20.0", "10_f64", "20_f64", "10.0f64", "20.0f64"];
+
+fn typed_conversions(v: &View<'_>, out: &mut Vec<Finding>) {
+    if v.fa.rel == UNITS_MODULE {
+        return;
+    }
+    for ci in 0..v.len() {
+        if v.in_test(ci) {
+            continue;
+        }
+        // `.to_radians()` / `.to_degrees()`
+        if v.is_punct(ci, ".")
+            && v.ident_in(ci + 1, &["to_radians", "to_degrees"])
+            && v.is_punct(ci + 2, "(")
+        {
+            push(
+                out,
+                "typed-conversions",
+                v.fa,
+                v.line(ci + 1),
+                format!(
+                    "inline `.{}()` conversion; go through ros_em::units \
+                     (Degrees/Radians, DbPower/DbAmplitude) or ros_em::db",
+                    v.text(ci + 1)
+                ),
+            );
+        }
+        if v.is_punct(ci, ".") && v.is_ident(ci + 1, "powf") && v.is_punct(ci + 2, "(") {
+            // `10f64.powf(…)`-style literal base.
+            if ci > 0
+                && matches!(v.kind(ci - 1), Some(TokenKind::Float | TokenKind::Int))
+                && DB_BASE_LITERALS.contains(&v.text(ci - 1))
+            {
+                push(
+                    out,
+                    "typed-conversions",
+                    v.fa,
+                    v.line(ci + 1),
+                    format!(
+                        "inline `{}.powf(` conversion; go through ros_em::units or \
+                         ros_em::db",
+                        v.text(ci - 1)
+                    ),
+                );
+            }
+            // `powf(x / 10.0)` / `powf(x / 20.0)` dB idiom: scan the
+            // argument group for `/ <10|20>)` at any nesting.
+            let mut depth = 0usize;
+            let mut cj = ci + 2;
+            while cj < v.len() {
+                if v.is_punct(cj, "(") {
+                    depth += 1;
+                } else if v.is_punct(cj, ")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if v.is_punct(cj, "/")
+                    && v.kind(cj + 1) == Some(TokenKind::Float)
+                    && DB_DIVISORS.contains(&v.text(cj + 1))
+                    && v.is_punct(cj + 2, ")")
+                {
+                    push(
+                        out,
+                        "typed-conversions",
+                        v.fa,
+                        v.line(cj),
+                        "inline dB-to-linear `powf(x / 10.0|20.0)`; use \
+                         ros_em::db::db_to_pow / db_to_lin or the units types"
+                            .to_string(),
+                    );
+                }
+                cj += 1;
+            }
+        }
+    }
+}
+
+fn typed_db_params(fa: &FileAnalysis, out: &mut Vec<Finding>) {
+    if !fa.is_library() {
+        return;
+    }
+    for item in &fa.facts.items {
+        if item.kind != ItemKind::Fn
+            || item.vis != Visibility::Pub
+            || item.in_test
+            || item.in_trait_impl
+        {
+            continue;
+        }
+        let Some((sig_start, sig_end)) = item.sig else {
+            continue;
+        };
+        // Walk the signature tokens for `<name>_db: f64` / `<name>_deg: f64`.
+        let toks = &fa.tokens[sig_start..sig_end.min(fa.tokens.len())];
+        for (k, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let name = t.text(&fa.text);
+            let suffix = if name.ends_with("_db") {
+                "_db"
+            } else if name.ends_with("_deg") {
+                "_deg"
+            } else {
+                continue;
+            };
+            // Next two non-trivia tokens must be `:` and `f64`.
+            let mut rest = toks[k + 1..].iter().filter(|t| !t.is_trivia());
+            let colon = rest.next();
+            let ty = rest.next();
+            let is_colon = colon.is_some_and(|t| {
+                t.kind == TokenKind::Punct && t.text(&fa.text) == ":"
+            });
+            let is_f64 = ty.is_some_and(|t| {
+                t.kind == TokenKind::Ident && t.text(&fa.text) == "f64"
+            });
+            if is_colon && is_f64 {
+                push(
+                    out,
+                    "typed-db-params",
+                    fa,
+                    item.line,
+                    format!(
+                        "public fn takes bare `{name}: f64`; use `ros_em::units::{}`",
+                        if suffix == "_deg" { "Degrees" } else { "Db" }
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Idents that, adjacent to `==`/`!=`, mark a float special-value
+/// comparison (`x == f64::NAN` is always a bug).
+const FLOAT_CONSTS: &[&str] = &["NAN", "INFINITY", "NEG_INFINITY"];
+
+fn float_eq(v: &View<'_>, out: &mut Vec<Finding>) {
+    if !v.fa.is_library() {
+        return;
+    }
+    for ci in 0..v.len() {
+        if v.in_test(ci)
+            || v.kind(ci) != Some(TokenKind::Punct)
+            || !(v.text(ci) == "==" || v.text(ci) == "!=")
+        {
+            continue;
+        }
+        let prev_float = ci > 0
+            && (v.kind(ci - 1) == Some(TokenKind::Float) || v.ident_in(ci - 1, FLOAT_CONSTS));
+        let next_float = v.kind(ci + 1) == Some(TokenKind::Float)
+            || v.ident_in(ci + 1, FLOAT_CONSTS)
+            || (v.ident_in(ci + 1, &["f64", "f32"])
+                && v.is_punct(ci + 2, "::")
+                && v.ident_in(ci + 3, FLOAT_CONSTS));
+        if !prev_float && !next_float {
+            continue;
+        }
+        let line = v.line(ci);
+        if v.fa.has_marker(line, "lint: allow-float-eq(") {
+            continue;
+        }
+        // Approx helpers (assertion utilities comparing with a
+        // tolerance they define) are the sanctioned home for float
+        // comparison plumbing.
+        if v.fa
+            .facts
+            .enclosing_fn(v.tok_idx(ci))
+            .is_some_and(|f| f.name.contains("approx"))
+        {
+            continue;
+        }
+        push(
+            out,
+            "float-eq",
+            v.fa,
+            line,
+            format!(
+                "`{}` on floating-point operands; compare magnitudes with a tolerance, \
+                 restructure the guard, or mark an exact-representation check with \
+                 `lint: allow-float-eq(reason)`",
+                v.text(ci)
+            ),
+        );
+    }
+}
+
+fn item_kind_str(kind: ItemKind) -> &'static str {
+    match kind {
+        ItemKind::Fn => "fn",
+        ItemKind::Struct => "struct",
+        ItemKind::Enum => "enum",
+        ItemKind::Union => "union",
+        ItemKind::Trait => "trait",
+        ItemKind::TypeAlias => "type",
+        ItemKind::Const => "const",
+        ItemKind::Static => "static",
+        ItemKind::Mod => "mod",
+        ItemKind::Use => "use",
+        ItemKind::MacroDef => "macro",
+    }
+}
+
+/// Item kinds that must carry docs / be referenced.
+fn is_api_item(item: &Item) -> bool {
+    !matches!(item.kind, ItemKind::Use)
+        && !item.name.is_empty()
+        && item.vis == Visibility::Pub
+        && !item.in_test
+        && !item.in_trait_impl
+}
+
+/// A `mod` counts as documented via inner docs too: `//!` at the top
+/// of an inline body, or at the top of the external file
+/// (`name.rs` / `name/mod.rs`) for a `mod name;` declaration — the
+/// repo's file-module convention.
+fn mod_documented(fa: &FileAnalysis, item: &Item, mod_docs: &HashMap<&str, bool>) -> bool {
+    if let Some((start, end)) = item.body {
+        // `tokens[start]` is the opening `{`.
+        let end = end.min(fa.tokens.len());
+        return leading_inner_docs(&fa.text, &fa.tokens[(start + 1).min(end)..end]);
+    }
+    // External declaration: resolve `mod name;` the way rustc does.
+    let (dir, file) = fa.rel.rsplit_once('/').unwrap_or(("", fa.rel.as_str()));
+    let stem = file.strip_suffix(".rs").unwrap_or(file);
+    let base = if matches!(stem, "lib" | "main" | "mod") {
+        dir.to_string()
+    } else {
+        format!("{dir}/{stem}")
+    };
+    [
+        format!("{base}/{}.rs", item.name),
+        format!("{base}/{}/mod.rs", item.name),
+    ]
+    .iter()
+    .any(|cand| mod_docs.get(cand.as_str()).copied().unwrap_or(false))
+}
+
+fn doc_pub(fa: &FileAnalysis, mod_docs: &HashMap<&str, bool>, out: &mut Vec<Finding>) {
+    if !fa.is_library() {
+        return;
+    }
+    for item in fa.facts.items.iter().filter(|i| is_api_item(i)) {
+        if item.has_doc {
+            continue;
+        }
+        if item.kind == ItemKind::Mod && mod_documented(fa, item, mod_docs) {
+            continue;
+        }
+        push(
+            out,
+            "doc-pub",
+            fa,
+            item.line,
+            format!(
+                "pub {} `{}` has no doc comment; document the contract or hide it",
+                item_kind_str(item.kind),
+                item.name
+            ),
+        );
+    }
+}
+
+/// Cross-crate reference graph: a `pub` item in a library crate must
+/// be referenced from another crate, from test code, or from the
+/// examples/tests trees — otherwise it is dead API surface.
+fn dead_pub(files: &[FileAnalysis], out: &mut Vec<Finding>) {
+    // Ident occurrence sets: per-crate non-test code, and one global
+    // set of test regions + reference files.
+    let mut nontest: HashMap<&str, HashSet<&str>> = HashMap::new();
+    let mut testref: HashSet<&str> = HashSet::new();
+    for fa in files {
+        for (i, t) in fa.tokens.iter().enumerate() {
+            if !matches!(t.kind, TokenKind::Ident | TokenKind::RawIdent) {
+                continue;
+            }
+            let txt = t.text(&fa.text).trim_start_matches("r#");
+            if fa.role == FileRole::Reference || fa.facts.in_test.get(i).copied().unwrap_or(false)
+            {
+                testref.insert(txt);
+            } else {
+                nontest.entry(fa.crate_name.as_str()).or_default().insert(txt);
+            }
+        }
+    }
+
+    for fa in files.iter().filter(|f| f.is_library()) {
+        for item in fa.facts.items.iter().filter(|i| is_api_item(i)) {
+            if fa.has_marker(item.line, "lint: allow-dead-pub(") {
+                continue;
+            }
+            let name = item.name.as_str();
+            let referenced = testref.contains(name)
+                || nontest
+                    .iter()
+                    .any(|(&c, set)| c != fa.crate_name && set.contains(name));
+            if referenced {
+                continue;
+            }
+            push(
+                out,
+                "dead-pub",
+                fa,
+                item.line,
+                format!(
+                    "pub {} `{}` is never referenced outside `{}`; demote to pub(crate), \
+                     delete it, or mark `lint: allow-dead-pub(reason)`",
+                    item_kind_str(item.kind),
+                    name,
+                    fa.crate_name
+                ),
+            );
+        }
+    }
+}
+
+/// Instrumentation functions and the metric kind each implies.
+const OBS_FUNCS: &[(&str, &str)] = &[
+    ("count", "Counter"),
+    ("gauge", "Gauge"),
+    ("hist", "Histogram"),
+    ("span", "Histogram"),
+];
+
+/// Reconciles every `ros_obs::{count,gauge,hist,span}("…")` call site
+/// against the `ros_obs::names::ALL` table, both directions, kinds
+/// included (span names map to `time.<stage>` histograms).
+fn obs_names(files: &[FileAnalysis], out: &mut Vec<Finding>) {
+    // Direction 1 inputs: the declared table.
+    let mut declared: BTreeMap<String, (String, usize)> = BTreeMap::new();
+    let Some(names_fa) = files.iter().find(|f| f.rel == NAMES_MODULE) else {
+        return; // no table, nothing to reconcile
+    };
+    let nv = View::new(names_fa);
+    for ci in 0..nv.len() {
+        if nv.is_punct(ci, "(")
+            && nv.kind(ci + 1) == Some(TokenKind::Str)
+            && nv.is_punct(ci + 2, ",")
+            && nv.is_ident(ci + 3, "Kind")
+            && nv.is_punct(ci + 4, "::")
+            && nv.kind(ci + 5) == Some(TokenKind::Ident)
+            && nv.is_punct(ci + 6, ")")
+        {
+            let name = str_lit_value(nv.text(ci + 1));
+            declared.insert(name, (nv.text(ci + 5).to_string(), nv.line(ci + 1)));
+        }
+    }
+    if declared.is_empty() {
+        return;
+    }
+
+    // Direction 2 inputs: every literal-name instrumentation site in
+    // non-test pipeline code.
+    let mut used: HashSet<String> = HashSet::new();
+    for fa in files.iter().filter(|f| f.role != FileRole::Reference) {
+        let v = View::new(fa);
+        for ci in 0..v.len() {
+            if v.in_test(ci)
+                || !v.is_ident(ci, "ros_obs")
+                || !v.is_punct(ci + 1, "::")
+                || v.kind(ci + 2) != Some(TokenKind::Ident)
+            {
+                continue;
+            }
+            let Some((_, kind)) = OBS_FUNCS.iter().find(|(f, _)| *f == v.text(ci + 2)) else {
+                continue;
+            };
+            if !v.is_punct(ci + 3, "(") || v.kind(ci + 4) != Some(TokenKind::Str) {
+                continue; // dynamic name: not statically checkable
+            }
+            let func = v.text(ci + 2).to_string();
+            let lit = str_lit_value(v.text(ci + 4));
+            let metric = if func == "span" {
+                format!("time.{lit}")
+            } else {
+                lit.clone()
+            };
+            used.insert(metric.clone());
+            match declared.get(&metric) {
+                None => push(
+                    out,
+                    "obs-names",
+                    fa,
+                    v.line(ci + 4),
+                    format!(
+                        "metric `{metric}` (via ros_obs::{func}) is not declared in \
+                         ros_obs::names::ALL; add it so the export order stays fixed"
+                    ),
+                ),
+                Some((declared_kind, _)) if declared_kind != kind => push(
+                    out,
+                    "obs-names",
+                    fa,
+                    v.line(ci + 4),
+                    format!(
+                        "metric `{metric}` is declared as Kind::{declared_kind} in \
+                         ros_obs::names::ALL but used via ros_obs::{func} (implies \
+                         Kind::{kind})"
+                    ),
+                ),
+                Some(_) => {}
+            }
+        }
+    }
+
+    // Direction 1: every declared name must have a live call site.
+    for (name, (_, line)) in &declared {
+        if !used.contains(name) {
+            push(
+                out,
+                "obs-names",
+                names_fa,
+                *line,
+                format!(
+                    "metric `{name}` is declared in ros_obs::names::ALL but no \
+                     instrumentation site emits it; remove the entry or wire the metric"
+                ),
+            );
+        }
+    }
+}
+
+/// The value of a plain `"…"` string-literal token (quotes stripped,
+/// common escapes resolved — metric names use none).
+fn str_lit_value(text: &str) -> String {
+    text.trim_start_matches('"')
+        .trim_end_matches('"')
+        .replace("\\\"", "\"")
+        .replace("\\\\", "\\")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::FileAnalysis;
+
+    fn fa(rel: &str, src: &str) -> FileAnalysis {
+        let crate_name = rel.split('/').nth(1).unwrap_or("x").to_string();
+        let role = if crate::engine::NON_LIBRARY_CRATES.contains(&crate_name.as_str()) {
+            FileRole::Harness
+        } else if rel.starts_with("tests/") {
+            FileRole::Reference
+        } else {
+            FileRole::Library
+        };
+        FileAnalysis::new(rel.to_string(), crate_name, role, src.to_string())
+    }
+
+    /// `rule:line` strings from the per-file rules, legacy-test shape.
+    fn hits_in(rel: &str, src: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        check_file(&fa(rel, src), &mut out);
+        out.iter().map(|v| format!("{}:{}", v.rule, v.line)).collect()
+    }
+
+    fn scan_str(src: &str) -> Vec<String> {
+        hits_in("crates/ros-em/src/sample.rs", src)
+    }
+
+    /// `rule:line` strings from the full workspace pass over a
+    /// constructed file set (cross-crate rules included).
+    fn all_hits(files: &[FileAnalysis]) -> Vec<String> {
+        check_all(files)
+            .iter()
+            .map(|v| format!("{}:{}:{}", v.rule, v.file, v.line))
+            .collect()
+    }
+
+    // ---- migrated legacy suite (token-stream equivalents) ----
+
+    #[test]
+    fn flags_raw_thread_spawn() {
+        let hits = scan_str("fn f() { std::thread::spawn(|| {}); }\n");
+        assert_eq!(hits, ["no-raw-spawn:1"]);
+        let hits = scan_str("fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n");
+        assert_eq!(hits, ["no-raw-spawn:1"]);
+    }
+
+    #[test]
+    fn ros_exec_may_spawn() {
+        let src = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
+        assert!(hits_in("crates/ros-exec/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn spawn_in_test_block_is_fine() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(scan_str(src).is_empty());
+    }
+
+    #[test]
+    fn flags_println_in_library_code() {
+        let hits = scan_str("fn f() { println!(\"x\"); }\n");
+        assert_eq!(hits, ["no-println:1"]);
+        let hits = scan_str("fn f() { eprintln!(\"x\"); }\n");
+        assert_eq!(hits, ["no-println:1"]);
+        let hits = scan_str("fn f() { eprint!(\"x\"); print!(\"y\"); }\n");
+        assert_eq!(hits, ["no-println:1", "no-println:1"]);
+    }
+
+    #[test]
+    fn println_allowed_in_tests_and_non_library_crates() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { println!(\"dbg\"); }\n}\n";
+        assert!(scan_str(src).is_empty());
+        let src = "fn f() { println!(\"table row\"); }\n";
+        assert!(hits_in("crates/bench/src/sample.rs", src).is_empty());
+    }
+
+    #[test]
+    fn println_in_comments_and_strings_ignored() {
+        let src = "// println! lives here\nfn f() { let s = \"println!\"; }\n";
+        assert!(scan_str(src).is_empty());
+    }
+
+    #[test]
+    fn flags_unwrap_outside_tests() {
+        let hits = scan_str("fn f() {\n    let x = y.unwrap();\n}\n");
+        assert_eq!(hits, ["no-unwrap:2"]);
+        let hits = scan_str("fn f() { y.expect(\"reason\"); }\n");
+        assert_eq!(hits, ["no-unwrap:1"]);
+    }
+
+    #[test]
+    fn unwrap_flagged_even_in_harness_crates() {
+        let src = "fn f() { y.unwrap(); }\n";
+        assert_eq!(hits_in("crates/bench/src/sample.rs", src), ["no-unwrap:1"]);
+    }
+
+    #[test]
+    fn ignores_unwrap_in_test_block() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { y.unwrap(); }\n}\n";
+        assert!(scan_str(src).is_empty());
+    }
+
+    #[test]
+    fn ignores_unwrap_in_comments_and_strings() {
+        let src = "// call .unwrap() here\nfn f() { let s = \".unwrap()\"; }\n";
+        assert!(scan_str(src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_is_fine() {
+        assert!(scan_str("fn f() { y.unwrap_or(0); y.unwrap_or_else(|| 0); }\n").is_empty());
+    }
+
+    #[test]
+    fn flags_panic_macros_in_library_code() {
+        for src in [
+            "fn f() { panic!(\"boom\"); }\n",
+            "fn f() { todo!() }\n",
+            "fn f() { unimplemented!() }\n",
+            "fn f(x: u8) { match x { _ => unreachable!() } }\n",
+        ] {
+            assert_eq!(hits_in("crates/ros-em/src/s.rs", src), ["no-panic:1"], "{src}");
+        }
+    }
+
+    #[test]
+    fn allow_panic_marker_suppresses() {
+        let same = "fn f() { unreachable!() } // lint: allow-panic(n is 0..4 by construction)\n";
+        assert!(scan_str(same).is_empty());
+        let above = "// lint: allow-panic(dead arm)\nfn f() { panic!(\"x\") }\n";
+        assert!(scan_str(above).is_empty());
+    }
+
+    #[test]
+    fn panic_allowed_in_tests_and_non_library_crates() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { panic!(\"assert helper\"); }\n}\n";
+        assert!(scan_str(src).is_empty());
+        let src = "fn f() { panic!(\"bad CLI flag\"); }\n";
+        assert!(hits_in("crates/bench/src/sample.rs", src).is_empty());
+    }
+
+    #[test]
+    fn assert_macros_are_not_panic_violations() {
+        let src = "fn f(a: usize, b: usize) { assert_eq!(a, b); assert!(a > 0); }\n";
+        assert!(scan_str(src).is_empty());
+    }
+
+    #[test]
+    fn flags_raw_casts_in_library_code() {
+        let hits = scan_str("fn f(n: usize) -> f64 { n as f64 }\n");
+        assert_eq!(hits, ["no-raw-cast:1"]);
+    }
+
+    #[test]
+    fn allow_cast_marker_suppresses() {
+        let same = "fn f(n: usize) -> f64 { n as f64 } // lint: allow-cast(exact)\n";
+        assert!(scan_str(same).is_empty());
+        let above = "// lint: allow-cast(exact)\nfn f(n: usize) -> f64 { n as f64 }\n";
+        assert!(scan_str(above).is_empty());
+    }
+
+    #[test]
+    fn cast_rule_skips_non_library_crates() {
+        let src = "fn f(n: usize) -> f64 { n as f64 }\n";
+        assert!(hits_in("crates/bench/src/sample.rs", src).is_empty());
+    }
+
+    #[test]
+    fn as_inside_identifier_is_not_a_cast() {
+        // `alias`/`bias` contain "as"; on a token stream this needs no
+        // special-casing, which is the point of lexing first.
+        assert!(scan_str("fn f() { let alias = bias; }\n").is_empty());
+        assert!(scan_str("fn f() { let x = y as f64x; }\n").is_empty());
+    }
+
+    #[test]
+    fn cast_in_string_or_comment_is_ignored() {
+        let src = "// n as f64\nfn f() { let s = \"n as f64\"; }\n";
+        assert!(scan_str(src).is_empty());
+    }
+
+    #[test]
+    fn flags_db_suffixed_f64_params_across_lines() {
+        let src = "pub fn g(\n    gain_db: f64,\n    az_deg: f64,\n) -> f64 { gain_db + az_deg }\n";
+        let hits = scan_str(src);
+        assert_eq!(hits, ["typed-db-params:1", "typed-db-params:1"]);
+    }
+
+    #[test]
+    fn typed_params_pass() {
+        let src = "pub fn g(gain: Db, az: Degrees, d_m: f64, x_dbsm: f64) -> f64 { 0.0 }\n";
+        assert!(scan_str(src).is_empty());
+    }
+
+    #[test]
+    fn flags_inline_conversions_outside_units() {
+        let hits = scan_str("fn f(a: f64) -> f64 { a.to_radians() }\n");
+        assert_eq!(hits, ["typed-conversions:1"]);
+        let hits = scan_str("fn f(a: f64) -> f64 { 10f64.powf(a / 10.0) }\n");
+        assert_eq!(hits, ["typed-conversions:1", "typed-conversions:1"]);
+    }
+
+    #[test]
+    fn units_module_may_convert() {
+        let src = "fn f(a: f64) -> f64 { a.to_radians() }\n";
+        assert!(hits_in("crates/ros-em/src/units.rs", src).is_empty());
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let src = "/*\n x.unwrap()\n*/\nfn f() {}\n";
+        assert!(scan_str(src).is_empty());
+    }
+
+    #[test]
+    fn code_resumes_after_test_block() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn f() { y.unwrap(); }\n";
+        assert_eq!(scan_str(src), ["no-unwrap:5"]);
+    }
+
+    // ---- structural cases the old line scanner got wrong ----
+
+    #[test]
+    fn char_double_quote_regression() {
+        // The old Scanner treated `'"'` as opening a string and
+        // swallowed the rest of the line, hiding the unwrap.
+        let src = "fn f() { let c = '\"'; y.unwrap(); }\n";
+        assert_eq!(scan_str(src), ["no-unwrap:1"]);
+    }
+
+    #[test]
+    fn nested_block_comment_regression() {
+        // The old Scanner closed the comment at the first `*/`.
+        let src = "/* outer /* inner */ y.unwrap() */\nfn f() {}\n";
+        assert!(scan_str(src).is_empty());
+    }
+
+    #[test]
+    fn multi_hash_raw_string_regression() {
+        // The old Scanner did not recognize `r##"…"##` at all.
+        let src = "fn f() { let s = r##\"y.unwrap() \"# panic!()\"##; }\n";
+        assert!(scan_str(src).is_empty());
+    }
+
+    // ---- float-eq ----
+
+    #[test]
+    fn float_eq_flags_literal_comparison() {
+        assert_eq!(scan_str("fn f(x: f64) -> bool { x == 0.0 }\n"), ["float-eq:1"]);
+        assert_eq!(scan_str("fn f(x: f64) -> bool { 1.5 != x }\n"), ["float-eq:1"]);
+    }
+
+    #[test]
+    fn float_eq_flags_non_finite_idents() {
+        assert_eq!(scan_str("fn f(x: f64) -> bool { x == f64::INFINITY }\n"), ["float-eq:1"]);
+        assert_eq!(scan_str("fn f(x: f64) -> bool { f64::NAN == x }\n"), ["float-eq:1"]);
+    }
+
+    #[test]
+    fn float_eq_ignores_integer_comparisons() {
+        assert!(scan_str("fn f(n: usize) -> bool { n == 0 }\n").is_empty());
+        assert!(scan_str("fn f(a: usize, b: usize) -> bool { a != b }\n").is_empty());
+    }
+
+    #[test]
+    fn float_eq_exemptions() {
+        // Tests may compare exactly.
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(x: f64) -> bool { x == 0.5 }\n}\n";
+        assert!(scan_str(src).is_empty());
+        // Marker.
+        let src = "// lint: allow-float-eq(sentinel)\nfn f(x: f64) -> bool { x == 0.0 }\n";
+        assert!(scan_str(src).is_empty());
+        // Approx helpers are where exact comparisons legitimately live.
+        let src = "fn approx_eq(a: f64, b: f64) -> bool { a == b || (a - b).abs() < 1e-12 }\n";
+        assert!(scan_str(src).is_empty());
+        // Harness crates are exempt (library rule).
+        let src = "fn f(x: f64) -> bool { x == 0.0 }\n";
+        assert!(hits_in("crates/bench/src/sample.rs", src).is_empty());
+    }
+
+    // ---- doc-pub ----
+
+    #[test]
+    fn doc_pub_flags_undocumented_pub_items() {
+        let f = fa("crates/ros-em/src/s.rs", "//! mod docs\npub fn naked() {}\n");
+        let doc: Vec<String> = all_hits(&[f])
+            .into_iter()
+            .filter(|h| h.starts_with("doc-pub"))
+            .collect();
+        assert_eq!(doc, ["doc-pub:crates/ros-em/src/s.rs:2"]);
+    }
+
+    #[test]
+    fn doc_pub_passes_documented_and_non_api_items() {
+        let src = "\
+//! mod docs
+/// Documented.
+pub fn ok() {}
+pub(crate) fn internal() {}
+fn private() {}
+#[cfg(test)]
+mod tests {
+    pub fn helper() {}
+}
+";
+        let f = fa("crates/ros-em/src/s.rs", src);
+        assert!(all_hits(&[f]).iter().all(|h| !h.starts_with("doc-pub")));
+    }
+
+    #[test]
+    fn doc_pub_accepts_inner_docs_for_mods() {
+        // Inline mod with `//!` body docs, and an out-of-line decl
+        // whose file opens with `//!`: both documented.
+        let lib = fa(
+            "crates/ros-em/src/lib.rs",
+            "//! crate docs\npub mod inline {\n    //! docs\n}\npub mod filemod;\n",
+        );
+        let filemod = fa("crates/ros-em/src/filemod.rs", "//! file docs\n");
+        assert!(all_hits(&[lib, filemod]).iter().all(|h| !h.starts_with("doc-pub")));
+        // Without the file docs the decl is flagged.
+        let lib = fa("crates/ros-em/src/lib.rs", "//! crate docs\npub mod filemod;\n");
+        let filemod = fa("crates/ros-em/src/filemod.rs", "pub fn x() {}\n");
+        assert!(all_hits(&[lib, filemod]).iter().any(|h| h.starts_with("doc-pub")));
+    }
+
+    // ---- dead-pub ----
+
+    #[test]
+    fn dead_pub_flags_unreferenced_api() {
+        let dead = fa("crates/ros-em/src/s.rs", "//! m\n/// D.\npub fn orphan() {}\n");
+        let hits = all_hits(&[dead]);
+        assert_eq!(hits, ["dead-pub:crates/ros-em/src/s.rs:3"]);
+    }
+
+    #[test]
+    fn dead_pub_alive_via_other_crate_tests_or_reference() {
+        let api = "//! m\n/// D.\npub fn used_somewhere() {}\n";
+        // Another crate's non-test code.
+        let dead = fa("crates/ros-em/src/s.rs", api);
+        let user = fa("crates/ros-dsp/src/u.rs", "//! m\nfn f() { ros_em::used_somewhere(); }\n");
+        assert!(all_hits(&[dead, user]).iter().all(|h| !h.starts_with("dead-pub")));
+        // A test region in the same crate.
+        let dead = fa("crates/ros-em/src/s.rs", api);
+        let tests = fa(
+            "crates/ros-em/src/t.rs",
+            "//! m\n#[cfg(test)]\nmod tests {\n    fn t() { super::used_somewhere(); }\n}\n",
+        );
+        assert!(all_hits(&[dead, tests]).iter().all(|h| !h.starts_with("dead-pub")));
+        // The integration-test reference corpus.
+        let dead = fa("crates/ros-em/src/s.rs", api);
+        let reference = fa("tests/e2e.rs", "fn t() { ros_em::used_somewhere(); }\n");
+        assert!(all_hits(&[dead, reference]).iter().all(|h| !h.starts_with("dead-pub")));
+    }
+
+    #[test]
+    fn dead_pub_same_crate_nontest_use_does_not_count() {
+        let src = "//! m\n/// D.\npub fn self_used() {}\nfn f() { self_used(); }\n";
+        let f = fa("crates/ros-em/src/s.rs", src);
+        assert!(all_hits(&[f]).iter().any(|h| h.starts_with("dead-pub")));
+    }
+
+    #[test]
+    fn dead_pub_marker_suppresses() {
+        let src = "//! m\n/// D.\n// lint: allow-dead-pub(API symmetry)\npub fn kept() {}\n";
+        let f = fa("crates/ros-em/src/s.rs", src);
+        assert!(all_hits(&[f]).iter().all(|h| !h.starts_with("dead-pub")));
+    }
+
+    // ---- obs-names ----
+
+    const NAMES_SRC: &str = "\
+//! names
+pub enum Kind { Counter, Gauge, Histogram }
+pub const ALL: &[(&str, Kind)] = &[
+    (\"decode.ok\", Kind::Counter),
+    (\"reader.cloud_points\", Kind::Gauge),
+    (\"time.decode\", Kind::Histogram),
+];
+";
+
+    fn names_fa() -> FileAnalysis {
+        fa(NAMES_MODULE, NAMES_SRC)
+    }
+
+    fn obs_hits(user_src: &str) -> Vec<String> {
+        let user = fa("crates/core/src/u.rs", user_src);
+        all_hits(&[names_fa(), user])
+            .into_iter()
+            .filter(|h| h.starts_with("obs-names"))
+            .collect()
+    }
+
+    #[test]
+    fn obs_names_clean_when_reconciled() {
+        let src = "\
+//! m
+fn f() {
+    ros_obs::count(\"decode.ok\", 1);
+    ros_obs::gauge(\"reader.cloud_points\", 2.0);
+    let _span = ros_obs::span(\"decode\");
+}
+";
+        assert!(obs_hits(src).is_empty());
+    }
+
+    #[test]
+    fn obs_names_flags_undeclared_metric() {
+        let src = "//! m\nfn f() { ros_obs::count(\"decode.ok\", 1); ros_obs::gauge(\"reader.cloud_points\", 0.0); let _s = ros_obs::span(\"decode\"); ros_obs::count(\"decode.mystery\", 1); }\n";
+        let hits = obs_hits(src);
+        assert_eq!(hits, ["obs-names:crates/core/src/u.rs:2"]);
+    }
+
+    #[test]
+    fn obs_names_flags_kind_mismatch() {
+        // decode.ok is declared Counter but used as a gauge.
+        let src = "//! m\nfn f() { ros_obs::gauge(\"decode.ok\", 1.0); ros_obs::gauge(\"reader.cloud_points\", 0.0); let _s = ros_obs::span(\"decode\"); }\n";
+        let hits = obs_hits(src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+    }
+
+    #[test]
+    fn obs_names_flags_declared_but_never_emitted() {
+        // Nothing emits time.decode: the declaration is stale.
+        let src = "//! m\nfn f() { ros_obs::count(\"decode.ok\", 1); ros_obs::gauge(\"reader.cloud_points\", 0.0); }\n";
+        let hits = obs_hits(src);
+        assert_eq!(hits, [format!("obs-names:{NAMES_MODULE}:6")]);
+    }
+
+    #[test]
+    fn obs_names_ignores_dynamic_names_and_test_sites() {
+        // A non-literal name cannot be checked statically; test-region
+        // emissions are exempt.
+        let src = "\
+//! m
+fn f(name: &str) {
+    ros_obs::count(\"decode.ok\", 1);
+    ros_obs::gauge(\"reader.cloud_points\", 0.0);
+    let _s = ros_obs::span(\"decode\");
+    ros_obs::count(name, 1);
+}
+#[cfg(test)]
+mod tests {
+    fn t() { ros_obs::count(\"test.only\", 1); }
+}
+";
+        assert!(obs_hits(src).is_empty());
+    }
+
+    #[test]
+    fn rules_catalog_is_consistent() {
+        // Stable IDs: every rule resolvable, no duplicates.
+        let mut seen = std::collections::HashSet::new();
+        for r in RULES {
+            assert!(seen.insert(r.id), "duplicate rule id {}", r.id);
+            assert_eq!(rule(r.id).map(|x| x.id), Some(r.id));
+            assert!(!r.summary.is_empty());
+            assert_eq!(r.severity.as_str(), "error");
+        }
+        assert_eq!(RULES.len(), 11);
+    }
+}

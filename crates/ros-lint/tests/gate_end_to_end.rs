@@ -1,0 +1,163 @@
+//! End-to-end exercise of the ros-lint public API: build a synthetic
+//! mini-workspace on disk, run the full gate against it (findings →
+//! baseline → JSON artifact), then tighten the baseline and watch a
+//! freshly introduced violation fail the gate — the exact workflow
+//! `cargo run -p xtask -- lint` and verify.sh drive.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ros_lint::baseline::{self, Baseline};
+use ros_lint::engine::{leading_inner_docs, load_workspace, GateOptions, GateOutcome};
+use ros_lint::json::{self, ParseError};
+use ros_lint::lexer::{lex, Token};
+use ros_lint::rules::RuleInfo;
+use ros_lint::scan;
+use ros_lint::{run_gate, FileRole, RULES};
+
+/// A throwaway workspace root under the target-adjacent temp dir.
+struct TempWs {
+    root: PathBuf,
+}
+
+impl TempWs {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("ros-lint-e2e-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("crates/demo/src")).expect("mkdir");
+        TempWs { root }
+    }
+
+    fn write(&self, rel: &str, contents: &str) {
+        let path = self.root.join(rel);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).expect("mkdir");
+        }
+        fs::write(path, contents).expect("write");
+    }
+}
+
+impl Drop for TempWs {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+const CLEAN_LIB: &str = "\
+//! Demo crate.
+
+/// Documented, and referenced from the test region below.
+pub fn answer() -> u32 {
+    41 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        assert_eq!(super::answer(), 42);
+    }
+}
+";
+
+#[test]
+fn gate_passes_on_clean_tree_and_artifact_parses() {
+    let ws = TempWs::new("clean");
+    ws.write("crates/demo/src/lib.rs", CLEAN_LIB);
+
+    let json_path = ws.root.join("target/lint.json");
+    let opts = GateOptions {
+        json_path: Some(json_path.clone()),
+        update_baseline: false,
+        no_baseline: true,
+    };
+    let outcome: GateOutcome = run_gate(&ws.root, &opts).expect("gate runs");
+    assert!(outcome.passed, "clean tree must pass:\n{}", outcome.human_report);
+    assert!(outcome.human_report.contains("files clean"));
+
+    // The artifact exists and round-trips through the bundled parser.
+    let artifact = fs::read_to_string(&json_path).expect("artifact written");
+    let v = json::parse(&artifact).expect("artifact parses");
+    assert_eq!(v.get("clean"), Some(&json::Value::Bool(true)));
+    let rules = v.get("rules").and_then(|x| x.as_arr()).expect("rules array");
+    assert_eq!(rules.len(), RULES.len());
+    // The rule catalog in the artifact mirrors the static RuleInfo set.
+    let catalog: Vec<&RuleInfo> = RULES.iter().collect();
+    for (entry, info) in rules.iter().zip(&catalog) {
+        assert_eq!(entry.get("id").and_then(|x| x.as_str()), Some(info.id));
+    }
+}
+
+#[test]
+fn new_violation_fails_gate_until_baselined() {
+    let ws = TempWs::new("debt");
+    ws.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    ws.write(
+        "crates/demo/src/debt.rs",
+        "//! Debt module.\n\n/// Referenced by lib tests in spirit; unwraps regardless.\npub fn oops(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { assert_eq!(super::oops(Some(1)), 1); }\n}\n",
+    );
+
+    // Without a baseline the unwrap is a fresh violation.
+    let opts = GateOptions {
+        json_path: None,
+        update_baseline: false,
+        no_baseline: false,
+    };
+    let outcome = run_gate(&ws.root, &opts).expect("gate runs");
+    assert!(!outcome.passed);
+    assert!(outcome.human_report.contains("no-unwrap"));
+
+    // Grandfather it, and the gate goes green with the debt tracked.
+    let opts = GateOptions {
+        json_path: None,
+        update_baseline: true,
+        no_baseline: false,
+    };
+    let outcome = run_gate(&ws.root, &opts).expect("baseline update");
+    assert!(outcome.passed);
+    assert!(outcome.notes.iter().any(|n| n.contains("baseline updated")));
+    assert!(outcome.human_report.contains("baselined finding(s) tracked"));
+
+    // The written baseline loads as a Baseline and judges correctly.
+    let bl: Baseline =
+        baseline::load(&ws.root.join(baseline::BASELINE_FILE)).expect("baseline loads");
+    let files = load_workspace(&ws.root).expect("walk");
+    assert!(files.iter().all(|f| f.role != FileRole::Reference));
+    let judged = bl.judge(&ros_lint::rules::check_all(&files));
+    assert_eq!(judged.new_count(), 0);
+    assert_eq!(judged.baselined_count(), 1);
+
+    // A *second* fresh violation still fails: the baseline pins
+    // per-(rule, file, message) counts, not a blanket waiver.
+    ws.write(
+        "crates/demo/src/more.rs",
+        "//! More.\n\n/// Doc.\npub fn printy() { println!(\"nope\"); }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { super::printy(); }\n}\n",
+    );
+    let opts = GateOptions {
+        json_path: None,
+        update_baseline: false,
+        no_baseline: false,
+    };
+    let outcome = run_gate(&ws.root, &opts).expect("gate runs");
+    assert!(!outcome.passed);
+    assert!(outcome.human_report.contains("no-println"));
+}
+
+#[test]
+fn library_internals_compose_outside_the_gate() {
+    // The pieces run_gate glues together are usable à la carte: lex a
+    // source, keep its Token spans, scan the item structure, and ask
+    // the module-docs question the doc-pub rule asks.
+    let src = "//! docs\n/// D.\npub fn f() {}\n// trailing\n";
+    let toks: Vec<Token> = lex(src);
+    assert!(leading_inner_docs(src, &toks));
+    assert!(toks.last().is_some_and(Token::is_trivia));
+    let facts = scan::analyze(src, &toks);
+    assert_eq!(facts.items.len(), 1);
+    assert!(facts.items[0].has_doc);
+
+    // The bundled JSON parser reports malformed input with a byte
+    // offset, which is what the xtask `lint-artifact` check prints.
+    let err: ParseError = json::parse("{\"a\": }").expect_err("malformed");
+    assert!(err.at > 0 && !err.msg.is_empty());
+}

@@ -112,6 +112,7 @@ pub(crate) fn push_u64(out: &mut String, v: u64) {
 pub(crate) fn push_f64(out: &mut String, v: f64) {
     if !v.is_finite() {
         out.push_str("null");
+    // lint: allow-float-eq(exact zero selects the short "0" spelling)
     } else if v == 0.0 {
         out.push('0');
     } else if v.abs() >= 1e-4 && v.abs() < 1e16 {

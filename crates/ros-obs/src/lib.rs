@@ -126,6 +126,7 @@ pub fn set_level(l: Level) {
 /// call this (normally via [`init_from_env`]); determinism tests rely
 /// on the default null clock so traces carry `dur_ns: 0` and stay
 /// bit-stable.
+// lint: allow-dead-pub(edge API; binaries reach it through init_from_env)
 pub fn install_monotonic_clock() {
     let _ = EPOCH.get_or_init(Instant::now);
     CLOCK.store(1, Ordering::Relaxed);
@@ -175,6 +176,7 @@ pub fn init_from_env() {
 /// Inert (no allocation, no clock read) when the level is
 /// [`Level::Off`] at construction.
 #[must_use = "a span measures the scope it is bound to; bind it to a `_span` local"]
+// lint: allow-dead-pub(RAII guard returned by span(); callers never spell the name)
 pub struct Span {
     stage: &'static str,
     start_ns: u64,
@@ -259,6 +261,7 @@ pub fn flush() {
 
 /// A telemetry capture taken by [`capture_scope`].
 #[derive(Clone, Debug)]
+// lint: allow-dead-pub(returned by capture_scope; callers destructure, never name it)
 pub struct CaptureReport {
     /// Every ndjson line emitted inside the scope, in order.
     pub lines: Vec<String>,

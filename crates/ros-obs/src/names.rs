@@ -13,6 +13,7 @@
 
 /// Metric kinds (mirrored by the registry's internal state).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+// lint: allow-dead-pub(tuple component of ALL; consumed positionally)
 pub enum Kind {
     /// Monotonic event count.
     Counter,
@@ -50,6 +51,10 @@ pub const ALL: &[(&str, Kind)] = &[
     ("fault.bursts_injected", Kind::Counter),
     ("fault.points_corrupted", Kind::Counter),
     ("fault.tracking_spikes", Kind::Counter),
+    // Optimizer (ros-optim): DE generations actually run, summed over
+    // every minimize / minimize_par call. Emitted from the serial
+    // epilogue of each run, so the value is thread-count invariant.
+    ("optim.de.generations", Kind::Counter),
     // Reader.
     ("reader.frames", Kind::Counter),
     ("reader.cloud_points", Kind::Gauge),

@@ -75,6 +75,7 @@ impl Default for DeConfig {
 
 /// Result of a DE run.
 #[derive(Clone, Debug)]
+// lint: allow-dead-pub(returned by minimize; callers bind fields, never the name)
 pub struct DeResult {
     /// Best parameter vector found.
     pub x: Vec<f64>,
@@ -200,6 +201,7 @@ where
         }
     }
 
+    ros_obs::count("optim.de.generations", generation);
     DeResult {
         x: pop[best_idx].clone(),
         cost: costs[best_idx],
@@ -334,6 +336,9 @@ where
         }
     }
 
+    // Emitted from the serial epilogue, after the last par_map batch —
+    // the count is identical at every thread count.
+    ros_obs::count("optim.de.generations", generation);
     DeResult {
         x: pop[best_idx].clone(),
         cost: costs[best_idx],

@@ -17,10 +17,10 @@ use ros_em::Complex64;
 use ros_em::units::cast::{self, AsF64};
 
 /// Azimuth search grid half-width \[rad\] (the radar antenna FoV).
-pub const AOA_GRID_HALF_RAD: f64 = 1.2;
+pub(crate) const AOA_GRID_HALF_RAD: f64 = 1.2;
 
 /// Azimuth grid step \[rad\] (≈0.6°).
-pub const AOA_GRID_STEP_RAD: f64 = 0.01;
+pub(crate) const AOA_GRID_STEP_RAD: f64 = 0.01;
 
 /// Per-antenna normalized range spectra: `out[k][bin] = FFT(s_k)/N`.
 pub fn range_spectra(frame: &Frame) -> Vec<Vec<Complex64>> {

@@ -1,124 +1,51 @@
 //! Workspace automation tasks, `cargo xtask` style.
 //!
-//! The only task today is `lint`: a dependency-free static-analysis
-//! gate over `crates/*/src` that enforces the workspace's unit-safety
-//! and panic-freedom conventions. It is deliberately a plain-text
-//! scanner — no syn, no rustc plumbing — so it builds offline with the
-//! bare toolchain and runs in milliseconds:
+//! `xtask` is a thin terminal driver; all analysis lives in
+//! [`ros_lint`] (see DESIGN.md §12 for the architecture and the rule
+//! catalog):
 //!
 //! ```text
-//! cargo run -p xtask -- lint
+//! cargo run -p xtask -- lint                        # static-analysis gate
+//! cargo run -p xtask -- lint --json target/lint.json
+//! cargo run -p xtask -- lint --update-baseline      # re-grandfather current debt
+//! cargo run -p xtask -- lint --no-baseline          # judge without the baseline
+//! cargo run -p xtask -- lint-artifact target/lint.json   # validate + summarize artifact
 //! ```
 //!
-//! Rules (see DESIGN.md, "Unit safety & static analysis"):
-//!
-//! * **no-unwrap** — `.unwrap()` / `.expect(...)` are forbidden outside
-//!   `#[cfg(test)]` blocks in every crate.
-//! * **no-panic** — `panic!` / `todo!` / `unimplemented!` /
-//!   `unreachable!` are forbidden in library crates: faulted inputs
-//!   must degrade to typed errors, not abort the pipeline. Provably
-//!   dead arms can be marked `lint: allow-panic(reason)`.
-//! * **no-println** — `println!` / `eprintln!` (and the no-newline
-//!   forms) are forbidden in library crates; diagnostics go through
-//!   `ros-obs` so they are levelled, machine-parseable, and silent by
-//!   default.
-//! * **no-raw-cast** — bare `as` numeric casts are forbidden in library
-//!   crates; use `ros_em::units::cast` or mark the line with
-//!   `lint: allow-cast(reason)` in a trailing comment.
-//! * **typed-db-params** — public functions must not take bare `f64`
-//!   parameters named `*_db` / `*_deg`; take `units::Db` / `Degrees`.
-//! * **typed-conversions** — inline dB/angle conversion idioms
-//!   (`.to_radians()`, `10^(x/10)`-style `powf`) are forbidden outside
-//!   the units module, which is their single sanctioned home.
+//! The gate exits non-zero on any finding not covered by
+//! `lint-baseline.json` at the workspace root. `lint-artifact`
+//! re-parses a findings artifact written by `--json` (verify.sh uses
+//! it to assert the artifact is well-formed) and prints the per-rule
+//! counts.
 
-use std::fmt;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
+
+use ros_lint::json::Value;
+use ros_lint::GateOptions;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(),
+        Some("lint") => lint(&args[1..]),
+        Some("lint-artifact") => lint_artifact(&args[1..]),
         Some(other) => {
             eprintln!("unknown task `{other}`");
-            eprintln!("usage: cargo run -p xtask -- lint");
+            usage();
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            usage();
             ExitCode::from(2)
         }
     }
 }
 
-/// One reported lint violation.
-struct Violation {
-    file: PathBuf,
-    line: usize,
-    rule: &'static str,
-    message: String,
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file.display(),
-            self.line,
-            self.rule,
-            self.message
-        )
-    }
-}
-
-/// Crates whose binaries are measurement harnesses rather than library
-/// API; the cast and signature rules do not apply there.
-const NON_LIBRARY_CRATES: &[&str] = &["bench", "xtask"];
-
-/// The one file allowed to spell out raw dB/angle conversions.
-const UNITS_MODULE: &str = "ros-em/src/units.rs";
-
-fn lint() -> ExitCode {
-    let root = workspace_root();
-    let crates_dir = root.join("crates");
-    let mut files = Vec::new();
-    if let Err(e) = collect_rust_files(&crates_dir, &mut files) {
-        eprintln!("xtask lint: cannot walk {}: {e}", crates_dir.display());
-        return ExitCode::from(2);
-    }
-    files.sort();
-
-    let mut violations = Vec::new();
-    let mut n_files = 0usize;
-    for file in &files {
-        let text = match std::fs::read_to_string(file) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("xtask lint: cannot read {}: {e}", file.display());
-                return ExitCode::from(2);
-            }
-        };
-        n_files += 1;
-        let rel = file.strip_prefix(&root).unwrap_or(file).to_path_buf();
-        check_file(&rel, &text, &mut violations);
-    }
-
-    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    for v in &violations {
-        println!("{v}");
-    }
-    if violations.is_empty() {
-        println!("xtask lint: {n_files} files clean");
-        ExitCode::SUCCESS
-    } else {
-        println!(
-            "xtask lint: {} violation(s) in {} file(s) scanned",
-            violations.len(),
-            n_files
-        );
-        ExitCode::FAILURE
-    }
+fn usage() {
+    eprintln!(
+        "usage: cargo run -p xtask -- lint [--json PATH] [--update-baseline] [--no-baseline]\n\
+                cargo run -p xtask -- lint-artifact PATH"
+    );
 }
 
 /// Locates the workspace root: the manifest dir of xtask is
@@ -134,645 +61,93 @@ fn workspace_root() -> PathBuf {
     PathBuf::from(".")
 }
 
-fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    for entry in std::fs::read_dir(dir)? {
-        let path = entry?.path();
-        if path.is_dir() {
-            // Only descend into each crate's `src`; skip `target`,
-            // `benches`, and anything else at the crate top level.
-            let at_crate_level = dir.ends_with("crates");
-            if !at_crate_level || path.join("src").is_dir() {
-                let next = if at_crate_level { path.join("src") } else { path };
-                collect_rust_files(&next, out)?;
-            }
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
-}
-
-/// The per-line scanner state threaded through a file.
-struct Scanner {
-    /// Inside a `/* */` comment.
-    in_block_comment: bool,
-    /// Current brace depth (over cleaned text).
-    depth: i32,
-    /// A `#[cfg(test)]` attribute was seen; waiting for its `{`.
-    awaiting_test_block: bool,
-    /// Depth at which the active `#[cfg(test)]` block opened.
-    test_depth: Option<i32>,
-}
-
-impl Scanner {
-    fn new() -> Self {
-        Scanner {
-            in_block_comment: false,
-            depth: 0,
-            awaiting_test_block: false,
-            test_depth: None,
-        }
-    }
-
-    fn in_test(&self) -> bool {
-        self.test_depth.is_some() || self.awaiting_test_block
-    }
-
-    /// Strips comments and string literals from one line, updating
-    /// cross-line state (block comments, test-block tracking).
-    fn clean(&mut self, line: &str) -> String {
-        let bytes = line.as_bytes();
-        let mut out = String::with_capacity(line.len());
-        let mut i = 0;
-        while i < bytes.len() {
-            if self.in_block_comment {
-                if bytes[i..].starts_with(b"*/") {
-                    self.in_block_comment = false;
-                    i += 2;
-                } else {
-                    i += 1;
+fn lint(args: &[String]) -> ExitCode {
+    let mut opts = GateOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => match it.next() {
+                Some(p) => opts.json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("xtask lint: --json needs a path");
+                    return ExitCode::from(2);
                 }
-                continue;
-            }
-            match bytes[i] {
-                b'/' if bytes[i..].starts_with(b"//") => break,
-                b'/' if bytes[i..].starts_with(b"/*") => {
-                    self.in_block_comment = true;
-                    i += 2;
-                }
-                b'r' if bytes[i..].starts_with(b"r\"") || bytes[i..].starts_with(b"r#\"") => {
-                    // Raw string literal: r"..." or r#"..."# (single #).
-                    let (open, close): (&[u8], &[u8]) = if bytes[i..].starts_with(b"r#\"") {
-                        (b"r#\"", b"\"#")
-                    } else {
-                        (b"r\"", b"\"")
-                    };
-                    i += open.len();
-                    while i < bytes.len() && !bytes[i..].starts_with(close) {
-                        i += 1;
-                    }
-                    i = (i + close.len()).min(bytes.len());
-                    out.push_str("\"\"");
-                }
-                b'"' => {
-                    i += 1;
-                    while i < bytes.len() {
-                        match bytes[i] {
-                            b'\\' => i += 2,
-                            b'"' => {
-                                i += 1;
-                                break;
-                            }
-                            _ => i += 1,
-                        }
-                    }
-                    out.push_str("\"\"");
-                }
-                c => {
-                    out.push(c as char);
-                    i += 1;
-                }
-            }
-        }
-
-        // Test-block tracking over the cleaned text.
-        if out.contains("#[cfg(test)]") {
-            self.awaiting_test_block = true;
-        }
-        for ch in out.chars() {
-            match ch {
-                '{' => {
-                    if self.awaiting_test_block {
-                        self.awaiting_test_block = false;
-                        self.test_depth = Some(self.depth);
-                    }
-                    self.depth += 1;
-                }
-                '}' => {
-                    self.depth -= 1;
-                    if self.test_depth.is_some_and(|d| self.depth <= d) {
-                        self.test_depth = None;
-                    }
-                }
-                _ => {}
-            }
-        }
-        out
-    }
-}
-
-/// Numeric primitive types whose `as` casts the cast rule rejects.
-const NUMERIC_TYPES: &[&str] = &[
-    "f64", "f32", "usize", "u64", "u32", "u16", "u8", "isize", "i64", "i32", "i16", "i8",
-];
-
-fn check_file(rel: &Path, text: &str, out: &mut Vec<Violation>) {
-    let rel_str = rel.to_string_lossy().replace('\\', "/");
-    let crate_name = rel_str
-        .strip_prefix("crates/")
-        .and_then(|r| r.split('/').next())
-        .unwrap_or("");
-    let is_library = !NON_LIBRARY_CRATES.contains(&crate_name);
-    let is_units_module = rel_str.ends_with(UNITS_MODULE);
-
-    let mut scanner = Scanner::new();
-    let raw_lines: Vec<&str> = text.lines().collect();
-    let mut cleaned = Vec::with_capacity(raw_lines.len());
-    let mut in_test = Vec::with_capacity(raw_lines.len());
-    for line in &raw_lines {
-        // A line is "test code" if it is inside (or opens) a test
-        // block; capture before cleaning so the attribute line itself
-        // counts.
-        let was_in_test = scanner.in_test();
-        let c = scanner.clean(line);
-        in_test.push(was_in_test || scanner.in_test());
-        cleaned.push(c);
-    }
-
-    for (idx, clean) in cleaned.iter().enumerate() {
-        let line_no = idx + 1;
-        if in_test[idx] {
-            continue;
-        }
-
-        // Rule: no-unwrap.
-        for needle in [".unwrap()", ".expect("] {
-            if clean.contains(needle) {
-                out.push(Violation {
-                    file: rel.to_path_buf(),
-                    line: line_no,
-                    rule: "no-unwrap",
-                    message: format!(
-                        "`{needle}` outside #[cfg(test)]; return a Result or handle the None case"
-                    ),
-                });
-            }
-        }
-
-        // Rule: no-panic (library crates only, marker-suppressible).
-        // The fault-injection layer feeds library code malformed input
-        // on purpose; the graceful-degradation contract says such input
-        // comes back as a typed error, never an abort.
-        if is_library && !has_marker(&raw_lines, idx, "lint: allow-panic(") {
-            for needle in ["panic!", "todo!", "unimplemented!", "unreachable!"] {
-                if contains_macro_call(clean, needle) {
-                    out.push(Violation {
-                        file: rel.to_path_buf(),
-                        line: line_no,
-                        rule: "no-panic",
-                        message: format!(
-                            "`{needle}` in library code; return a typed error so faulted \
-                             input degrades instead of aborting, or mark a provably dead \
-                             arm with `lint: allow-panic(reason)`"
-                        ),
-                    });
-                }
-            }
-        }
-
-        // Rule: no-println (library crates only). Ad-hoc console
-        // output from library code is unconditional, unparseable, and
-        // interleaves with real diagnostics; route it through ros-obs
-        // events/metrics instead.
-        if is_library {
-            for needle in ["println!", "eprintln!", "print!", "eprint!"] {
-                if contains_macro_call(clean, needle) {
-                    out.push(Violation {
-                        file: rel.to_path_buf(),
-                        line: line_no,
-                        rule: "no-println",
-                        message: format!(
-                            "`{needle}` in library code; emit a ros_obs event/metric (or \
-                             return the data) so output is levelled and machine-readable"
-                        ),
-                    });
-                }
-            }
-        }
-
-        // Rule: no-raw-spawn (everywhere outside crates/ros-exec).
-        // All fan-out goes through the ros-exec executor: ad-hoc
-        // threads dodge the `ROS_EXEC_THREADS` override, the chunked
-        // ordering guarantee, and the determinism tests built on both.
-        if crate_name != "ros-exec" {
-            for needle in ["thread::spawn", "thread::scope", "thread::Builder"] {
-                if clean.contains(needle) {
-                    out.push(Violation {
-                        file: rel.to_path_buf(),
-                        line: line_no,
-                        rule: "no-raw-spawn",
-                        message: format!(
-                            "direct `{needle}`; fan out through ros_exec::par_map so the \
-                             thread-count override and determinism guarantees hold"
-                        ),
-                    });
-                }
-            }
-        }
-
-        // Rule: no-raw-cast (library crates only, marker-suppressible).
-        if is_library && !has_allow_cast_marker(&raw_lines, idx) {
-            for ty in find_numeric_casts(clean) {
-                out.push(Violation {
-                    file: rel.to_path_buf(),
-                    line: line_no,
-                    rule: "no-raw-cast",
-                    message: format!(
-                        "raw `as {ty}` cast; use ros_em::units::cast (or try_from), \
-                         or mark the line with `lint: allow-cast(reason)`"
-                    ),
-                });
-            }
-        }
-
-        // Rule: typed-conversions (everywhere except the units module).
-        if !is_units_module {
-            for pat in [".to_radians()", ".to_degrees()", "10f64.powf(", "10.0f64.powf("] {
-                if clean.contains(pat) {
-                    out.push(Violation {
-                        file: rel.to_path_buf(),
-                        line: line_no,
-                        rule: "typed-conversions",
-                        message: format!(
-                            "inline `{pat}` conversion; go through ros_em::units (Degrees/Radians, \
-                             DbPower/DbAmplitude) or ros_em::db"
-                        ),
-                    });
-                }
-            }
-            if clean.contains("powf(") && (clean.contains("/ 10.0)") || clean.contains("/ 20.0)")) {
-                out.push(Violation {
-                    file: rel.to_path_buf(),
-                    line: line_no,
-                    rule: "typed-conversions",
-                    message: "inline dB-to-linear `powf(x / 10.0|20.0)`; use \
-                              ros_em::db::db_to_pow / db_to_lin or the units types"
-                        .to_string(),
-                });
+            },
+            "--update-baseline" => opts.update_baseline = true,
+            "--no-baseline" => opts.no_baseline = true,
+            other => {
+                eprintln!("xtask lint: unknown flag `{other}`");
+                usage();
+                return ExitCode::from(2);
             }
         }
     }
 
-    // Rule: typed-db-params — needs whole signatures, which may span
-    // lines; collect them from the cleaned text.
-    if is_library {
-        for (line_no, sig) in public_fn_signatures(&cleaned, &in_test) {
-            for (param, suffix) in f64_params_with_unit_suffix(&sig) {
-                out.push(Violation {
-                    file: rel.to_path_buf(),
-                    line: line_no,
-                    rule: "typed-db-params",
-                    message: format!(
-                        "public fn takes bare `{param}: f64`; use `ros_em::units::{}`",
-                        if suffix == "_deg" { "Degrees" } else { "Db" }
-                    ),
-                });
+    match ros_lint::run_gate(&workspace_root(), &opts) {
+        Ok(outcome) => {
+            print!("{}", outcome.human_report);
+            for note in &outcome.notes {
+                println!("xtask lint: {note}");
             }
+            if outcome.passed {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            ExitCode::from(2)
         }
     }
 }
 
-/// True when `clean` contains `needle` as a standalone macro call —
-/// not as the tail of a longer identifier (`println!` is a substring
-/// of `eprintln!` at offset 1; the preceding-char check rejects it).
-fn contains_macro_call(clean: &str, needle: &str) -> bool {
-    let bytes = clean.as_bytes();
-    let mut search_from = 0;
-    while let Some(pos) = clean[search_from..].find(needle) {
-        let at = search_from + pos;
-        search_from = at + needle.len();
-        let preceded_by_ident = at > 0
-            && bytes
-                .get(at - 1)
-                .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_');
-        if !preceded_by_ident {
-            return true;
+/// Validates a findings artifact written by `lint --json` and prints
+/// the per-rule counts — the machine-check verify.sh runs so a
+/// truncated or hand-mangled artifact cannot pass silently.
+fn lint_artifact(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("xtask lint-artifact: need a path");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask lint-artifact: cannot read {path}: {e}");
+            return ExitCode::from(2);
         }
-    }
-    false
-}
-
-/// True when this or the previous raw line carries the given
-/// `lint: allow-…(` marker.
-fn has_marker(raw_lines: &[&str], idx: usize, marker: &str) -> bool {
-    raw_lines[idx].contains(marker) || (idx > 0 && raw_lines[idx - 1].contains(marker))
-}
-
-/// True when this or the previous raw line carries the
-/// `lint: allow-cast(...)` marker.
-fn has_allow_cast_marker(raw_lines: &[&str], idx: usize) -> bool {
-    has_marker(raw_lines, idx, "lint: allow-cast(")
-}
-
-/// Finds `as <numeric>` casts in a cleaned line; returns the target
-/// types, one entry per cast.
-fn find_numeric_casts(clean: &str) -> Vec<&'static str> {
-    let mut found = Vec::new();
-    let bytes = clean.as_bytes();
-    let mut search_from = 0;
-    while let Some(pos) = clean[search_from..].find(" as ") {
-        let start = search_from + pos + 4;
-        search_from = start;
-        let rest = &clean[start..];
-        for ty in NUMERIC_TYPES {
-            if rest.starts_with(ty) {
-                let end = start + ty.len();
-                let boundary = bytes
-                    .get(end)
-                    .is_none_or(|c| !c.is_ascii_alphanumeric() && *c != b'_');
-                if boundary {
-                    found.push(*ty);
-                    break;
-                }
-            }
+    };
+    let doc = match ros_lint::json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("xtask lint-artifact: {path}: {e}");
+            return ExitCode::FAILURE;
         }
-    }
-    found
-}
-
-/// Extracts `pub fn` signatures (line number of the `fn`, text up to
-/// the closing parenthesis of the parameter list), skipping test code.
-fn public_fn_signatures(cleaned: &[String], in_test: &[bool]) -> Vec<(usize, String)> {
-    let mut sigs = Vec::new();
-    let mut i = 0;
-    while i < cleaned.len() {
-        let line = &cleaned[i];
-        if in_test[i] || !line.contains("pub fn ") {
-            i += 1;
-            continue;
-        }
-        let mut sig = String::new();
-        let mut paren_depth = 0i32;
-        let mut seen_open = false;
-        let start_line = i + 1;
-        'collect: while i < cleaned.len() {
-            for ch in cleaned[i].chars() {
-                sig.push(ch);
-                match ch {
-                    '(' => {
-                        paren_depth += 1;
-                        seen_open = true;
-                    }
-                    ')' => {
-                        paren_depth -= 1;
-                        if seen_open && paren_depth == 0 {
-                            i += 1;
-                            break 'collect;
-                        }
-                    }
-                    _ => {}
-                }
-            }
-            sig.push(' ');
-            i += 1;
-        }
-        sigs.push((start_line, sig));
-    }
-    sigs
-}
-
-/// Finds parameters named `*_db` / `*_deg` that are typed bare `f64`
-/// in a signature string. Returns `(param_name, suffix)` pairs.
-fn f64_params_with_unit_suffix(sig: &str) -> Vec<(String, &'static str)> {
-    let mut found = Vec::new();
-    let bytes = sig.as_bytes();
-    for suffix in ["_db", "_deg"] {
-        let mut search_from = 0;
-        while let Some(pos) = sig[search_from..].find(suffix) {
-            let at = search_from + pos;
-            search_from = at + suffix.len();
-            let end = at + suffix.len();
-            // Must terminate the identifier…
-            if bytes.get(end).is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_') {
-                continue;
-            }
-            // …and be followed by `: f64`.
-            let rest = sig[end..].trim_start();
-            let Some(after_colon) = rest.strip_prefix(':') else {
-                continue;
-            };
-            let after_colon = after_colon.trim_start();
-            let is_f64 = after_colon.strip_prefix("f64").is_some_and(|r| {
-                r.as_bytes()
-                    .first()
-                    .is_none_or(|c| !c.is_ascii_alphanumeric() && *c != b'_')
-            });
-            if !is_f64 {
-                continue;
-            }
-            // Recover the full parameter name.
-            let name_start = sig[..end]
-                .rfind(|c: char| !c.is_ascii_alphanumeric() && c != '_')
-                .map_or(0, |p| p + 1);
-            found.push((sig[name_start..end].to_string(), suffix));
-        }
-    }
-    found
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn scan_str(src: &str) -> Vec<String> {
-        let mut out = Vec::new();
-        check_file(Path::new("crates/ros-em/src/sample.rs"), src, &mut out);
-        out.iter().map(|v| format!("{}:{}", v.rule, v.line)).collect()
-    }
-
-    #[test]
-    fn flags_raw_thread_spawn() {
-        let hits = scan_str("fn f() { std::thread::spawn(|| {}); }\n");
-        assert_eq!(hits, ["no-raw-spawn:1"]);
-        let hits = scan_str("fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n");
-        assert_eq!(hits, ["no-raw-spawn:1"]);
-    }
-
-    #[test]
-    fn ros_exec_may_spawn() {
-        let mut out = Vec::new();
-        check_file(
-            Path::new("crates/ros-exec/src/lib.rs"),
-            "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n",
-            &mut out,
+    };
+    let Some(rules) = doc.get("rules").and_then(Value::as_arr) else {
+        eprintln!("xtask lint-artifact: {path}: missing `rules` array");
+        return ExitCode::FAILURE;
+    };
+    let clean = matches!(doc.get("clean"), Some(Value::Bool(true)));
+    println!("{:<20} {:>6} {:>10} {:>6}", "rule", "found", "baselined", "new");
+    for r in rules {
+        let field = |k: &str| r.get(k).and_then(Value::as_f64).unwrap_or(-1.0);
+        println!(
+            "{:<20} {:>6} {:>10} {:>6}",
+            r.get("id").and_then(Value::as_str).unwrap_or("?"),
+            field("found"),
+            field("baselined"),
+            field("new"),
         );
-        assert!(out.is_empty());
     }
-
-    #[test]
-    fn spawn_in_test_block_is_fine() {
-        let src = "#[cfg(test)]\nmod tests {\n    fn f() { std::thread::spawn(|| {}); }\n}\n";
-        assert!(scan_str(src).is_empty());
-    }
-
-    #[test]
-    fn flags_println_in_library_code() {
-        let hits = scan_str("fn f() { println!(\"x\"); }\n");
-        assert_eq!(hits, ["no-println:1"]);
-        // eprintln! is one violation, not two (println! matches inside
-        // it only at an identifier boundary, which is rejected).
-        let hits = scan_str("fn f() { eprintln!(\"x\"); }\n");
-        assert_eq!(hits, ["no-println:1"]);
-        let hits = scan_str("fn f() { eprint!(\"x\"); print!(\"y\"); }\n");
-        assert_eq!(hits, ["no-println:1", "no-println:1"]);
-    }
-
-    #[test]
-    fn println_allowed_in_tests_and_non_library_crates() {
-        let src = "#[cfg(test)]\nmod tests {\n    fn t() { println!(\"dbg\"); }\n}\n";
-        assert!(scan_str(src).is_empty());
-        let mut out = Vec::new();
-        check_file(
-            Path::new("crates/bench/src/sample.rs"),
-            "fn f() { println!(\"table row\"); }\n",
-            &mut out,
-        );
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn println_in_comments_and_strings_ignored() {
-        let src = "// println! lives here\nfn f() { let s = \"println!\"; }\n";
-        assert!(scan_str(src).is_empty());
-    }
-
-    #[test]
-    fn flags_unwrap_outside_tests() {
-        let hits = scan_str("fn f() {\n    let x = y.unwrap();\n}\n");
-        assert_eq!(hits, ["no-unwrap:2"]);
-    }
-
-    #[test]
-    fn ignores_unwrap_in_test_block() {
-        let src = "#[cfg(test)]\nmod tests {\n    fn f() { y.unwrap(); }\n}\n";
-        assert!(scan_str(src).is_empty());
-    }
-
-    #[test]
-    fn ignores_unwrap_in_comments_and_strings() {
-        let src = "// call .unwrap() here\nfn f() { let s = \".unwrap()\"; }\n";
-        assert!(scan_str(src).is_empty());
-    }
-
-    #[test]
-    fn unwrap_or_is_fine() {
-        assert!(scan_str("fn f() { y.unwrap_or(0); y.unwrap_or_else(|| 0); }\n").is_empty());
-    }
-
-    #[test]
-    fn flags_panic_macros_in_library_code() {
-        let hits = scan_str("fn f() { panic!(\"boom\"); }\n");
-        assert_eq!(hits, ["no-panic:1"]);
-        let hits = scan_str("fn f() { todo!() }\n");
-        assert_eq!(hits, ["no-panic:1"]);
-        let hits = scan_str("fn f() { unimplemented!() }\n");
-        assert_eq!(hits, ["no-panic:1"]);
-        let hits = scan_str("fn f(x: u8) { match x { _ => unreachable!() } }\n");
-        assert_eq!(hits, ["no-panic:1"]);
-    }
-
-    #[test]
-    fn allow_panic_marker_suppresses() {
-        let same = "fn f() { unreachable!() } // lint: allow-panic(n is 0..4 by construction)\n";
-        assert!(scan_str(same).is_empty());
-        let above = "// lint: allow-panic(dead arm)\nfn f() { panic!(\"x\") }\n";
-        assert!(scan_str(above).is_empty());
-    }
-
-    #[test]
-    fn panic_allowed_in_tests_and_non_library_crates() {
-        let src = "#[cfg(test)]\nmod tests {\n    fn t() { panic!(\"assert helper\"); }\n}\n";
-        assert!(scan_str(src).is_empty());
-        let mut out = Vec::new();
-        check_file(
-            Path::new("crates/bench/src/sample.rs"),
-            "fn f() { panic!(\"bad CLI flag\"); }\n",
-            &mut out,
-        );
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn assert_macros_are_not_panic_violations() {
-        // assert!/assert_eq! state invariants; the no-panic rule only
-        // targets the explicit panic family.
-        let src = "fn f(a: usize, b: usize) { assert_eq!(a, b); assert!(a > 0); }\n";
-        assert!(scan_str(src).is_empty());
-    }
-
-    #[test]
-    fn flags_raw_casts_in_library_code() {
-        let hits = scan_str("fn f(n: usize) -> f64 { n as f64 }\n");
-        assert_eq!(hits, ["no-raw-cast:1"]);
-    }
-
-    #[test]
-    fn allow_cast_marker_suppresses() {
-        let same = "fn f(n: usize) -> f64 { n as f64 } // lint: allow-cast(exact)\n";
-        assert!(scan_str(same).is_empty());
-        let above = "// lint: allow-cast(exact)\nfn f(n: usize) -> f64 { n as f64 }\n";
-        assert!(scan_str(above).is_empty());
-    }
-
-    #[test]
-    fn cast_rule_skips_non_library_crates() {
-        let mut out = Vec::new();
-        check_file(
-            Path::new("crates/bench/src/sample.rs"),
-            "fn f(n: usize) -> f64 { n as f64 }\n",
-            &mut out,
-        );
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn as_inside_identifier_is_not_a_cast() {
-        assert!(scan_str("fn f() { let alias = bias; }\n").is_empty());
-        assert!(find_numeric_casts("let x = y as f64x;").is_empty());
-    }
-
-    #[test]
-    fn flags_db_suffixed_f64_params_across_lines() {
-        let src = "pub fn g(\n    gain_db: f64,\n    az_deg: f64,\n) -> f64 { gain_db + az_deg }\n";
-        let hits = scan_str(src);
-        assert_eq!(hits, ["typed-db-params:1", "typed-db-params:1"]);
-    }
-
-    #[test]
-    fn typed_params_pass() {
-        let src = "pub fn g(gain: Db, az: Degrees, d_m: f64, x_dbsm: f64) -> f64 { 0.0 }\n";
-        assert!(scan_str(src).is_empty());
-    }
-
-    #[test]
-    fn flags_inline_conversions_outside_units() {
-        let hits = scan_str("fn f(a: f64) -> f64 { a.to_radians() }\n");
-        assert_eq!(hits, ["typed-conversions:1"]);
-        let hits = scan_str("fn f(a: f64) -> f64 { 10f64.powf(a / 10.0) }\n");
-        assert_eq!(hits, ["typed-conversions:1", "typed-conversions:1"]);
-    }
-
-    #[test]
-    fn units_module_may_convert() {
-        let mut out = Vec::new();
-        check_file(
-            Path::new("crates/ros-em/src/units.rs"),
-            "fn f(a: f64) -> f64 { a.to_radians() }\n",
-            &mut out,
-        );
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn block_comments_span_lines() {
-        let src = "/*\n x.unwrap()\n*/\nfn f() {}\n";
-        assert!(scan_str(src).is_empty());
-    }
-
-    #[test]
-    fn code_resumes_after_test_block() {
-        let src = "#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn f() { y.unwrap(); }\n";
-        let hits = scan_str(src);
-        assert_eq!(hits, ["no-unwrap:5"]);
+    println!(
+        "lint artifact {path}: {} ({} finding records)",
+        if clean { "clean" } else { "NEW VIOLATIONS" },
+        doc.get("findings").and_then(Value::as_arr).map_or(0, <[Value]>::len),
+    );
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

@@ -81,15 +81,20 @@ const EXPECTED: &[&str] = &[
 /// to memory, returning every emitted line.
 fn run_traced(threads: usize) -> Vec<String> {
     let _pin = ThreadGuard::pin(Some(threads));
-    let buffer = ros_obs::install_memory_sink();
-    ros_obs::reset_metrics();
-    ros_obs::set_level(Level::Summary);
 
+    // Fixture built before the sink installs: encoding runs the
+    // one-shot DE beam-shaping optimization (cached per process,
+    // `optim.de.generations`), and the golden pins the pipeline
+    // trace, not cache-temperature-dependent setup.
     let code = SpatialCode {
         rows_per_stack: 32,
         ..SpatialCode::paper_4bit()
     };
     let tag = code.encode(&[true, false, true, true]).expect("word encodes");
+
+    let buffer = ros_obs::install_memory_sink();
+    ros_obs::reset_metrics();
+    ros_obs::set_level(Level::Summary);
     let mut drive = DriveBy::new(tag, 3.0).with_seed(SEED);
     drive.half_span_m = 3.0;
     let storm = FaultPlan::canonical_matrix(MATRIX_SEED)

@@ -75,19 +75,23 @@ const EXPECTED: &[&str] = &[
 /// to memory, returning every emitted line.
 fn run_traced(threads: usize) -> Vec<String> {
     let _pin = ThreadGuard::pin(Some(threads));
-    let buffer = ros_obs::install_memory_sink();
-    ros_obs::reset_metrics();
-    ros_obs::set_level(Level::Summary);
 
     // A 32-row 4-bit tag, big enough for the discriminator to
     // classify — the trace must cover a genuine detection, not the
-    // true-mount fallback.
+    // true-mount fallback. Built *before* the sink installs: tag
+    // construction runs the one-shot DE beam-shaping optimization
+    // (cached per process, `optim.de.generations`), and the golden
+    // pins the pipeline trace, not cache-temperature-dependent setup.
     let code = SpatialCode {
         rows_per_stack: 32,
         ..SpatialCode::paper_4bit()
     };
     let bits = [true, false, true, true];
     let tag = code.encode(&bits).expect("4-bit word encodes");
+
+    let buffer = ros_obs::install_memory_sink();
+    ros_obs::reset_metrics();
+    ros_obs::set_level(Level::Summary);
     let mut drive = DriveBy::new(tag, 3.0).with_seed(SEED);
     drive.half_span_m = 3.0;
     let mut cfg = ReaderConfig::full();

@@ -22,8 +22,14 @@ ROS_EXEC_THREADS=1 cargo test -q -p ros-tests --test determinism
 echo "==> determinism suite at ROS_EXEC_THREADS=4"
 ROS_EXEC_THREADS=4 cargo test -q -p ros-tests --test determinism
 
-echo "==> xtask lint (unit-safety / no-panic / no-raw-cast / no-raw-spawn / no-println gate)"
-cargo run -q -p xtask -- lint
+# Static-analysis gate (ros-lint): token-level rules over every
+# workspace source, judged against lint-baseline.json. The run also
+# writes the machine-readable findings artifact, which lint-artifact
+# re-parses (proving it is well-formed JSON) and summarizes per rule.
+echo "==> xtask lint (ros-lint gate + findings artifact)"
+cargo run -q -p xtask -- lint --json target/lint.json
+echo "==> xtask lint-artifact (artifact parses; per-rule counts)"
+cargo run -q -p xtask -- lint-artifact target/lint.json
 
 # Telemetry smoke: a full-pipeline drive-by with ROS_OBS=1 must emit a
 # parseable ndjson trace that covers every stage of the pipeline.

@@ -147,6 +147,7 @@ impl std::error::Error for DecodeError {}
 ///
 /// `tag_center` is the detector's estimate of the tag position;
 /// `tag_axis_yaw` the tag's array-axis rotation (0 = along +x).
+// lint: hot-path
 pub fn decode(
     samples: &[RssSample],
     tag_center: Vec3,

@@ -30,16 +30,16 @@ pub const ELEMENT_PITCH_M: f64 = ros_em::constants::LAMBDA_CENTER_M / 2.0;
 /// Fitted so the monostatic VAA RCS (∝ pattern⁴) drops ≈3–4 dB at ±60°,
 /// reproducing the "relatively flat RCS within a FoV of approximately
 /// 120°" of Fig. 4a while still rolling off toward endfire.
-pub const AZ_PATTERN_EXP: f64 = 0.3;
+pub(crate) const AZ_PATTERN_EXP: f64 = 0.3;
 
 /// `cos^q` field-pattern exponent in the elevation plane (single
 /// resonant patch ≈ cosine field pattern).
-pub const EL_PATTERN_EXP: f64 = 1.0;
+pub(crate) const EL_PATTERN_EXP: f64 = 1.0;
 
 /// Element *field* (amplitude) pattern at angle `theta` off broadside
 /// \[rad\] with exponent `q`. Zero beyond ±90° (no back radiation
 /// through the ground plane).
-pub fn element_field_pattern(theta: f64, q: f64) -> f64 {
+pub(crate) fn element_field_pattern(theta: f64, q: f64) -> f64 {
     let c = theta.cos();
     if c <= 0.0 {
         0.0
@@ -83,7 +83,7 @@ pub fn match_efficiency(freq_hz: f64) -> f64 {
 
 /// Amplitude transmission factor of the element's port mismatch,
 /// `√(1 − |s11|²)`.
-pub fn match_amplitude(freq_hz: f64) -> f64 {
+pub(crate) fn match_amplitude(freq_hz: f64) -> f64 {
     match_efficiency(freq_hz).sqrt()
 }
 

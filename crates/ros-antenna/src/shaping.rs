@@ -18,7 +18,7 @@
 use crate::stack::PsvaaStack;
 use ros_em::geom::deg_to_rad;
 use ros_optim::{minimize, DeConfig, Strategy};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::sync::OnceLock;
 use ros_em::units::cast::{self, AsF64};
@@ -189,8 +189,12 @@ pub fn optimize_flat_top_with_budget(
 /// process; every experiment then shares the same layout, exactly like
 /// reusing one fabricated PCB.
 pub fn standard_profile(n_rows: usize) -> ShapingProfile {
-    static CACHE: OnceLock<Mutex<HashMap<usize, ShapingProfile>>> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    // BTreeMap, not HashMap: the map is keyed lookup today, but a
+    // hash container one refactor away from an iteration is exactly
+    // how order nondeterminism leaks into pinned fixtures (and the
+    // `nondet-iter` lint would flag that refactor).
+    static CACHE: OnceLock<Mutex<BTreeMap<usize, ShapingProfile>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
     // A poisoned cache only means another thread panicked mid-insert;
     // the map itself is still usable.
     let mut guard = cache.lock().unwrap_or_else(|poison| poison.into_inner());
@@ -262,6 +266,19 @@ mod tests {
         let a = standard_profile(8);
         let b = standard_profile(8);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn standard_profile_order_is_bit_stable() {
+        // Regression for the nondet-iter arc: the cached profile must
+        // be bit-identical to a fresh optimization, in row order —
+        // cache container choice (BTreeMap) must never reorder or
+        // perturb what callers see.
+        let cached = standard_profile(6);
+        let fresh = optimize_flat_top(6, deg_to_rad(10.0));
+        let bits = |p: &ShapingProfile| p.phases.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&cached), bits(&fresh));
+        assert_eq!(bits(&cached), bits(&standard_profile(6)));
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub fn base_row_pitch_m() -> f64 {
 /// Extra row height per radian of phase weight \[m/rad\]: a phase φ
 /// needs `φ/2π·λg` of extra line, routed vertically (§4.3 "the added
 /// TL length increases the height of each PSVAA").
-pub fn height_per_phase_m_per_rad() -> f64 {
+pub(crate) fn height_per_phase_m_per_rad() -> f64 {
     LAMBDA_GUIDED_79GHZ_M / std::f64::consts::TAU
 }
 

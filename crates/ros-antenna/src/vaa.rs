@@ -215,7 +215,7 @@ impl VanAttaArray {
     /// and received with polarization `rx`.
     ///
     /// Azimuth angles are measured from broadside \[rad\].
-    pub fn bistatic_field(
+    pub(crate) fn bistatic_field(
         &self,
         theta_in: f64,
         theta_out: f64,

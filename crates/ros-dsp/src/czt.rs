@@ -21,6 +21,7 @@ use ros_em::units::cast::AsF64;
 /// Implemented with Bluestein's identity `nk = (n² + k² − (k−n)²)/2`,
 /// turning the transform into one convolution of length ≥ `n + m − 1`
 /// evaluated by FFT.
+// lint: hot-path
 pub fn czt(x: &[Complex64], m: usize, w: Complex64, a: Complex64) -> Vec<Complex64> {
     let n = x.len();
     if n == 0 || m == 0 {

@@ -79,6 +79,7 @@ pub fn interp(samples: &[Sample], x: f64) -> f64 {
 /// `[x0, x1]`. The input is sorted/deduplicated internally.
 ///
 /// Returns an empty vector when the input is empty or `n == 0`.
+// lint: hot-path
 pub fn resample_uniform(mut samples: Vec<Sample>, x0: f64, x1: f64, n: usize) -> Vec<f64> {
     if samples.is_empty() || n == 0 {
         return Vec::new();

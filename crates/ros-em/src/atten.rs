@@ -38,7 +38,7 @@ impl FogLevel {
     /// Heavy-fog value from the paper (§7.3, citing Balal et al.);
     /// light fog scaled by the roughly linear dependence of fog
     /// attenuation on liquid-water content.
-    pub fn db_per_100m(self) -> f64 {
+    pub(crate) fn db_per_100m(self) -> f64 {
         match self {
             FogLevel::Clear => 0.0,
             FogLevel::Light => 0.7,
@@ -50,7 +50,7 @@ impl FogLevel {
     ///
     /// Small (<1 dB) — included so fog levels are distinguishable at
     /// the short ranges of Fig. 16c rather than numerically identical.
-    pub fn surface_film_loss_db(self) -> f64 {
+    pub(crate) fn surface_film_loss_db(self) -> f64 {
         match self {
             FogLevel::Clear => 0.0,
             FogLevel::Light => 0.3,
@@ -69,18 +69,18 @@ impl FogLevel {
 
     /// Typed form of [`Self::db_per_100m`]: specific one-way
     /// attenuation per 100 m of path.
-    pub fn specific_attenuation(self) -> Db {
+    pub(crate) fn specific_attenuation(self) -> Db {
         Db::new(self.db_per_100m())
     }
 
     /// Typed form of [`Self::surface_film_loss_db`].
-    pub fn surface_film_loss(self) -> Db {
+    pub(crate) fn surface_film_loss(self) -> Db {
         Db::new(self.surface_film_loss_db())
     }
 }
 
 /// One-way fog attenuation over a path of length `d`.
-pub fn fog_one_way(level: FogLevel, d: Meters) -> Db {
+pub(crate) fn fog_one_way(level: FogLevel, d: Meters) -> Db {
     level.specific_attenuation() * (d.value() / 100.0)
 }
 
@@ -91,7 +91,7 @@ pub fn fog_one_way_db(level: FogLevel, d_m: f64) -> f64 {
 
 /// Round-trip fog loss for a monostatic radar at distance `d`,
 /// including the tag surface film.
-pub fn fog_round_trip(level: FogLevel, d: Meters) -> Db {
+pub(crate) fn fog_round_trip(level: FogLevel, d: Meters) -> Db {
     2.0 * fog_one_way(level, d) + level.surface_film_loss()
 }
 
@@ -103,7 +103,7 @@ pub fn fog_round_trip_db(level: FogLevel, d_m: f64) -> f64 {
 /// One-way rain attenuation at 79 GHz for a rain rate in mm/h, using
 /// the standard power-law `a·R^b` fitted through the paper's
 /// heavy-rain anchor (3.2 dB/100 m at 100 mm/h).
-pub fn rain_one_way(rain_rate_mm_h: f64, d: Meters) -> Db {
+pub(crate) fn rain_one_way(rain_rate_mm_h: f64, d: Meters) -> Db {
     // ITU-style k·R^α with α ≈ 0.73 near 80 GHz; k chosen so that
     // R = 100 mm/h gives 3.2 dB per 100 m.
     const ALPHA: f64 = 0.73;

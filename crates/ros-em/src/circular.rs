@@ -78,7 +78,7 @@ pub fn project_circular(e: JonesVector, rx: Handedness) -> Complex64 {
 /// A metallic reflection reverses the propagation direction; keeping
 /// the observer's coordinate convention fixed, one transverse
 /// component changes sign — which is what flips circular handedness.
-pub fn mirror_reflection() -> JonesMatrix {
+pub(crate) fn mirror_reflection() -> JonesMatrix {
     JonesMatrix::new(
         Complex64::ONE,
         Complex64::ZERO,
@@ -92,7 +92,7 @@ pub fn mirror_reflection() -> JonesMatrix {
 /// handedness. In the linear basis this is the conjugation operator
 /// composed with the mirror; for the power accounting used here the
 /// net effect is the identity on handedness.
-pub fn phase_conjugating_reflection(e: JonesVector) -> JonesVector {
+pub(crate) fn phase_conjugating_reflection(e: JonesVector) -> JonesVector {
     // Conjugate each component (phase conjugation), then mirror.
     let conj = JonesVector::new(e.v.conj(), e.h.conj());
     mirror_reflection().apply(conj)

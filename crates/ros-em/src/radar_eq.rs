@@ -64,7 +64,7 @@ pub fn received_power_dbm(
 
 /// Free-space one-way path loss (for completeness; the radar equation
 /// above already folds the round trip in).
-pub fn free_space_path_loss(freq: Hertz, d: Meters) -> Db {
+pub(crate) fn free_space_path_loss(freq: Hertz, d: Meters) -> Db {
     let lambda = freq.wavelength();
     DbAmplitude::from_ratio(4.0 * std::f64::consts::PI * d.value() / lambda.value()).as_power()
 }
@@ -119,7 +119,7 @@ impl RadarLinkBudget {
     }
 
     /// EIRP on the typed layer.
-    pub fn eirp(&self) -> Dbm {
+    pub(crate) fn eirp(&self) -> Dbm {
         Dbm::new(self.eirp_dbm)
     }
 
@@ -130,7 +130,7 @@ impl RadarLinkBudget {
 
     /// Total receive gain G_r = G_ra + G_ri + G_rs (§5.3 gives 55 dB
     /// for the TI radar).
-    pub fn total_rx_gain(&self) -> Db {
+    pub(crate) fn total_rx_gain(&self) -> Db {
         Db::new(self.rx_antenna_gain_db)
             + Db::new(self.rx_chain_gain_db)
             + Db::new(self.rx_processing_gain_db)
@@ -147,7 +147,7 @@ impl RadarLinkBudget {
     /// i.e. add on the dB scale), which evaluates to −62 dBm for the TI
     /// preset. The decode condition is `P_r > L₀` with `P_r` computed
     /// at the full receive gain ([`Self::received_power`]).
-    pub fn noise_floor(&self) -> Dbm {
+    pub(crate) fn noise_floor(&self) -> Dbm {
         Dbm::new(THERMAL_NOISE_DBM_PER_HZ)
             + Db::new(self.noise_figure_db)
             + DbPower::from_ratio(self.if_bandwidth_hz)

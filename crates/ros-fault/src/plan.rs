@@ -271,6 +271,17 @@ mod tests {
     }
 
     #[test]
+    fn schedule_output_order_is_bit_stable() {
+        // Regression for the nondet-iter arc: scheduling the canonical
+        // matrix twice must yield identical per-frame fault sequences —
+        // no hash-ordered structure may reach the realized schedule.
+        let ts = times(64);
+        for plan in FaultPlan::canonical_matrix(0xfa17) {
+            assert_eq!(plan.schedule(&ts), plan.schedule(&ts), "seed {}", plan.seed);
+        }
+    }
+
+    #[test]
     fn empty_plan_is_all_clean() {
         let s = FaultPlan::new(1).schedule(&times(50));
         assert_eq!(s.frames.len(), 50);
@@ -365,7 +376,7 @@ mod tests {
     fn spike_draws_are_bounded_and_spread() {
         let plan = FaultPlan::single(8, FaultKind::TrackingSpike { magnitude_m: 0.4 }, 1.0);
         let s = plan.schedule(&times(200));
-        let mut distinct = std::collections::HashSet::new();
+        let mut distinct = std::collections::BTreeSet::new();
         for f in &s.frames {
             let sp = f.spike.expect("rate 1.0 fires every frame");
             assert!(sp.dx_m.abs() <= 0.4 && sp.dy_m.abs() <= 0.4);
@@ -378,7 +389,7 @@ mod tests {
     fn canonical_matrix_covers_every_kind_and_rate() {
         let plans = FaultPlan::canonical_matrix(0xfa17);
         assert!(plans.len() >= 18, "6 kinds × 3 rates + extras");
-        let names: std::collections::HashSet<&str> = plans
+        let names: std::collections::BTreeSet<&str> = plans
             .iter()
             .flat_map(|p| p.specs.iter().map(|s| s.kind.name()))
             .collect();

@@ -27,12 +27,14 @@
 //! verdicts, which keeps it honest under its own `no-println` rule.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod engine;
 pub mod json;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod syntax;
 
 pub use engine::{run_gate, FileAnalysis, FileRole, GateOptions, GateOutcome};
 pub use rules::{Finding, RuleInfo, Severity, RULES};

@@ -68,6 +68,10 @@ pub struct Item {
     /// The item is a method of a trait `impl` block (`impl T for U`);
     /// such fns inherit the trait's API surface and docs.
     pub in_trait_impl: bool,
+    /// For fns declared inside an `impl` block: the self type's name
+    /// (`FmcwRadar` for `impl FmcwRadar { fn capture … }`), which is
+    /// how the call graph resolves `Type::method(…)` calls.
+    pub owner: Option<String>,
     /// For fns: token-index range `[start, end)` of the signature —
     /// from the `fn` keyword up to (not including) the body `{` or
     /// the terminating `;`.
@@ -106,8 +110,17 @@ pub fn analyze(src: &str, toks: &[Token]) -> FileFacts {
         in_test: vec![false; toks.len()],
     };
     let mut s = Scanner { src, toks, facts: &mut facts };
-    s.scan_block(0, toks.len(), false, false);
+    s.scan_block(0, toks.len(), &Ctx::default());
     facts
+}
+
+/// Scanning context threaded through nested blocks.
+#[derive(Clone, Default)]
+struct Ctx {
+    in_test: bool,
+    in_trait_impl: bool,
+    /// Self-type name of the enclosing `impl` block, if any.
+    owner: Option<String>,
 }
 
 struct Scanner<'a> {
@@ -186,18 +199,18 @@ impl Scanner<'_> {
     }
 
     /// Scans the item positions in `[i, end)`.
-    fn scan_block(&mut self, mut i: usize, end: usize, in_test: bool, in_trait_impl: bool) {
-        if in_test {
+    fn scan_block(&mut self, mut i: usize, end: usize, ctx: &Ctx) {
+        if ctx.in_test {
             self.mark_test(i, end);
         }
         while i < end {
-            i = self.item(i, end, in_test, in_trait_impl);
+            i = self.item(i, end, ctx);
         }
     }
 
     /// Consumes one item (or recovers by one token); returns the index
     /// of the next item position.
-    fn item(&mut self, start: usize, end: usize, in_test: bool, in_trait_impl: bool) -> usize {
+    fn item(&mut self, start: usize, end: usize, ctx: &Ctx) -> usize {
         let mut i = start;
         let mut has_doc = false;
         let mut cfg_test = false;
@@ -277,15 +290,19 @@ impl Scanner<'_> {
             return end;
         }
 
-        let item_test = in_test || cfg_test;
+        let item_test = ctx.in_test || cfg_test;
         let line = self.toks[i].line;
         let kw = if self.toks[i].kind == TokenKind::Ident {
             self.text(i).to_string()
         } else {
             String::new()
         };
+        let item_ctx = Ctx {
+            in_test: item_test,
+            ..ctx.clone()
+        };
         let next = match kw.as_str() {
-            "fn" => self.item_fn(i, end, vis, line, has_doc, item_test, in_trait_impl),
+            "fn" => self.item_fn(i, end, vis, line, has_doc, &item_ctx),
             "mod" => self.item_mod(i, end, vis, line, has_doc, item_test),
             "impl" => self.item_impl(i, end, item_test),
             "struct" | "enum" | "union" | "trait" => {
@@ -304,7 +321,7 @@ impl Scanner<'_> {
             }
             "use" => {
                 let next = self.skip_to_semi(i, end);
-                self.push(ItemKind::Use, String::new(), vis, line, has_doc, item_test, false, None, None);
+                self.push(ItemKind::Use, String::new(), vis, line, has_doc, item_test, false, None, None, None);
                 next
             }
             "macro_rules" | "macro" => self.item_macro(i, end, vis, line, has_doc, item_test),
@@ -342,6 +359,7 @@ impl Scanner<'_> {
         has_doc: bool,
         in_test: bool,
         in_trait_impl: bool,
+        owner: Option<String>,
         sig: Option<(usize, usize)>,
         body: Option<(usize, usize)>,
     ) {
@@ -353,12 +371,12 @@ impl Scanner<'_> {
             has_doc,
             in_test,
             in_trait_impl,
+            owner,
             sig,
             body,
         });
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn item_fn(
         &mut self,
         kw: usize,
@@ -366,8 +384,7 @@ impl Scanner<'_> {
         vis: Visibility,
         line: usize,
         has_doc: bool,
-        in_test: bool,
-        in_trait_impl: bool,
+        ctx: &Ctx,
     ) -> usize {
         let name_i = self.skip_trivia(kw + 1, end);
         let name = if name_i < end && self.toks[name_i].kind == TokenKind::Ident {
@@ -386,10 +403,10 @@ impl Scanner<'_> {
         let sig = (kw, i);
         if i < end && self.is_punct(i, "{") {
             let body_end = self.skip_group(i, end, "{", "}");
-            self.push(ItemKind::Fn, name, vis, line, has_doc, in_test, in_trait_impl, Some(sig), Some((i, body_end)));
+            self.push(ItemKind::Fn, name, vis, line, has_doc, ctx.in_test, ctx.in_trait_impl, ctx.owner.clone(), Some(sig), Some((i, body_end)));
             body_end
         } else {
-            self.push(ItemKind::Fn, name, vis, line, has_doc, in_test, in_trait_impl, Some(sig), None);
+            self.push(ItemKind::Fn, name, vis, line, has_doc, ctx.in_test, ctx.in_trait_impl, ctx.owner.clone(), Some(sig), None);
             (i + 1).min(end)
         }
     }
@@ -413,12 +430,13 @@ impl Scanner<'_> {
         i = self.skip_trivia(i, end);
         if i < end && self.is_punct(i, "{") {
             let body_end = self.skip_group(i, end, "{", "}");
-            self.push(ItemKind::Mod, name, vis, line, has_doc, in_test, false, None, Some((i, body_end)));
+            self.push(ItemKind::Mod, name, vis, line, has_doc, in_test, false, None, None, Some((i, body_end)));
             // Recurse into the block (sans the enclosing braces).
-            self.scan_block(i + 1, body_end.saturating_sub(1), in_test, false);
+            let ctx = Ctx { in_test, ..Ctx::default() };
+            self.scan_block(i + 1, body_end.saturating_sub(1), &ctx);
             body_end
         } else {
-            self.push(ItemKind::Mod, name, vis, line, has_doc, in_test, false, None, None);
+            self.push(ItemKind::Mod, name, vis, line, has_doc, in_test, false, None, None, None);
             (i + 1).min(end)
         }
     }
@@ -427,19 +445,58 @@ impl Scanner<'_> {
         // `impl<…> Type { … }` or `impl<…> Trait for Type { … }`.
         let mut i = kw + 1;
         let mut is_trait_impl = false;
+        let mut after_for = kw + 1;
         while i < end && !self.is_punct(i, "{") && !self.is_punct(i, ";") {
             if self.is_ident(i, "for") {
                 is_trait_impl = true;
+                after_for = i + 1;
             }
             i += 1;
         }
+        // The self type's name: the last plain ident of the header at
+        // angle-bracket depth 0 (`Bar` in `impl<T> Trait for foo::Bar<T>
+        // where …`), scanning the post-`for` region for trait impls and
+        // the whole header otherwise, stopping at `where`.
+        let owner = self.impl_self_type(after_for.max(kw + 1), i);
         if i < end && self.is_punct(i, "{") {
             let body_end = self.skip_group(i, end, "{", "}");
-            self.scan_block(i + 1, body_end.saturating_sub(1), in_test, is_trait_impl);
+            let ctx = Ctx {
+                in_test,
+                in_trait_impl: is_trait_impl,
+                owner,
+            };
+            self.scan_block(i + 1, body_end.saturating_sub(1), &ctx);
             body_end
         } else {
             (i + 1).min(end)
         }
+    }
+
+    /// Extracts the self-type name from an impl header region.
+    fn impl_self_type(&self, from: usize, to: usize) -> Option<String> {
+        let mut angle: isize = 0;
+        let mut owner: Option<String> = None;
+        for k in from..to.min(self.toks.len()) {
+            let t = &self.toks[k];
+            if t.kind == TokenKind::Punct {
+                match t.text(self.src) {
+                    "<" => angle += 1,
+                    "<<" => angle += 2,
+                    ">" => angle -= 1,
+                    ">>" => angle -= 2,
+                    _ => {}
+                }
+            } else if t.kind == TokenKind::Ident && angle <= 0 {
+                let txt = t.text(self.src);
+                if txt == "where" {
+                    break;
+                }
+                if txt != "for" && txt != "dyn" && txt != "mut" {
+                    owner = Some(txt.to_string());
+                }
+            }
+        }
+        owner
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -459,13 +516,14 @@ impl Scanner<'_> {
         } else {
             String::new()
         };
-        // Body: `{ … }` (fields/variants/methods — skipped), tuple
-        // `( … );`, or unit `;`.
+        // Body: `{ … }` (fields/variants/methods — skipped as item
+        // positions, but the span is recorded so the semantic layer
+        // can read field declarations), tuple `( … );`, or unit `;`.
         let mut i = name_i + 1;
         while i < end {
             if self.is_punct(i, "{") {
                 let next = self.skip_group(i, end, "{", "}");
-                self.push(kind, name, vis, line, has_doc, in_test, false, None, None);
+                self.push(kind, name, vis, line, has_doc, in_test, false, None, None, Some((i, next)));
                 return next;
             }
             if self.is_punct(i, "(") {
@@ -473,12 +531,12 @@ impl Scanner<'_> {
                 continue;
             }
             if self.is_punct(i, ";") {
-                self.push(kind, name, vis, line, has_doc, in_test, false, None, None);
+                self.push(kind, name, vis, line, has_doc, in_test, false, None, None, None);
                 return i + 1;
             }
             i += 1;
         }
-        self.push(kind, name, vis, line, has_doc, in_test, false, None, None);
+        self.push(kind, name, vis, line, has_doc, in_test, false, None, None, None);
         end
     }
 
@@ -500,7 +558,7 @@ impl Scanner<'_> {
             String::new()
         };
         let next = self.skip_to_semi(kw, end);
-        self.push(kind, name, vis, line, has_doc, in_test, false, None, None);
+        self.push(kind, name, vis, line, has_doc, in_test, false, None, None, None);
         next
     }
 
@@ -534,7 +592,7 @@ impl Scanner<'_> {
         } else {
             (i + 1).min(end)
         };
-        self.push(ItemKind::MacroDef, name, vis, line, has_doc, in_test, false, None, None);
+        self.push(ItemKind::MacroDef, name, vis, line, has_doc, in_test, false, None, None, None);
         next
     }
 }

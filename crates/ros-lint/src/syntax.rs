@@ -1,0 +1,533 @@
+//! The semantic layer: brace tree, path/call resolution, bindings.
+//!
+//! [`crate::scan`] recovers *items*; this module recovers the three
+//! structural facts the semantic rule family needs on top of them:
+//!
+//! * a **brace tree** ([`brace_tree`]) — the nesting structure of every
+//!   `{ … }` group in the token stream, so rules can reason about
+//!   scopes without re-counting delimiters;
+//! * **call sites** ([`calls_in`]) — every `f(…)`, `path::f(…)`,
+//!   `recv.m(…)`, and `recv.m::<T>(…)` in a token range, with the
+//!   callee name, its last path qualifier, and whether it is a method
+//!   call (the edges of [`crate::callgraph`]);
+//! * **hash bindings** ([`hash_bindings`] / [`hash_fields`]) — the
+//!   local `let` bindings, parameters, and struct fields whose declared
+//!   type (or constructor) is `HashMap`/`HashSet`, which is what lets
+//!   `nondet-iter` flag order-nondeterministic iteration without type
+//!   inference.
+//!
+//! Like the lexer and the item scanner, everything here is *total*:
+//! malformed input degrades (an unbalanced brace closes at end of
+//! file), nothing panics. [`CodeView`] is the shared trivia-free
+//! window the rules iterate over; it lived privately in `rules` until
+//! the semantic layer needed it too.
+
+use std::collections::BTreeSet;
+
+use crate::engine::FileAnalysis;
+use crate::lexer::TokenKind;
+
+/// A trivia-free window over one file's token stream, with the
+/// helpers every token-pattern rule needs.
+pub struct CodeView<'a> {
+    /// The analyzed file this view reads.
+    pub fa: &'a FileAnalysis,
+    /// `code[ci]` = index into `fa.tokens` of the ci-th non-trivia
+    /// token.
+    code: Vec<usize>,
+}
+
+impl<'a> CodeView<'a> {
+    /// Builds the view over `fa`'s token stream.
+    pub fn new(fa: &'a FileAnalysis) -> Self {
+        let code = (0..fa.tokens.len())
+            .filter(|&i| !fa.tokens[i].is_trivia())
+            .collect();
+        CodeView { fa, code }
+    }
+
+    /// Number of code (non-trivia) tokens.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True when the file has no code tokens.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Kind of the ci-th code token (None past the end).
+    pub fn kind(&self, ci: usize) -> Option<TokenKind> {
+        self.code.get(ci).map(|&i| self.fa.tokens[i].kind)
+    }
+
+    /// Text of the ci-th code token ("" past the end).
+    pub fn text(&self, ci: usize) -> &str {
+        self.code
+            .get(ci)
+            .map(|&i| self.fa.tokens[i].text(&self.fa.text))
+            .unwrap_or("")
+    }
+
+    /// 1-based line of the ci-th code token (0 past the end).
+    pub fn line(&self, ci: usize) -> usize {
+        self.code.get(ci).map(|&i| self.fa.tokens[i].line).unwrap_or(0)
+    }
+
+    /// True when the ci-th code token lies in a `#[cfg(test)]` region.
+    pub fn in_test(&self, ci: usize) -> bool {
+        self.code
+            .get(ci)
+            .is_some_and(|&i| self.fa.facts.in_test.get(i).copied().unwrap_or(false))
+    }
+
+    /// True when the ci-th code token is the punctuation `p`.
+    pub fn is_punct(&self, ci: usize, p: &str) -> bool {
+        self.kind(ci) == Some(TokenKind::Punct) && self.text(ci) == p
+    }
+
+    /// True when the ci-th code token is the identifier `id`.
+    pub fn is_ident(&self, ci: usize, id: &str) -> bool {
+        self.kind(ci) == Some(TokenKind::Ident) && self.text(ci) == id
+    }
+
+    /// True when the ci-th code token is an identifier in `set`.
+    pub fn ident_in(&self, ci: usize, set: &[&str]) -> bool {
+        self.kind(ci) == Some(TokenKind::Ident) && set.contains(&self.text(ci))
+    }
+
+    /// Token index (into `fa.tokens`) of the ci-th code token.
+    pub fn tok_idx(&self, ci: usize) -> usize {
+        self.code.get(ci).copied().unwrap_or(0)
+    }
+
+    /// Code index of the first code token at or after raw token index
+    /// `tok` (`len()` when none).
+    pub fn ci_at_or_after(&self, tok: usize) -> usize {
+        self.code.partition_point(|&i| i < tok)
+    }
+}
+
+/// One node of the brace tree: a `{ … }` group and its nested groups.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BraceNode {
+    /// Code index (into a [`CodeView`]) of the opening `{`.
+    pub open: usize,
+    /// Code index of the matching `}`; `view.len()` when the group
+    /// never closes (malformed input degrades, never panics).
+    pub close: usize,
+    /// Nested groups, in source order.
+    pub children: Vec<BraceNode>,
+}
+
+impl BraceNode {
+    /// Depth-first size of this subtree (self included) — golden
+    /// corpus helper.
+    pub fn subtree_size(&self) -> usize {
+        1 + self.children.iter().map(BraceNode::subtree_size).sum::<usize>()
+    }
+}
+
+/// Builds the brace tree of a whole file: the forest of top-level
+/// `{ … }` groups, each with its nested groups as children. Stray
+/// closers are ignored; unclosed groups run to `view.len()`.
+pub fn brace_tree(view: &CodeView<'_>) -> Vec<BraceNode> {
+    let mut roots: Vec<BraceNode> = Vec::new();
+    let mut stack: Vec<BraceNode> = Vec::new();
+    for ci in 0..view.len() {
+        if view.is_punct(ci, "{") {
+            stack.push(BraceNode {
+                open: ci,
+                close: view.len(),
+                children: Vec::new(),
+            });
+        } else if view.is_punct(ci, "}") {
+            if let Some(mut node) = stack.pop() {
+                node.close = ci;
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(node),
+                    None => roots.push(node),
+                }
+            }
+            // Stray `}` with an empty stack: recovered input, skip.
+        }
+    }
+    // Unclosed groups fold into their parents (still spanning to EOF).
+    while let Some(node) = stack.pop() {
+        match stack.last_mut() {
+            Some(parent) => parent.children.push(node),
+            None => roots.push(node),
+        }
+    }
+    roots
+}
+
+/// One resolved call site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallSite {
+    /// Callee name (last path segment): `new` for `Vec::new(…)`,
+    /// `decode` for `x.decode(…)`.
+    pub name: String,
+    /// Last path segment before the callee, when path-qualified:
+    /// `Vec` for `Vec::new(…)`, `shaping` for
+    /// `ros_antenna::shaping::shaped_stack(…)`.
+    pub qualifier: Option<String>,
+    /// The call is a method call (`recv.name(…)`).
+    pub method: bool,
+    /// 1-based line of the callee name token.
+    pub line: usize,
+    /// Code index of the callee name token.
+    pub ci: usize,
+}
+
+/// Keywords that look like `ident (` call heads but are control flow.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "move", "else", "break",
+    "continue", "unsafe", "ref", "mut", "await", "yield", "fn", "impl", "where", "let", "pub",
+    "dyn",
+];
+
+/// Skips a turbofish `::<…>` starting at `ci` (which must sit on the
+/// `::`); returns the code index one past the closing `>`, or `ci`
+/// when there is no turbofish. `>>` closes two angles (maximal munch).
+pub fn skip_turbofish(view: &CodeView<'_>, ci: usize) -> usize {
+    if !view.is_punct(ci, "::") || !view.is_punct(ci + 1, "<") {
+        return ci;
+    }
+    let mut depth: isize = 0;
+    let mut j = ci + 1;
+    while j < view.len() {
+        match view.text(j) {
+            "<" if view.kind(j) == Some(TokenKind::Punct) => depth += 1,
+            "<<" if view.kind(j) == Some(TokenKind::Punct) => depth += 2,
+            ">" if view.kind(j) == Some(TokenKind::Punct) => depth -= 1,
+            ">>" if view.kind(j) == Some(TokenKind::Punct) => depth -= 2,
+            _ => {}
+        }
+        j += 1;
+        if depth <= 0 {
+            return j;
+        }
+    }
+    j
+}
+
+/// Extracts every call site in the code-index range `[start, end)`.
+///
+/// Recognized shapes: `f(…)`, `path::to::f(…)`, `recv.m(…)`,
+/// `f::<T>(…)`, `recv.m::<T>(…)`. Macro invocations (`vec![…]`) are
+/// *not* calls — the allocation scanner handles them separately.
+pub fn calls_in(view: &CodeView<'_>, start: usize, end: usize) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let end = end.min(view.len());
+    for ci in start..end {
+        if view.kind(ci) != Some(TokenKind::Ident) && view.kind(ci) != Some(TokenKind::RawIdent) {
+            continue;
+        }
+        let name = view.text(ci).trim_start_matches("r#");
+        if NON_CALL_KEYWORDS.contains(&name) {
+            continue;
+        }
+        // The callee name must be followed by `(`, optionally through
+        // a turbofish.
+        let after = skip_turbofish(view, ci + 1);
+        if !view.is_punct(after, "(") {
+            continue;
+        }
+        // A definition (`fn name(`) is not a call.
+        if ci > 0 && view.is_ident(ci - 1, "fn") {
+            continue;
+        }
+        let method = ci > 0 && view.is_punct(ci - 1, ".");
+        let qualifier = if !method && ci >= 2 && view.is_punct(ci - 1, "::") {
+            match view.kind(ci - 2) {
+                Some(TokenKind::Ident | TokenKind::RawIdent) => {
+                    Some(view.text(ci - 2).trim_start_matches("r#").to_string())
+                }
+                // `Vec::<u8>::new(…)`: walk back over the turbofish.
+                Some(TokenKind::Punct) if view.text(ci - 2) == ">" || view.text(ci - 2) == ">>" => {
+                    qualifier_before_generics(view, ci - 2)
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
+        out.push(CallSite {
+            name: name.to_string(),
+            qualifier,
+            method,
+            line: view.line(ci),
+            ci,
+        });
+    }
+    out
+}
+
+/// Walks back over `<…>` ending at `close_ci` and returns the ident
+/// preceding it (`Vec` in `Vec::<u8>::new`), if any.
+fn qualifier_before_generics(view: &CodeView<'_>, close_ci: usize) -> Option<String> {
+    let mut depth: isize = 0;
+    let mut j = close_ci;
+    loop {
+        if view.kind(j) == Some(TokenKind::Punct) {
+            match view.text(j) {
+                ">" => depth += 1,
+                ">>" => depth += 2,
+                "<" => depth -= 1,
+                "<<" => depth -= 2,
+                _ => {}
+            }
+        }
+        if depth <= 0 || j == 0 {
+            break;
+        }
+        j -= 1;
+    }
+    // j sits on the opening `<`; before it: `::` then the ident.
+    if j >= 2 && view.is_punct(j - 1, "::") && view.kind(j - 2) == Some(TokenKind::Ident) {
+        Some(view.text(j - 2).to_string())
+    } else {
+        None
+    }
+}
+
+/// The hash-collection type names whose iteration order is
+/// nondeterministic.
+pub const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Collects the names bound to `HashMap`/`HashSet` values in the code
+/// range `[start, end)` — the receivers `nondet-iter` watches.
+///
+/// Three binding shapes are recognized, all by declared type or
+/// constructor (no inference):
+///
+/// * `let [mut] name : …HashMap<…>… = …;` / `let [mut] name =
+///   HashMap::new();` (any `HashMap`/`HashSet` token before the
+///   statement's terminating `;` counts — over-approximation is fine,
+///   the rule has a marker escape);
+/// * `name : …HashMap<…>…` parameter/field declarations;
+/// * `static NAME : …HashMap<…>… = …;`.
+pub fn hash_bindings(view: &CodeView<'_>, start: usize, end: usize) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let end = end.min(view.len());
+    let mut ci = start;
+    while ci < end {
+        // `let [mut] name … ;` statements.
+        if view.is_ident(ci, "let") || view.is_ident(ci, "static") {
+            let mut j = ci + 1;
+            if view.is_ident(j, "mut") {
+                j += 1;
+            }
+            if view.kind(j) == Some(TokenKind::Ident) {
+                let name = view.text(j).to_string();
+                // Scan to the end of the statement (`;` at depth 0
+                // relative to here, counting all bracket kinds).
+                let mut k = j + 1;
+                let mut depth: isize = 0;
+                let mut is_hash = false;
+                while k < end {
+                    match view.text(k) {
+                        "(" | "[" | "{" if view.kind(k) == Some(TokenKind::Punct) => depth += 1,
+                        ")" | "]" | "}" if view.kind(k) == Some(TokenKind::Punct) => {
+                            depth -= 1;
+                            if depth < 0 {
+                                break;
+                            }
+                        }
+                        ";" if depth == 0 && view.kind(k) == Some(TokenKind::Punct) => break,
+                        t if view.kind(k) == Some(TokenKind::Ident)
+                            && HASH_TYPES.contains(&t) =>
+                        {
+                            is_hash = true;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if is_hash {
+                    out.insert(name);
+                }
+                ci = k;
+                continue;
+            }
+        }
+        // `name : …Hash…` parameter-style annotations (fn signatures).
+        if view.kind(ci) == Some(TokenKind::Ident)
+            && view.is_punct(ci + 1, ":")
+            && !view.is_punct(ci + 2, ":")
+        {
+            // Scan the type up to `,` or `)` at angle/paren depth 0.
+            let mut k = ci + 2;
+            let mut depth: isize = 0;
+            let mut is_hash = false;
+            while k < end {
+                match view.text(k) {
+                    "(" | "<" if view.kind(k) == Some(TokenKind::Punct) => depth += 1,
+                    "<<" if view.kind(k) == Some(TokenKind::Punct) => depth += 2,
+                    ")" | ">" if view.kind(k) == Some(TokenKind::Punct) => {
+                        depth -= 1;
+                        if depth < 0 {
+                            break;
+                        }
+                    }
+                    ">>" if view.kind(k) == Some(TokenKind::Punct) => {
+                        depth -= 2;
+                        if depth < 0 {
+                            break;
+                        }
+                    }
+                    "," | "=" | "{" | ";" if depth == 0 && view.kind(k) == Some(TokenKind::Punct) => {
+                        break
+                    }
+                    t if view.kind(k) == Some(TokenKind::Ident) && HASH_TYPES.contains(&t) => {
+                        is_hash = true;
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            if is_hash {
+                out.insert(view.text(ci).to_string());
+            }
+        }
+        ci += 1;
+    }
+    out
+}
+
+/// Collects, across one file, the names of struct fields declared with
+/// a `HashMap`/`HashSet` type. Name-based (like `dead-pub`'s reference
+/// graph): a field named `cache` of hash type anywhere makes
+/// `recv.cache.iter()` suspect everywhere.
+pub fn hash_fields(view: &CodeView<'_>) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for item in &view.fa.facts.items {
+        if item.kind != crate::scan::ItemKind::Struct {
+            continue;
+        }
+        let Some((s, e)) = item.body else { continue };
+        let (cs, ce) = (view.ci_at_or_after(s), view.ci_at_or_after(e));
+        // Field declarations are exactly the `name : Type` pairs the
+        // parameter scan recognizes.
+        out.extend(hash_bindings(view, cs, ce));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{FileAnalysis, FileRole};
+
+    fn fa(src: &str) -> FileAnalysis {
+        FileAnalysis::new(
+            "crates/ros-em/src/s.rs".to_string(),
+            "ros-em".to_string(),
+            FileRole::Library,
+            src.to_string(),
+        )
+    }
+
+    #[test]
+    fn brace_tree_nests_and_recovers() {
+        let f = fa("fn a() { if x { y(); } } fn b() {}\n");
+        let v = CodeView::new(&f);
+        let roots = brace_tree(&v);
+        assert_eq!(roots.len(), 2);
+        assert_eq!(roots[0].children.len(), 1);
+        assert!(roots[1].children.is_empty());
+        // Stray closer and unclosed opener both degrade, never panic.
+        let f = fa("} fn a() { {\n");
+        let v = CodeView::new(&f);
+        let roots = brace_tree(&v);
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].close, v.len());
+    }
+
+    #[test]
+    fn brace_contents_are_opaque_to_strings() {
+        let f = fa("fn a() { let s = \"}\"; let c = '}'; }\n");
+        let v = CodeView::new(&f);
+        let roots = brace_tree(&v);
+        assert_eq!(roots.len(), 1);
+        assert!(roots[0].close < v.len(), "string braces must not close the group");
+    }
+
+    fn call_names(src: &str) -> Vec<(String, Option<String>, bool)> {
+        let f = fa(src);
+        let v = CodeView::new(&f);
+        calls_in(&v, 0, v.len())
+            .into_iter()
+            .map(|c| (c.name, c.qualifier, c.method))
+            .collect()
+    }
+
+    #[test]
+    fn calls_free_qualified_method_turbofish() {
+        let got = call_names("fn f() { g(); a::b::h(); x.m(); y.c::<u8>(); Vec::<u8>::new(); }\n");
+        assert_eq!(
+            got,
+            vec![
+                ("g".to_string(), None, false),
+                ("h".to_string(), Some("b".to_string()), false),
+                ("m".to_string(), None, true),
+                ("c".to_string(), None, true),
+                ("new".to_string(), Some("Vec".to_string()), false),
+            ]
+        );
+    }
+
+    #[test]
+    fn calls_skip_keywords_and_definitions() {
+        let got = call_names("fn f(x: u8) { if (x > 0) { while (x < 9) {} } match (x) { _ => {} } }\n");
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn hash_bindings_let_param_static() {
+        let src = "\
+fn f(seen: &mut HashSet<u32>, plain: &[u32]) {
+    let mut cache: HashMap<usize, f64> = HashMap::new();
+    let inferred = std::collections::HashMap::new();
+    let sorted: BTreeMap<u32, u32> = BTreeMap::new();
+    static TABLE: Mutex<HashMap<u8, u8>> = todo_placeholder();
+}
+";
+        let f = fa(src);
+        let v = CodeView::new(&f);
+        let b = hash_bindings(&v, 0, v.len());
+        assert!(b.contains("seen"));
+        assert!(b.contains("cache"));
+        assert!(b.contains("inferred"));
+        assert!(b.contains("TABLE"));
+        assert!(!b.contains("plain"));
+        assert!(!b.contains("sorted"));
+    }
+
+    #[test]
+    fn hash_fields_from_struct_bodies() {
+        let src = "\
+struct S {
+    cache: HashMap<usize, f64>,
+    order: Vec<u32>,
+}
+struct T(HashMap<u8, u8>);
+";
+        let f = fa(src);
+        let v = CodeView::new(&f);
+        let fields = hash_fields(&v);
+        assert!(fields.contains("cache"));
+        assert!(!fields.contains("order"));
+    }
+
+    #[test]
+    fn code_view_maps_raw_token_indices() {
+        let f = fa("// comment\nfn f() {}\n");
+        let v = CodeView::new(&f);
+        assert!(!v.is_empty());
+        assert_eq!(v.ci_at_or_after(0), 0, "first code token after the comment");
+        assert_eq!(v.text(0), "fn");
+        assert!(v.tok_idx(0) > 0, "comment token precedes");
+    }
+}

@@ -161,3 +161,57 @@ fn library_internals_compose_outside_the_gate() {
     let err: ParseError = json::parse("{\"a\": }").expect_err("malformed");
     assert!(err.at > 0 && !err.msg.is_empty());
 }
+
+#[test]
+fn alloc_findings_propagate_transitively_and_respect_allow_markers() {
+    // A two-crate workspace where the hot entry lives in `alpha` and
+    // the allocations live two hops away in `beta`: the call graph
+    // must carry hotness across the crate boundary, name the witness
+    // entry in the message, and honor `lint: allow-alloc`.
+    let ws = TempWs::new("alloc");
+    ws.write(
+        "crates/alpha/src/lib.rs",
+        "//! Alpha crate.\n\n\
+         /// Steady-state entry point.\n\
+         // lint: hot-path\n\
+         pub fn entry(n: u32) -> u32 {\n    beta_helper(n)\n}\n\n\
+         /// Cross-crate shim.\n\
+         pub fn beta_helper(n: u32) -> u32 {\n    beta::helper(n)\n}\n\n\
+         #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        assert_eq!(super::entry(0), 0);\n        assert_eq!(super::beta_helper(0), 0);\n    }\n}\n",
+    );
+    ws.write(
+        "crates/beta/src/lib.rs",
+        "//! Beta crate.\n\n\
+         /// Allocates twice; only one allocation is sanctioned.\n\
+         pub fn helper(n: u32) -> u32 {\n\
+             let v: Vec<u32> = (0..n).collect();\n\
+             // lint: allow-alloc(fixed-size scratch, measured negligible)\n\
+             let w: Vec<u32> = Vec::new();\n\
+             v.len() as u32 + w.len() as u32\n\
+         }\n",
+    );
+
+    let opts = GateOptions {
+        json_path: None,
+        update_baseline: false,
+        no_baseline: true,
+    };
+    let outcome = run_gate(&ws.root, &opts).expect("gate runs");
+    assert!(!outcome.passed, "{}", outcome.human_report);
+    let alloc_lines: Vec<&str> = outcome
+        .human_report
+        .lines()
+        .filter(|l| l.contains("[alloc-in-hot-path]"))
+        .collect();
+    // Exactly one finding: `.collect()` in beta::helper. The marked
+    // `Vec::new()` right below it stays silent.
+    assert_eq!(alloc_lines.len(), 1, "{}", outcome.human_report);
+    assert!(
+        alloc_lines[0].contains("crates/beta/src/lib.rs")
+            && alloc_lines[0].contains("`.collect()`")
+            && alloc_lines[0].contains("`helper`")
+            && alloc_lines[0].contains("`entry`"),
+        "unexpected finding line: {}",
+        alloc_lines[0]
+    );
+}

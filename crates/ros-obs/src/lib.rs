@@ -37,18 +37,19 @@
 //! crate is std-only and dependency-free so every pipeline crate can
 //! depend on it without cycles.
 
+pub mod clock;
 mod json;
 mod metrics;
 pub mod names;
 mod sink;
 
+pub use clock::{install_monotonic_clock, install_null_clock};
 pub use json::Value;
 pub use metrics::{count, gauge, hist, metrics_json, metrics_json_touched, reset_metrics};
 pub use sink::install_memory_sink;
 
+use clock::now_ns;
 use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::OnceLock;
-use std::time::Instant;
 
 /// Observability level, ordered: `Off < Summary < Detail`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -91,12 +92,6 @@ impl Level {
 /// The process-wide level; 0 until somebody opts in.
 static LEVEL: AtomicU8 = AtomicU8::new(0);
 
-/// Clock kind: 0 = null (always reads 0), 1 = monotonic.
-static CLOCK: AtomicU8 = AtomicU8::new(0);
-
-/// Epoch of the monotonic clock (set once on first install).
-static EPOCH: OnceLock<Instant> = OnceLock::new();
-
 /// The current observability level (one relaxed atomic load).
 #[inline]
 pub fn level() -> Level {
@@ -118,35 +113,6 @@ pub fn detail() -> bool {
 /// Sets the process-wide level programmatically (tests, bench).
 pub fn set_level(l: Level) {
     LEVEL.store(l.as_u8(), Ordering::Relaxed);
-}
-
-/// Installs the real monotonic clock (span durations become wall time).
-///
-/// Only "edges" — binaries like `bench`, never library code — should
-/// call this (normally via [`init_from_env`]); determinism tests rely
-/// on the default null clock so traces carry `dur_ns: 0` and stay
-/// bit-stable.
-// lint: allow-dead-pub(edge API; binaries reach it through init_from_env)
-pub fn install_monotonic_clock() {
-    let _ = EPOCH.get_or_init(Instant::now);
-    CLOCK.store(1, Ordering::Relaxed);
-}
-
-/// Reinstalls the null clock (span durations read 0).
-pub fn install_null_clock() {
-    CLOCK.store(0, Ordering::Relaxed);
-}
-
-/// Nanoseconds since the installed epoch (0 under the null clock).
-fn now_ns() -> u64 {
-    if CLOCK.load(Ordering::Relaxed) == 0 {
-        return 0;
-    }
-    match EPOCH.get() {
-        // Truncation after ~584 years of uptime is acceptable.
-        Some(epoch) => epoch.elapsed().as_nanos() as u64, // lint: allow-cast(monotonic ns fit u64)
-        None => 0,
-    }
 }
 
 /// Reads `ROS_OBS` / `ROS_OBS_FILE` and configures level, clock, and
@@ -325,9 +291,4 @@ mod tests {
         }
     }
 
-    #[test]
-    fn null_clock_reads_zero() {
-        install_null_clock();
-        assert_eq!(now_ns(), 0);
-    }
 }

@@ -85,7 +85,9 @@ pub fn synthesize_burst<R: Rng>(
         let range0 = pose.range_to(me.echo.pos);
         let az = pose.azimuth_to(me.echo.pos);
         let g = crate::frontend::radar_pattern(az);
-        if g == 0.0 {
+        // Gain is non-negative, so `<=` keeps the exact-zero skip
+        // behavior while avoiding an exact float comparison.
+        if g <= 0.0 {
             continue;
         }
         let amp = me.echo.amp * (g * g);

@@ -25,7 +25,7 @@ use ros_em::units::cast::AsF64;
 /// Exponent of the radar's own antenna element pattern (per way).
 /// Two-way cos^3 gives a ±28° half-power field of view, matching the
 /// "around 60°" total FoV of §7.3.
-pub const RADAR_PATTERN_EXP: f64 = 1.5;
+pub(crate) const RADAR_PATTERN_EXP: f64 = 1.5;
 
 /// Raw IF data of one frame: `data[k][n]` is sample `n` of antenna `k`.
 #[derive(Clone, Debug)]
@@ -62,7 +62,7 @@ pub fn radar_pattern(az: f64) -> f64 {
 /// component) that yields the link budget's noise floor after the
 /// range FFT (÷N coherent gain) and beamforming (÷K) used by
 /// [`crate::processing`].
-pub fn per_sample_noise_sigma(budget: &RadarLinkBudget, chirp: &ChirpConfig, array: &RadarArray) -> f64 {
+pub(crate) fn per_sample_noise_sigma(budget: &RadarLinkBudget, chirp: &ChirpConfig, array: &RadarArray) -> f64 {
     let floor_mw = ros_em::db::dbm_to_mw(budget.noise_floor_dbm());
     // Processing averages N samples and K antennas: noise power at the
     // output is σ_total²/(N·K), so σ_total² = floor·N·K. Each of the
@@ -75,7 +75,7 @@ pub fn per_sample_noise_sigma(budget: &RadarLinkBudget, chirp: &ChirpConfig, arr
 /// beat tone with steering phases and the radar's own antenna pattern,
 /// but **no thermal noise**. Pure function of its inputs — safe to run
 /// on worker threads ([`synthesize_frame`] layers the noise on top).
-pub fn synthesize_signal(
+pub(crate) fn synthesize_signal(
     chirp: &ChirpConfig,
     array: &RadarArray,
     pose: Pose,
@@ -93,7 +93,9 @@ pub fn synthesize_signal(
         let range = pose.range_to(echo.pos);
         let az = pose.azimuth_to(echo.pos);
         let g = radar_pattern(az);
-        if g == 0.0 {
+        // Gain is non-negative, so `<=` keeps the exact-zero skip
+        // behavior while avoiding an exact float comparison.
+        if g <= 0.0 {
             continue;
         }
         // Two-way radar antenna pattern.
@@ -119,7 +121,7 @@ pub fn synthesize_signal(
 /// (antenna-major, sample-major, re before im), so pre-drawing packets
 /// for a batch and applying them later is bit-identical to the serial
 /// capture loop.
-pub fn draw_noise<R: Rng>(n_rx: usize, n_samples: usize, rng: &mut R) -> Vec<Vec<Complex64>> {
+pub(crate) fn draw_noise<R: Rng>(n_rx: usize, n_samples: usize, rng: &mut R) -> Vec<Vec<Complex64>> {
     (0..n_rx)
         .map(|_| {
             (0..n_samples)
@@ -135,7 +137,7 @@ pub fn draw_noise<R: Rng>(n_rx: usize, n_samples: usize, rng: &mut R) -> Vec<Vec
 
 /// Adds pre-drawn unit-variance noise (from [`draw_noise`]), scaled by
 /// `sigma`, onto a frame. Deterministic; safe on worker threads.
-pub fn add_noise(frame: &mut Frame, noise: &[Vec<Complex64>], sigma: f64) {
+pub(crate) fn add_noise(frame: &mut Frame, noise: &[Vec<Complex64>], sigma: f64) {
     for (ant, nz) in frame.data.iter_mut().zip(noise) {
         for (s, g) in ant.iter_mut().zip(nz) {
             *s += Complex64::new(g.re * sigma, g.im * sigma);

@@ -80,7 +80,7 @@ impl Impairments {
     /// does — zero draws when phase noise is off — so walks can be
     /// pre-drawn serially for a batch and applied on worker threads
     /// via [`apply_with_walk`] with bit-identical results.
-    pub fn draw_walk<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+    pub(crate) fn draw_walk<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<f64> {
         // Phase noise: one random walk shared by all antennas (common
         // LO), refreshed per frame.
         let mut walk = vec![0.0f64; n];
@@ -96,7 +96,7 @@ impl Impairments {
 
     /// Deterministic half of [`apply`]: impairs a frame with a
     /// pre-drawn phase walk. Safe on worker threads.
-    pub fn apply_with_walk(&self, frame: &mut Frame, walk: &[f64]) {
+    pub(crate) fn apply_with_walk(&self, frame: &mut Frame, walk: &[f64]) {
         if self.is_clean() {
             return;
         }

@@ -23,6 +23,7 @@ pub(crate) const AOA_GRID_HALF_RAD: f64 = 1.2;
 pub(crate) const AOA_GRID_STEP_RAD: f64 = 0.01;
 
 /// Per-antenna normalized range spectra: `out[k][bin] = FFT(s_k)/N`.
+// lint: hot-path
 pub fn range_spectra(frame: &Frame) -> Vec<Vec<Complex64>> {
     frame
         .data

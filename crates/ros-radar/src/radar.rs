@@ -83,6 +83,7 @@ impl FmcwRadar {
     /// (echo beat tones, noise/impairment application) fans out over
     /// [`ros_exec::par_map_indexed`]. Output order matches job order
     /// at any thread count.
+    // lint: hot-path
     pub fn capture_batch<R: Rng>(&self, jobs: &[(Pose, Vec<Echo>)], rng: &mut R) -> Vec<Frame> {
         let _span = ros_obs::span("radar.capture_batch");
         ros_obs::count("radar.frames_synthesized", jobs.len());

@@ -9,6 +9,7 @@
 //! cargo run -p xtask -- lint --json target/lint.json
 //! cargo run -p xtask -- lint --update-baseline      # re-grandfather current debt
 //! cargo run -p xtask -- lint --no-baseline          # judge without the baseline
+//! cargo run -p xtask -- lint --explain RULE-ID      # rationale + fix guidance
 //! cargo run -p xtask -- lint-artifact target/lint.json   # validate + summarize artifact
 //! ```
 //!
@@ -44,8 +45,25 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!(
         "usage: cargo run -p xtask -- lint [--json PATH] [--update-baseline] [--no-baseline]\n\
+                cargo run -p xtask -- lint --explain RULE-ID\n\
                 cargo run -p xtask -- lint-artifact PATH"
     );
+}
+
+/// Prints one rule's catalog entry: summary, rationale, fix guidance.
+fn explain(id: &str) -> ExitCode {
+    let Some(r) = ros_lint::rules::rule(id) else {
+        eprintln!("xtask lint: unknown rule `{id}`; known rules:");
+        for r in ros_lint::RULES {
+            eprintln!("  {}", r.id);
+        }
+        return ExitCode::from(2);
+    };
+    println!("{} ({})", r.id, r.severity.as_str());
+    println!("  {}", r.summary);
+    println!("\nwhy:\n  {}", r.rationale);
+    println!("\nfix:\n  {}", r.fix);
+    ExitCode::SUCCESS
 }
 
 /// Locates the workspace root: the manifest dir of xtask is
@@ -75,6 +93,13 @@ fn lint(args: &[String]) -> ExitCode {
             },
             "--update-baseline" => opts.update_baseline = true,
             "--no-baseline" => opts.no_baseline = true,
+            "--explain" => match it.next() {
+                Some(id) => return explain(id),
+                None => {
+                    eprintln!("xtask lint: --explain needs a rule ID");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("xtask lint: unknown flag `{other}`");
                 usage();

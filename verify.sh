@@ -30,6 +30,15 @@ echo "==> xtask lint (ros-lint gate + findings artifact)"
 cargo run -q -p xtask -- lint --json target/lint.json
 echo "==> xtask lint-artifact (artifact parses; per-rule counts)"
 cargo run -q -p xtask -- lint-artifact target/lint.json
+# The semantic rules (DESIGN.md section 13) must be present in the
+# artifact's rule catalog — a missing ID means the gate silently
+# stopped checking a determinism/allocation contract.
+for rule in nondet-iter no-wallclock alloc-in-hot-path; do
+    grep -q "\"id\": \"$rule\"" target/lint.json || {
+        echo "verify: lint artifact missing semantic rule '$rule'" >&2
+        exit 1
+    }
+done
 
 # Telemetry smoke: a full-pipeline drive-by with ROS_OBS=1 must emit a
 # parseable ndjson trace that covers every stage of the pipeline.

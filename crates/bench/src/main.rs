@@ -7,6 +7,7 @@
 //! cargo run --release -p bench -- --par all   # figure-level fan-out
 //! cargo run --release -p bench -- perf        # serial-vs-parallel timings
 //! cargo run --release -p bench -- perf --require-valid   # canonical multi-core record
+//! cargo run --release -p bench -- perf --force   # may replace a valid record with an invalid one
 //! cargo run --release -p bench -- smoke       # one full-pipeline drive-by
 //! cargo run --release -p bench -- faults      # fault-injection sweep
 //! cargo run --release -p bench -- faults --smoke   # reduced CI matrix
@@ -40,7 +41,10 @@ fn main() {
     args.retain(|a| a != "--par");
 
     if args.iter().any(|a| a == "perf") {
-        perf::run(args.iter().any(|a| a == "--require-valid"));
+        perf::run(
+            args.iter().any(|a| a == "--require-valid"),
+            args.iter().any(|a| a == "--force"),
+        );
         ros_obs::flush();
         return;
     }

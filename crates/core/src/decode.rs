@@ -20,8 +20,12 @@
 
 use crate::encode::SpatialCode;
 use crate::rcs_model;
-use ros_dsp::resample::{resample_uniform, Sample};
+use ros_dsp::czt::CztPlan;
+use ros_dsp::fft::FftPlan;
+use ros_dsp::plan::PlanCache;
+use ros_dsp::resample::{resample_uniform_into, Sample};
 use ros_dsp::stats;
+use ros_dsp::window::WindowTable;
 use ros_em::radar_eq::RadarLinkBudget;
 use ros_em::{Complex64, Vec3};
 use ros_em::units::cast::AsF64;
@@ -81,7 +85,7 @@ impl Default for DecoderConfig {
 }
 
 /// Decoder output.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct DecodeResult {
     /// Decoded bits (length = code capacity).
     pub bits: Vec<bool>,
@@ -143,11 +147,59 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// Per-decoder scratch arena: memoized FFT/CZT/window plans plus every
+/// intermediate buffer [`decode_into`] touches. One arena per worker
+/// (or long-lived reader) turns the steady-state decode into a
+/// zero-allocation kernel; results are bit-identical to [`decode`].
+#[derive(Clone, Debug, Default)]
+pub struct DecodeScratch {
+    plans: PlanCache,
+    bufs: DecodeBufs,
+}
+
+impl DecodeScratch {
+    /// An empty arena; plans and buffers grow on first use.
+    pub fn new() -> Self {
+        DecodeScratch::default()
+    }
+
+    /// The plan cache, for pre-warming outside the hot path.
+    pub fn plans(&mut self) -> &mut PlanCache {
+        &mut self.plans
+    }
+}
+
+/// Reusable intermediate buffers for one decode pass.
+#[derive(Clone, Debug, Default)]
+struct DecodeBufs {
+    trace: Vec<Sample>,
+    sort_aux: Vec<Sample>,
+    grid: Vec<f64>,
+    centred: Vec<f64>,
+    fft_work: Vec<Complex64>,
+    czt_in: Vec<Complex64>,
+    czt_work: Vec<Complex64>,
+    czt_out: Vec<Complex64>,
+    ones: Vec<f64>,
+    zeros: Vec<f64>,
+}
+
+/// The spectrum transform resolved by the [`decode_into`] prologue:
+/// either a zero-padded FFT plan or a CZT zoom plan, borrowed from the
+/// arena's [`PlanCache`] for the duration of the kernel.
+#[derive(Clone, Copy, Debug)]
+enum SpectrumPlan<'a> {
+    Fft(&'a FftPlan),
+    Czt(&'a CztPlan),
+}
+
 /// Decodes a spotlight RSS trace against a known spatial code.
 ///
 /// `tag_center` is the detector's estimate of the tag position;
 /// `tag_axis_yaw` the tag's array-axis rotation (0 = along +x).
-// lint: hot-path
+///
+/// Convenience wrapper over [`decode_into`] with a throwaway scratch
+/// arena; batch callers reuse a [`DecodeScratch`] instead.
 pub fn decode(
     samples: &[RssSample],
     tag_center: Vec3,
@@ -155,16 +207,160 @@ pub fn decode(
     code: &SpatialCode,
     cfg: &DecoderConfig,
 ) -> Result<DecodeResult, DecodeError> {
+    let mut scratch = DecodeScratch::new();
+    let mut out = DecodeResult::default();
+    decode_into(samples, tag_center, tag_axis_yaw, code, cfg, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// [`decode`] through a reusable [`DecodeScratch`] arena, writing the
+/// result in place. Plans are resolved (and built on first use) here
+/// in the prologue; the spectral kernel then runs allocation-free and
+/// bit-identical to the direct path. On error `out` holds unspecified
+/// intermediate state.
+pub fn decode_into(
+    samples: &[RssSample],
+    tag_center: Vec3,
+    tag_axis_yaw: f64,
+    code: &SpatialCode,
+    cfg: &DecoderConfig,
+    scratch: &mut DecodeScratch,
+    out: &mut DecodeResult,
+) -> Result<(), DecodeError> {
     let _span = ros_obs::span("decode");
     ros_obs::count("decode.attempts", 1);
     let lambda = ros_em::constants::LAMBDA_CENTER_M;
+    let max_span_m = (code.max_pair_spacing_m() / lambda + 8.0) * lambda;
+
+    // Resolve every plan this configuration needs (cache misses build
+    // here, outside the kernel); the combined resolvers hand back
+    // coexisting shared references.
+    let DecodeScratch { plans, bufs } = scratch;
+    let (table, plan) = if cfg.use_czt {
+        let u_max = (cfg.fov_rad / 2.0).sin();
+        let (w, a) =
+            rcs_model::czt_zoom_params(cfg.n_grid, u_max, lambda, max_span_m, cfg.n_grid * 2);
+        let (table, czt) =
+            plans.window_and_czt(cfg.window, cfg.n_grid, cfg.n_grid, cfg.n_grid * 2, w, a);
+        (table, SpectrumPlan::Czt(czt))
+    } else {
+        let (table, fft) = plans.window_and_fft(
+            cfg.window,
+            cfg.n_grid,
+            (cfg.n_grid * cfg.zero_pad).next_power_of_two(),
+        );
+        (table, SpectrumPlan::Fft(fft))
+    };
+
+    let res = decode_core(
+        samples,
+        tag_center,
+        tag_axis_yaw,
+        code,
+        cfg,
+        max_span_m,
+        table,
+        plan,
+        bufs,
+        out,
+    );
+    match &res {
+        Err(DecodeError::TooFewSamples { got }) => {
+            ros_obs::count("decode.errors", 1);
+            ros_obs::event(
+                "decode.error",
+                &[("reason", "too_few_samples".into()), ("got", (*got).into())],
+            );
+        }
+        Err(DecodeError::NoNoiseReference) => {
+            ros_obs::count("decode.errors", 1);
+            ros_obs::event("decode.error", &[("reason", "no_noise_reference".into())]);
+        }
+        Ok(()) => {
+            if ros_obs::enabled() {
+                let max_amp = out
+                    .slot_amplitudes
+                    .iter()
+                    .fold(0.0, |m, &a| f64::max(m, a));
+                ros_obs::count("decode.ok", 1);
+                ros_obs::hist("decode.snr_db", stats::snr_db(out.snr_linear));
+                for a in &out.slot_amplitudes {
+                    ros_obs::hist("decode.slot_amp", *a);
+                }
+                if ros_obs::detail() {
+                    for (i, (a, b)) in out.slot_amplitudes.iter().zip(&out.bits).enumerate() {
+                        ros_obs::event_detail(
+                            "decode.slot",
+                            &[
+                                ("idx", i.into()),
+                                ("amp", (*a).into()),
+                                ("bit", (*b).into()),
+                                ("margin", (a - cfg.threshold * max_amp).into()),
+                            ],
+                        );
+                    }
+                }
+                let word: String = out.bits.iter().map(|b| if *b { '1' } else { '0' }).collect();
+                ros_obs::event(
+                    "decode.result",
+                    &[
+                        ("bits", word.as_str().into()),
+                        ("snr_db", stats::snr_db(out.snr_linear).into()),
+                        ("n_samples", out.n_samples_used.into()),
+                    ],
+                );
+                if !out.erasures.is_empty() {
+                    ros_obs::event(
+                        "decode.partial",
+                        &[
+                            ("erasures", out.erasures.len().into()),
+                            ("slots", out.bits.len().into()),
+                        ],
+                    );
+                }
+            }
+        }
+    }
+    res
+}
+
+/// The §6 decode flow proper, against pre-resolved plans and scratch
+/// buffers. Allocation-free once the buffers have grown to capacity;
+/// observability stays in [`decode_into`]'s prologue/epilogue.
+// lint: hot-path
+#[allow(clippy::too_many_arguments)]
+fn decode_core(
+    samples: &[RssSample],
+    tag_center: Vec3,
+    tag_axis_yaw: f64,
+    code: &SpatialCode,
+    cfg: &DecoderConfig,
+    max_span_m: f64,
+    table: &WindowTable,
+    plan: SpectrumPlan<'_>,
+    bufs: &mut DecodeBufs,
+    out: &mut DecodeResult,
+) -> Result<(), DecodeError> {
+    let lambda = ros_em::constants::LAMBDA_CENTER_M;
     let u_max = (cfg.fov_rad / 2.0).sin();
+    let DecodeBufs {
+        trace,
+        sort_aux,
+        grid,
+        centred,
+        fft_work,
+        czt_in,
+        czt_work,
+        czt_out,
+        ones,
+        zeros,
+    } = bufs;
 
     // 1–2: map to u, compensate envelope. Non-finite RSS (clipped
     // ADC artefacts, corrupted frames) is rejected here — one NaN
     // sample would otherwise spread through the resampler into every
     // spectrum bin and decode as garbage instead of a typed error.
-    let mut trace: Vec<Sample> = Vec::with_capacity(samples.len());
+    trace.clear();
     let mut nonfinite = 0usize;
     for s in samples {
         if !s.rss.re.is_finite() || !s.rss.im.is_finite() || !s.radar_pos.x.is_finite()
@@ -202,183 +398,137 @@ pub fn decode(
         trace.push(Sample { x: u, y: p });
     }
     if trace.len() < 8 {
-        ros_obs::count("decode.errors", 1);
-        ros_obs::event(
-            "decode.error",
-            &[
-                ("reason", "too_few_samples".into()),
-                ("got", trace.len().into()),
-            ],
-        );
         return Err(DecodeError::TooFewSamples { got: trace.len() });
     }
     let n_used = trace.len();
 
     // 3: uniform resample + spectrum (zero-padded FFT or CZT zoom).
-    let grid = resample_uniform(trace, -u_max, u_max, cfg.n_grid);
-    let max_span_m = (code.max_pair_spacing_m() / lambda + 8.0) * lambda;
-    let (spacings, mags) = if cfg.use_czt {
-        rcs_model::rcs_spectrum_czt(
-            &grid,
+    // Raw spacings/magnitudes land directly in the result buffers; the
+    // magnitudes are normalized in place once the noise RMS is known.
+    resample_uniform_into(trace, -u_max, u_max, cfg.n_grid, sort_aux, grid);
+    match plan {
+        SpectrumPlan::Fft(p) => rcs_model::rcs_spectrum_windowed_into(
+            grid,
             u_max,
             lambda,
+            cfg.zero_pad,
+            table,
+            p,
+            centred,
+            fft_work,
+            &mut out.spectrum_spacings_m,
+            &mut out.spectrum_mags,
+        ),
+        SpectrumPlan::Czt(p) => rcs_model::rcs_spectrum_czt_into(
+            grid,
             max_span_m,
-            cfg.n_grid * 2,
-            cfg.window,
-        )
-    } else {
-        rcs_model::rcs_spectrum_windowed(&grid, u_max, lambda, cfg.zero_pad, cfg.window)
-    };
+            table,
+            p,
+            centred,
+            czt_in,
+            czt_work,
+            czt_out,
+            &mut out.spectrum_spacings_m,
+            &mut out.spectrum_mags,
+        ),
+    }
+    let spacings = &out.spectrum_spacings_m;
 
     // 4: coding-slot amplitudes, peak-searched within ±0.5λ (tolerant
     // of small tracking-induced spectral shifts; slots are 1.5λ apart).
-    let slots = code.slot_spacings_lambda();
     let tol = 0.5 * lambda;
-    let slot_amps_raw: Vec<f64> = slots
-        .iter()
-        .map(|&sl| {
-            let target = sl * lambda;
-            spacings
-                .iter()
-                .zip(&mags)
-                .filter(|(s, _)| (**s - target).abs() <= tol)
-                .map(|(_, &m)| m)
-                .fold(0.0, f64::max)
-        })
-        .collect();
+    out.slot_amplitudes.clear();
+    for k in 1..=code.capacity_bits() {
+        let target = code.slot_spacing_lambda(k) * lambda;
+        let mut amp = 0.0f64;
+        for (s, m) in spacings.iter().zip(out.spectrum_mags.iter()) {
+            if (*s - target).abs() <= tol {
+                amp = f64::max(amp, *m);
+            }
+        }
+        out.slot_amplitudes.push(amp);
+    }
 
     // Noise floor: bins away from EVERY predictable spectral feature.
     // The all-ones layout fixes where peaks can appear — the coding
     // slots plus every secondary (coding-stack pairwise) spacing — so
     // any bin ≥0.75λ away from all of them is pure noise/leakage.
-    let mut features: Vec<f64> = slots.iter().map(|&s| s * lambda).collect();
-    let signed: Vec<f64> = (1..=code.capacity_bits())
-        .map(|k| code.slot_position_m(k))
-        .collect();
-    for i in 0..signed.len() {
-        for j in 0..signed.len() {
+    // Only the feature *maximum* matters, so the features are folded
+    // on the fly instead of materialized.
+    let mut max_feature = 0.0f64;
+    for k in 1..=code.capacity_bits() {
+        max_feature = f64::max(max_feature, code.slot_spacing_lambda(k) * lambda);
+    }
+    for i in 1..=code.capacity_bits() {
+        for j in 1..=code.capacity_bits() {
             if i != j {
-                features.push((signed[i] - signed[j]).abs());
+                let spacing = (code.slot_position_m(i) - code.slot_position_m(j)).abs();
+                max_feature = f64::max(max_feature, spacing);
             }
         }
     }
     // The noise region sits beyond the largest possible feature, so it
     // stays clean at any field of view (narrow FoVs broaden every peak
     // and would contaminate in-band gaps).
-    let max_feature = features.iter().cloned().fold(0.0, f64::max);
     let noise_lo = max_feature + 1.5 * lambda;
     let noise_hi = max_feature + 6.0 * lambda;
-    let noise_bins: Vec<f64> = spacings
-        .iter()
-        .zip(&mags)
-        .filter(|(s, _)| **s >= noise_lo && **s <= noise_hi)
-        .map(|(_, &m)| m)
-        .collect();
-    if noise_bins.is_empty() {
-        ros_obs::count("decode.errors", 1);
-        ros_obs::event(
-            "decode.error",
-            &[("reason", "no_noise_reference".into())],
-        );
+    let mut noise_sum = 0.0f64;
+    let mut noise_count = 0usize;
+    for (s, m) in spacings.iter().zip(out.spectrum_mags.iter()) {
+        if *s >= noise_lo && *s <= noise_hi {
+            noise_sum += m * m;
+            noise_count += 1;
+        }
+    }
+    if noise_count == 0 {
         return Err(DecodeError::NoNoiseReference);
     }
-    let noise_rms = (noise_bins.iter().map(|m| m * m).sum::<f64>()
-        / noise_bins.len().as_f64())
-        .sqrt()
-        .max(1e-300);
+    let noise_rms = (noise_sum / noise_count.as_f64()).sqrt().max(1e-300);
 
     // Normalize amplitudes by the band noise (the §6 "normalized by the
     // overall power within the coding band").
-    let slot_amplitudes: Vec<f64> = slot_amps_raw.iter().map(|a| a / noise_rms).collect();
-    let spectrum_mags: Vec<f64> = mags.iter().map(|m| m / noise_rms).collect();
+    for a in out.slot_amplitudes.iter_mut() {
+        *a /= noise_rms;
+    }
+    for m in out.spectrum_mags.iter_mut() {
+        *m /= noise_rms;
+    }
 
     // 5: threshold into bits and estimate SNR. The effective decision
     // level is `T = max(threshold·max_amp, 4·noise_rms)`; amplitudes
     // inside the `±erasure_margin·T` dead zone around it decode as
     // erasures — the bit is still reported but flagged as untrusted,
     // which the reader surfaces as a `PartialDecode` verdict.
-    let max_amp = slot_amplitudes.iter().cloned().fold(0.0, f64::max);
+    let max_amp = out.slot_amplitudes.iter().fold(0.0, |m, &a| f64::max(m, a));
     let effective_t = (cfg.threshold * max_amp).max(4.0);
-    let bits: Vec<bool> = slot_amplitudes
-        .iter()
-        .map(|&a| a > cfg.threshold * max_amp && a > 4.0)
-        .collect();
-    let erasures: Vec<usize> = if cfg.erasure_margin > 0.0 {
-        slot_amplitudes
-            .iter()
-            .enumerate()
-            .filter(|(_, &a)| (a - effective_t).abs() <= cfg.erasure_margin * effective_t)
-            .map(|(i, _)| i)
-            .collect()
-    } else {
-        Vec::new()
-    };
-
-    let ones: Vec<f64> = slot_amplitudes
-        .iter()
-        .zip(&bits)
-        .filter(|(_, &b)| b)
-        .map(|(&a, _)| a)
-        .collect();
-    let zeros: Vec<f64> = slot_amplitudes
-        .iter()
-        .zip(&bits)
-        .filter(|(_, &b)| !b)
-        .map(|(&a, _)| a)
-        .collect();
-    // σ = 1 after normalization (band noise RMS); pooled slot variance
-    // guards against wobbly peaks.
-    let snr_linear = stats::ook_snr(&ones, &zeros, 1.0);
-
-    if ros_obs::enabled() {
-        ros_obs::count("decode.ok", 1);
-        ros_obs::hist("decode.snr_db", stats::snr_db(snr_linear));
-        for a in &slot_amplitudes {
-            ros_obs::hist("decode.slot_amp", *a);
-        }
-        if ros_obs::detail() {
-            for (i, (a, b)) in slot_amplitudes.iter().zip(&bits).enumerate() {
-                ros_obs::event_detail(
-                    "decode.slot",
-                    &[
-                        ("idx", i.into()),
-                        ("amp", (*a).into()),
-                        ("bit", (*b).into()),
-                        ("margin", (a - cfg.threshold * max_amp).into()),
-                    ],
-                );
+    out.bits.clear();
+    for &a in out.slot_amplitudes.iter() {
+        out.bits.push(a > cfg.threshold * max_amp && a > 4.0);
+    }
+    out.erasures.clear();
+    if cfg.erasure_margin > 0.0 {
+        for (i, &a) in out.slot_amplitudes.iter().enumerate() {
+            if (a - effective_t).abs() <= cfg.erasure_margin * effective_t {
+                out.erasures.push(i);
             }
-        }
-        let word: String = bits.iter().map(|b| if *b { '1' } else { '0' }).collect();
-        ros_obs::event(
-            "decode.result",
-            &[
-                ("bits", word.as_str().into()),
-                ("snr_db", stats::snr_db(snr_linear).into()),
-                ("n_samples", n_used.into()),
-            ],
-        );
-        if !erasures.is_empty() {
-            ros_obs::event(
-                "decode.partial",
-                &[
-                    ("erasures", erasures.len().into()),
-                    ("slots", bits.len().into()),
-                ],
-            );
         }
     }
 
-    Ok(DecodeResult {
-        bits,
-        slot_amplitudes,
-        snr_linear,
-        spectrum_spacings_m: spacings,
-        spectrum_mags,
-        n_samples_used: n_used,
-        n_samples_nonfinite: nonfinite,
-        erasures,
-    })
+    ones.clear();
+    zeros.clear();
+    for (&a, &b) in out.slot_amplitudes.iter().zip(out.bits.iter()) {
+        if b {
+            ones.push(a);
+        } else {
+            zeros.push(a);
+        }
+    }
+    // σ = 1 after normalization (band noise RMS); pooled slot variance
+    // guards against wobbly peaks.
+    out.snr_linear = stats::ook_snr(ones, zeros, 1.0);
+    out.n_samples_used = n_used;
+    out.n_samples_nonfinite = nonfinite;
+    Ok(())
 }
 
 /// The radar's two-way element pattern used for envelope compensation.
@@ -643,6 +793,67 @@ mod tests {
         let b = decode(&trace, tag.mount(), 0.0, tag.code(), &czt_cfg).unwrap();
         assert_eq!(a.bits, b.bits);
         assert!((a.snr_db() - b.snr_db()).abs() < 2.0);
+    }
+
+    #[test]
+    fn decode_into_bit_identical_to_decode() {
+        let tag = code8()
+            .encode(&[true, false, true, true])
+            .unwrap()
+            .mounted_at(Vec3::new(0.0, 2.0, 0.0));
+        let trace = synth_trace(&tag, 2.0, Some(-62.0), 11);
+        let mut scratch = DecodeScratch::new();
+        let mut out = DecodeResult::default();
+        // One arena across FFT and CZT configs of different plan sizes,
+        // each decoded twice (dirty buffers on the second pass).
+        for cfg in [
+            DecoderConfig::default(),
+            DecoderConfig {
+                use_czt: true,
+                ..Default::default()
+            },
+            DecoderConfig {
+                n_grid: 256,
+                zero_pad: 4,
+                ..Default::default()
+            },
+        ] {
+            for _ in 0..2 {
+                let want = decode(&trace, tag.mount(), 0.0, tag.code(), &cfg).unwrap();
+                decode_into(
+                    &trace,
+                    tag.mount(),
+                    0.0,
+                    tag.code(),
+                    &cfg,
+                    &mut scratch,
+                    &mut out,
+                )
+                .unwrap();
+                assert_eq!(out.bits, want.bits);
+                assert_eq!(out.erasures, want.erasures);
+                assert_eq!(out.n_samples_used, want.n_samples_used);
+                assert_eq!(out.n_samples_nonfinite, want.n_samples_nonfinite);
+                assert_eq!(out.snr_linear.to_bits(), want.snr_linear.to_bits());
+                assert_eq!(out.slot_amplitudes.len(), want.slot_amplitudes.len());
+                for (a, b) in out.slot_amplitudes.iter().zip(&want.slot_amplitudes) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+                assert_eq!(out.spectrum_mags.len(), want.spectrum_mags.len());
+                for (a, b) in out.spectrum_mags.iter().zip(&want.spectrum_mags) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+                for (a, b) in out
+                    .spectrum_spacings_m
+                    .iter()
+                    .zip(&want.spectrum_spacings_m)
+                {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+        // All three configs' plans stayed cached in the one arena.
+        assert!(scratch.plans().len() >= 5);
     }
 
     #[test]

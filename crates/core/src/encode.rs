@@ -113,11 +113,19 @@ impl SpatialCode {
         sign * magnitude * LAMBDA_CENTER_M
     }
 
+    /// Slot distance from the reference stack for coding bit `k`
+    /// (1-based) in wavelengths, unsigned — one entry of
+    /// [`SpatialCode::slot_spacings_lambda`], computable without
+    /// allocating (hot-path decode kernels evaluate it per slot).
+    pub(crate) fn slot_spacing_lambda(&self, k: usize) -> f64 {
+        (self.m_stacks + k - 2).as_f64() * self.delta_c_lambda
+    }
+
     /// Slot distances from the reference stack in wavelengths,
     /// unsigned, in bit order.
     pub fn slot_spacings_lambda(&self) -> Vec<f64> {
         (1..=self.capacity_bits())
-            .map(|k| (self.m_stacks + k - 2).as_f64() * self.delta_c_lambda)
+            .map(|k| self.slot_spacing_lambda(k))
             .collect()
     }
 

@@ -14,9 +14,11 @@
 //! frequency spectrum whose coding-band peaks carry the bits. With
 //! `u ∈ [−1, 1]` the spacing resolution is λ/4 (§5.1).
 
-use ros_dsp::fft::{magnitudes, spectrum_padded};
-use ros_dsp::window::Window;
+use ros_dsp::czt::CztPlan;
+use ros_dsp::fft::{magnitudes, spectrum_padded, FftPlan};
+use ros_dsp::window::{Window, WindowTable};
 use ros_em::units::cast::AsF64;
+use ros_em::Complex64;
 
 /// The analytic array factor `|Σ e^{j4πd·u/λ}|²` of Eq. 6.
 pub fn multi_stack_factor(positions_m: &[f64], u: f64, lambda_m: f64) -> f64 {
@@ -103,6 +105,121 @@ pub fn rcs_spectrum_windowed(
         out.push(m);
     }
     (spacings, out)
+}
+
+/// Scratch-buffer twin of [`rcs_spectrum_windowed`]: identical
+/// `(spacings, mags)` written into the output buffers via a
+/// precomputed window table and FFT plan (the plan must be sized for
+/// `(rcs.len() · zero_pad_factor).next_power_of_two()`).
+/// Allocation-free once the buffers have grown to capacity.
+// lint: hot-path
+#[allow(clippy::too_many_arguments)]
+pub fn rcs_spectrum_windowed_into(
+    rcs: &[f64],
+    u_max: f64,
+    lambda_m: f64,
+    zero_pad_factor: usize,
+    table: &WindowTable,
+    plan: &FftPlan,
+    centred: &mut Vec<f64>,
+    work: &mut Vec<Complex64>,
+    spacings: &mut Vec<f64>,
+    mags: &mut Vec<f64>,
+) {
+    assert!(!rcs.is_empty() && u_max > 0.0 && zero_pad_factor >= 1);
+    let n_fft = (rcs.len() * zero_pad_factor).next_power_of_two();
+    assert_eq!(
+        plan.len(),
+        n_fft,
+        "FFT plan sized for the wrong zero-padded length"
+    );
+    let mean = rcs.iter().sum::<f64>() / rcs.len().as_f64();
+    centred.clear();
+    for &r in rcs {
+        centred.push(r - mean);
+    }
+    table.taper(centred);
+
+    work.clear();
+    for &x in centred.iter() {
+        work.push(Complex64::real(x));
+    }
+    work.resize(n_fft, Complex64::ZERO);
+    plan.process_forward(work);
+
+    let span_u = 2.0 * u_max;
+    let half = n_fft / 2;
+    spacings.clear();
+    mags.clear();
+    for (b, c) in work.iter().take(half).enumerate() {
+        let cycles_per_u = b.as_f64() / n_fft.as_f64() * (rcs.len() - 1).as_f64() / span_u;
+        spacings.push(cycles_per_u * lambda_m / 2.0);
+        mags.push(c.abs());
+    }
+}
+
+/// The chirp-Z arc parameters `(w, a)` that [`rcs_spectrum_czt`]'s
+/// zoom transform evaluates for an `rcs_len`-point input and `n_bins`
+/// output bins over `[0, max_spacing_m]` — exactly the expressions
+/// `ros_dsp::czt::zoom_spectrum` computes, so a `CztPlan` resolved
+/// with these parameters is bit-identical to the direct path.
+pub fn czt_zoom_params(
+    rcs_len: usize,
+    u_max: f64,
+    lambda_m: f64,
+    max_spacing_m: f64,
+    n_bins: usize,
+) -> (Complex64, Complex64) {
+    let span_u = 2.0 * u_max;
+    let cycles_per_sample_per_m = 2.0 / lambda_m * span_u / (rcs_len - 1).as_f64();
+    let f_end = max_spacing_m * cycles_per_sample_per_m;
+    let df = (f_end - 0.0) / (n_bins - 1).as_f64();
+    let a = Complex64::cis(std::f64::consts::TAU * 0.0);
+    let w = Complex64::cis(-std::f64::consts::TAU * df);
+    (w, a)
+}
+
+/// Scratch-buffer twin of [`rcs_spectrum_czt`]: identical `(spacings,
+/// mags)` via a precomputed window table and a [`CztPlan`] resolved
+/// from [`czt_zoom_params`]. Allocation-free once the buffers have
+/// grown to capacity.
+// lint: hot-path
+#[allow(clippy::too_many_arguments)]
+pub fn rcs_spectrum_czt_into(
+    rcs: &[f64],
+    max_spacing_m: f64,
+    table: &WindowTable,
+    plan: &CztPlan,
+    centred: &mut Vec<f64>,
+    czt_in: &mut Vec<Complex64>,
+    work: &mut Vec<Complex64>,
+    czt_out: &mut Vec<Complex64>,
+    spacings: &mut Vec<f64>,
+    mags: &mut Vec<f64>,
+) {
+    assert!(!rcs.is_empty());
+    let n_bins = plan.output_len();
+    assert!(n_bins >= 2, "CZT plan must produce at least two bins");
+    assert_eq!(plan.input_len(), rcs.len(), "CZT plan input length mismatch");
+    let mean = rcs.iter().sum::<f64>() / rcs.len().as_f64();
+    centred.clear();
+    for &r in rcs {
+        centred.push(r - mean);
+    }
+    table.taper(centred);
+
+    czt_in.clear();
+    for &v in centred.iter() {
+        czt_in.push(Complex64::real(v));
+    }
+    plan.process(czt_in, work, czt_out);
+
+    spacings.clear();
+    mags.clear();
+    for (i, c) in czt_out.iter().enumerate() {
+        spacings.push(max_spacing_m * i.as_f64() / (n_bins - 1).as_f64());
+        mags.push(c.abs());
+    }
 }
 
 /// The RCS frequency spectrum evaluated with the chirp-Z transform:
@@ -272,6 +389,82 @@ mod tests {
                 (a - b).abs() < 0.05 * a.max(b),
                 "slot {slot}λ: fft {a} vs czt {b}"
             );
+        }
+    }
+
+    #[test]
+    fn windowed_into_bit_identical_to_direct() {
+        let pos = paper_positions();
+        let rcs = sample_rcs_factor(&pos, LAM, 1.0, 200);
+        let zero_pad = 4;
+        let n_fft = (rcs.len() * zero_pad).next_power_of_two();
+        let plan = FftPlan::new(n_fft);
+        let table = WindowTable::new(Window::Hamming, rcs.len());
+        let (mut centred, mut work) = (Vec::new(), Vec::new());
+        let (mut spacings, mut mags) = (Vec::new(), Vec::new());
+        // Twice through the same buffers (first run leaves them dirty).
+        for _ in 0..2 {
+            rcs_spectrum_windowed_into(
+                &rcs,
+                1.0,
+                LAM,
+                zero_pad,
+                &table,
+                &plan,
+                &mut centred,
+                &mut work,
+                &mut spacings,
+                &mut mags,
+            );
+            let (want_s, want_m) =
+                rcs_spectrum_windowed(&rcs, 1.0, LAM, zero_pad, Window::Hamming);
+            assert_eq!(spacings.len(), want_s.len());
+            assert_eq!(mags.len(), want_m.len());
+            for (a, b) in spacings.iter().zip(&want_s) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in mags.iter().zip(&want_m) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn czt_into_bit_identical_to_direct() {
+        let pos = paper_positions();
+        // Non-power-of-two trace length to exercise the CZT fully.
+        let rcs = sample_rcs_factor(&pos, LAM, 1.0, 171);
+        let max_spacing = 25.0 * LAM;
+        let n_bins = 300;
+        let (w, a) = czt_zoom_params(rcs.len(), 1.0, LAM, max_spacing, n_bins);
+        let plan = CztPlan::new(rcs.len(), n_bins, w, a);
+        let table = WindowTable::new(Window::Hann, rcs.len());
+        let mut centred = Vec::new();
+        let (mut czt_in, mut work, mut czt_out) = (Vec::new(), Vec::new(), Vec::new());
+        let (mut spacings, mut mags) = (Vec::new(), Vec::new());
+        for _ in 0..2 {
+            rcs_spectrum_czt_into(
+                &rcs,
+                max_spacing,
+                &table,
+                &plan,
+                &mut centred,
+                &mut czt_in,
+                &mut work,
+                &mut czt_out,
+                &mut spacings,
+                &mut mags,
+            );
+            let (want_s, want_m) =
+                rcs_spectrum_czt(&rcs, 1.0, LAM, max_spacing, n_bins, Window::Hann);
+            assert_eq!(spacings.len(), want_s.len());
+            assert_eq!(mags.len(), want_m.len());
+            for (x, y) in spacings.iter().zip(&want_s) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            for (x, y) in mags.iter().zip(&want_m) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
         }
     }
 

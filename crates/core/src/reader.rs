@@ -17,19 +17,21 @@
 //!   *detected* cluster centre. Used for the Fig. 11/13 experiments
 //!   and integration tests.
 
-use crate::decode::{decode, DecodeResult, DecoderConfig, RssSample};
+use crate::decode::{decode_into, DecodeResult, DecodeScratch, DecoderConfig, RssSample};
 use crate::detector::{pick_tag, score_clusters, DetectorConfig, ScoredCluster};
 use crate::tag::Tag;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use ros_dsp::window::{Window, WindowTable};
 use ros_em::jones::Polarization;
 use ros_em::units::cast::AsF64;
 use ros_em::{Complex64, Vec3};
 use ros_fault::{BurstDraw, CorruptionMode, FaultPlan, FaultSchedule, FrameFaults};
 use ros_radar::echo::{Echo, Pose};
 use ros_radar::impairments::saturate_frame;
-use ros_radar::pointcloud::PointCloud;
-use ros_radar::radar::{FmcwRadar, RadarMode};
+use ros_radar::pointcloud::{PointCloud, RadarPoint};
+use ros_radar::processing::DetectScratch;
+use ros_radar::radar::{CaptureScratch, FmcwRadar, RadarMode};
 use ros_scene::objects::ClutterObject;
 use ros_scene::reflector::{EchoContext, Reflector};
 use ros_scene::tracking::TrackingError;
@@ -421,7 +423,18 @@ impl DriveBy {
             }
         }
 
-        let decode_result = decode(&samples, center_est, 0.0, self.tag.code(), &cfg.decoder);
+        let mut decode_scratch = DecodeScratch::new();
+        let mut dec = DecodeResult::default();
+        let decode_result = decode_into(
+            &samples,
+            center_est,
+            0.0,
+            self.tag.code(),
+            &cfg.decoder,
+            &mut decode_scratch,
+            &mut dec,
+        )
+        .map(|()| dec);
         let mut outcome = Outcome::from_parts(samples, decode_result, None, Vec::new());
         outcome.frame_verdicts = frame_verdicts;
         ros_obs::event(
@@ -479,7 +492,11 @@ impl DriveBy {
                 }
             }
         }
-        let mut frames = self.radar.capture_batch(&jobs, &mut rng).into_iter();
+        let mut capture_scratch = CaptureScratch::default();
+        let mut captured = Vec::new();
+        self.radar
+            .capture_batch_with(&jobs, &mut rng, &mut capture_scratch, &mut captured);
+        let mut frames = captured.into_iter();
         let mut switched_frames = Vec::with_capacity(truth.len());
         let mut native_frames = Vec::new();
         for (i, pos_believed) in believed.iter().enumerate() {
@@ -509,6 +526,8 @@ impl DriveBy {
 
         // Detection cloud from the native-mode frames (detection is a
         // pure per-frame function, so the fan-out changes nothing).
+        // One detect arena per worker keeps the FFT plan and every
+        // intermediate buffer warm across the frames a worker handles.
         // Dropped frames never reach the cloud; corrupted ones have
         // their returns mangled (NaN/∞/outlier range) *before* DBSCAN,
         // which the hardened clustering must absorb.
@@ -516,8 +535,16 @@ impl DriveBy {
         let mut corrupted_points = vec![0usize; switched_frames.len()];
         {
             let _detect = ros_obs::span("reader.detect");
-            let detections =
-                ros_exec::par_map(&native_frames, |(frame, _)| self.radar.detect(frame));
+            let workers = ros_exec::threads().max(1).min(native_frames.len().max(1));
+            let mut detect_scratches = vec![DetectScratch::default(); workers];
+            let mut detections: Vec<Vec<RadarPoint>> = vec![Vec::new(); native_frames.len()];
+            ros_exec::par_for_each_mut(
+                &mut detect_scratches,
+                &mut detections,
+                |scratch, j, pts| {
+                    self.radar.detect_with(&native_frames[j].0, scratch, pts);
+                },
+            );
             for (j, ((_, pos_believed), pts)) in
                 native_frames.iter().zip(&detections).enumerate()
             {
@@ -579,6 +606,9 @@ impl DriveBy {
         // across the pass in both modes, skipping frames where another
         // cluster occupies the same range–azimuth cell (its energy
         // would leak into the spotlight and corrupt the loss feature).
+        // Every spotlight in this run shares one precomputed Hann
+        // table (all frames have the chirp's sample count).
+        let spot_table = WindowTable::new(Window::Hann, self.radar.chirp.n_samples);
         let range_res = self.radar.chirp.range_resolution_m();
         let h = self.radar_height_m;
         let clusters = score_clusters(&cloud, &cfg.detector, |members, center2d, others2d| {
@@ -630,7 +660,7 @@ impl DriveBy {
                 let n_dbm = 10.0
                     * self
                         .radar
-                        .spotlight(frame_nat, center)
+                        .spotlight_with(frame_nat, center, &spot_table)
                         .norm_sqr()
                         .max(1e-300)
                         .log10();
@@ -640,7 +670,7 @@ impl DriveBy {
                 let s_dbm = 10.0
                     * self
                         .radar
-                        .spotlight(frame_sw, center)
+                        .spotlight_with(frame_sw, center, &spot_table)
                         .norm_sqr()
                         .max(1e-300)
                         .log10();
@@ -667,13 +697,26 @@ impl DriveBy {
             let _spotlight = ros_obs::span("reader.spotlight");
             let raw = ros_exec::par_map(&switched_frames, |(frame, pos_believed)| RssSample {
                 radar_pos: *pos_believed,
-                rss: self.radar.spotlight(frame, spot),
+                rss: self.radar.spotlight_with(frame, spot, &spot_table),
             });
             apply_stream_faults(raw, schedule.as_ref())
         };
         ros_obs::count("reader.frames", samples.len());
 
-        let decode_result = decode(&samples, spot, 0.0, self.tag.code(), &cfg.decoder);
+        // One decode arena for the pass: the main decode and every
+        // per-cluster decode share the same plans and buffers.
+        let mut decode_scratch = DecodeScratch::new();
+        let mut dec = DecodeResult::default();
+        let decode_result = decode_into(
+            &samples,
+            spot,
+            0.0,
+            self.tag.code(),
+            &cfg.decoder,
+            &mut decode_scratch,
+            &mut dec,
+        )
+        .map(|()| dec.clone());
 
         // Decode every tag-classified cluster independently (multi-tag
         // advertising boards, §5.3).
@@ -688,14 +731,24 @@ impl DriveBy {
                 .iter()
                 .map(|(frame, pos_believed)| RssSample {
                     radar_pos: *pos_believed,
-                    rss: self.radar.spotlight(frame, center),
+                    rss: self.radar.spotlight_with(frame, center, &spot_table),
                 })
                 .collect();
             let trace = apply_stream_faults(trace, schedule.as_ref());
-            if let Ok(dec) = decode(&trace, center, 0.0, self.tag.code(), &cfg.decoder) {
+            if decode_into(
+                &trace,
+                center,
+                0.0,
+                self.tag.code(),
+                &cfg.decoder,
+                &mut decode_scratch,
+                &mut dec,
+            )
+            .is_ok()
+            {
                 all_tags.push(DecodedTag {
                     center,
-                    decode: dec,
+                    decode: dec.clone(),
                 });
             }
         }

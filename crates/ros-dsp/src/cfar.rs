@@ -66,11 +66,21 @@ impl Detection {
 /// edges). Cells must also be local maxima so one target produces one
 /// detection, not a run of them.
 pub fn ca_cfar(power: &[f64], params: &CfarParams) -> Vec<Detection> {
+    let mut detections = Vec::new();
+    ca_cfar_into(power, params, &mut detections);
+    detections
+}
+
+/// Scratch-buffer twin of [`ca_cfar`]: identical detections written
+/// into `out` (cleared first). Allocation-free once `out` has grown to
+/// capacity, so it is safe to call from `lint: hot-path` kernels.
+// lint: hot-path
+pub fn ca_cfar_into(power: &[f64], params: &CfarParams, out: &mut Vec<Detection>) {
+    out.clear();
     let n = power.len();
     if n == 0 || params.training == 0 {
-        return Vec::new();
+        return;
     }
-    let mut detections = Vec::new();
     for i in 0..n {
         // Leading (left) training window.
         let left_hi = i.saturating_sub(params.guard);
@@ -117,14 +127,13 @@ pub fn ca_cfar(power: &[f64], params: &CfarParams) -> Vec<Detection> {
             && (i + 1 >= n || power[i] > power[i + 1] || power[i + 1].is_nan());
 
         if is_local_max && power[i] > params.threshold_factor * noise {
-            detections.push(Detection {
+            out.push(Detection {
                 index: i,
                 power: power[i],
                 noise,
             });
         }
     }
-    detections
 }
 
 #[cfg(test)]
@@ -315,6 +324,25 @@ mod tests {
             assert!(det.noise.is_finite() && det.power.is_finite());
             assert!(det.snr_db().is_finite());
         }
+    }
+
+    #[test]
+    fn into_variant_matches_direct() {
+        let mut p = flat_noise(64, 1.0);
+        p[30] = 100.0;
+        p[20] = f64::NAN;
+        p[50] = 40.0;
+        let direct = ca_cfar(&p, &CfarParams::default());
+        let mut out = vec![
+            Detection {
+                index: 1,
+                power: 2.0,
+                noise: 3.0
+            };
+            4
+        ]; // dirty buffer must be cleared
+        ca_cfar_into(&p, &CfarParams::default(), &mut out);
+        assert_eq!(direct, out);
     }
 
     #[test]

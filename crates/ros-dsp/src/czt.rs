@@ -11,7 +11,7 @@
 //! `k = 0..m`, which for `a = e^{j2πf₀}` and `w = e^{−j2πδf}` is the
 //! spectrum from `f₀` in steps of `δf` (cycles/sample).
 
-use crate::fft::{fft_in_place, ifft_in_place};
+use crate::fft::{fft_in_place, ifft_in_place, FftPlan};
 use ros_em::Complex64;
 use ros_em::units::cast::AsF64;
 
@@ -21,7 +21,10 @@ use ros_em::units::cast::AsF64;
 /// Implemented with Bluestein's identity `nk = (n² + k² − (k−n)²)/2`,
 /// turning the transform into one convolution of length ≥ `n + m − 1`
 /// evaluated by FFT.
-// lint: hot-path
+///
+/// This is the direct (allocating) reference; the hot decode path uses
+/// [`CztPlan`], which precomputes the chirp tables once and then runs
+/// allocation-free with bit-identical output.
 pub fn czt(x: &[Complex64], m: usize, w: Complex64, a: Complex64) -> Vec<Complex64> {
     let n = x.len();
     if n == 0 || m == 0 {
@@ -67,6 +70,124 @@ pub fn czt(x: &[Complex64], m: usize, w: Complex64, a: Complex64) -> Vec<Complex
     ifft_in_place(&mut fa);
 
     (0..m).map(|k| fa[k] * chirp[k]).collect()
+}
+
+/// A precomputed chirp-Z plan: Bluestein chirp tables, `a`-power
+/// table, and the pre-transformed convolution kernel `FFT(B)` for one
+/// fixed `(n, m, w, a)` quadruple.
+///
+/// [`CztPlan::process`] reruns only the per-call work — modulate,
+/// convolve via the embedded [`FftPlan`], demodulate — into
+/// caller-supplied buffers, so steady-state evaluation allocates
+/// nothing. The table build uses the exact arithmetic of [`czt`]
+/// (same `from_polar` phases, same multiply order), making planned
+/// output bit-identical to the direct function.
+#[derive(Clone, Debug)]
+pub struct CztPlan {
+    n: usize,
+    m: usize,
+    l: usize,
+    /// `w^{k²/2}` for `k < max(n, m)`.
+    chirp: Vec<Complex64>,
+    /// `a^{−i}` for `i < n`.
+    a_pow: Vec<Complex64>,
+    /// FFT of the arranged `B[k] = w^{−k²/2}` kernel (length `l`).
+    fb_fft: Vec<Complex64>,
+    fft: FftPlan,
+}
+
+impl CztPlan {
+    /// Builds a plan for `czt(x, m, w, a)` with `x.len() == n`.
+    pub fn new(n: usize, m: usize, w: Complex64, a: Complex64) -> Self {
+        if n == 0 || m == 0 {
+            return CztPlan {
+                n,
+                m,
+                l: 1,
+                chirp: Vec::new(),
+                a_pow: Vec::new(),
+                fb_fft: Vec::new(),
+                fft: FftPlan::new(1),
+            };
+        }
+        let l = (n + m - 1).next_power_of_two();
+        let kmax = n.max(m);
+        let mut chirp = Vec::with_capacity(kmax);
+        let theta = w.arg();
+        let mag = w.abs();
+        for k in 0..kmax {
+            let k2 = (k.as_f64()) * (k.as_f64()) / 2.0;
+            let amp = mag.powf(k2);
+            chirp.push(Complex64::from_polar(amp, theta * k2));
+        }
+        let a_theta = a.arg();
+        let a_mag = a.abs();
+        let mut a_pow = Vec::with_capacity(n);
+        for i in 0..n {
+            a_pow.push(Complex64::from_polar(
+                a_mag.powf(-(i.as_f64())),
+                -a_theta * i.as_f64(),
+            ));
+        }
+        let mut fb = vec![Complex64::ZERO; l];
+        for k in 0..m {
+            fb[k] = chirp[k].inv();
+        }
+        for i in 1..n {
+            fb[l - i] = chirp[i].inv();
+        }
+        let fft = FftPlan::new(l);
+        fft.process_forward(&mut fb);
+        CztPlan {
+            n,
+            m,
+            l,
+            chirp,
+            a_pow,
+            fb_fft: fb,
+            fft,
+        }
+    }
+
+    /// Input length `n` the plan expects.
+    pub fn input_len(&self) -> usize {
+        self.n
+    }
+
+    /// Number of output bins `m`.
+    pub fn output_len(&self) -> usize {
+        self.m
+    }
+
+    /// Evaluates the planned transform of `x` into `out`, using `work`
+    /// as convolution scratch. Bit-identical to
+    /// `czt(x, m, w, a)`; allocation-free once the buffers have grown
+    /// to capacity.
+    ///
+    /// # Panics
+    /// Panics if `x.len()` differs from the planned input length.
+    // lint: hot-path
+    pub fn process(&self, x: &[Complex64], work: &mut Vec<Complex64>, out: &mut Vec<Complex64>) {
+        assert_eq!(x.len(), self.n, "plan is for input length {}", self.n);
+        out.clear();
+        if self.n == 0 || self.m == 0 {
+            out.resize(self.m, Complex64::ZERO);
+            return;
+        }
+        work.clear();
+        work.resize(self.l, Complex64::ZERO);
+        for i in 0..self.n {
+            work[i] = x[i] * self.a_pow[i] * self.chirp[i];
+        }
+        self.fft.process_forward(work);
+        for i in 0..self.l {
+            work[i] = work[i] * self.fb_fft[i];
+        }
+        self.fft.process_inverse(work);
+        for k in 0..self.m {
+            out.push(work[k] * self.chirp[k]);
+        }
+    }
 }
 
 /// Zoom spectrum of a real signal: `m` bins spanning
@@ -201,5 +322,46 @@ mod tests {
         let z = czt(&[], 4, Complex64::ONE, Complex64::ONE);
         assert_eq!(z.len(), 4);
         assert!(z.iter().all(|c| *c == Complex64::ZERO));
+    }
+
+    fn assert_bits_eq(a: &[Complex64], b: &[Complex64]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn plan_bit_identical_to_direct() {
+        // Includes a deliberately non-power-of-two input length.
+        for (n, m) in [(17usize, 23usize), (16, 16), (1, 5), (40, 7)] {
+            let x: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.7).sin(), (i as f64 * 0.31).cos()))
+                .collect();
+            let a = Complex64::cis(0.3);
+            let w = Complex64::cis(-0.05);
+            let direct = czt(&x, m, w, a);
+            let plan = CztPlan::new(n, m, w, a);
+            assert_eq!(plan.input_len(), n);
+            assert_eq!(plan.output_len(), m);
+            let mut work = Vec::new();
+            let mut out = Vec::new();
+            plan.process(&x, &mut work, &mut out);
+            assert_bits_eq(&direct, &out);
+            // Reusing the dirty work/out buffers changes nothing.
+            plan.process(&x, &mut work, &mut out);
+            assert_bits_eq(&direct, &out);
+        }
+    }
+
+    #[test]
+    fn plan_degenerate_sizes() {
+        let plan = CztPlan::new(0, 4, Complex64::ONE, Complex64::ONE);
+        let mut work = Vec::new();
+        let mut out = Vec::new();
+        plan.process(&[], &mut work, &mut out);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|c| *c == Complex64::ZERO));
     }
 }

@@ -96,6 +96,139 @@ fn transform(data: &mut [Complex64], inverse: bool) {
     }
 }
 
+/// A precomputed radix-2 FFT plan for one transform size.
+///
+/// FFTW-style setup/execute split: [`FftPlan::new`] does all the
+/// trigonometry (per-stage twiddle tables, both signs) and the
+/// bit-reversal permutation once; [`FftPlan::process_forward`] /
+/// [`FftPlan::process_inverse`] then run allocation-free and are safe
+/// to mark `lint: hot-path`. Twiddles are generated with the *same*
+/// `w = w · w_len` recurrence the direct [`fft_in_place`] butterfly
+/// uses, so planned transforms are bit-identical to the direct ones —
+/// a property pinned by the plan-identity proptests.
+#[derive(Clone, Debug)]
+pub struct FftPlan {
+    n: usize,
+    /// Bit-reversal target for each index (u32 keeps the table compact).
+    rev: Vec<u32>,
+    /// Concatenated per-stage forward twiddles (len/2 entries per stage).
+    fwd: Vec<Complex64>,
+    /// Same layout, inverse sign.
+    inv: Vec<Complex64>,
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of length `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            is_power_of_two(n),
+            "FFT length must be a power of two, got {n}"
+        );
+        // Bit-reversal permutation targets — the identical j-walk
+        // `transform` performs, captured once.
+        let mut rev = Vec::with_capacity(n);
+        let mut j = 0usize;
+        for _ in 0..n {
+            rev.push(j as u32); // lint: allow-cast(index < n, fits u32)
+            let mut m = n >> 1;
+            while m >= 1 && j & m != 0 {
+                j ^= m;
+                m >>= 1;
+            }
+            j |= m;
+        }
+        // Twiddle tables via the exact butterfly recurrence (not
+        // `cis(k·ang)`), so table[k] has the same bits as the running
+        // `w` in the direct implementation.
+        let mut fwd = Vec::new();
+        let mut inv = Vec::new();
+        for (sign, table) in [(-1.0f64, &mut fwd), (1.0f64, &mut inv)] {
+            let mut len = 2;
+            while len <= n {
+                let ang = sign * std::f64::consts::TAU / len.as_f64();
+                let wlen = Complex64::cis(ang);
+                let mut w = Complex64::ONE;
+                for _ in 0..len / 2 {
+                    table.push(w);
+                    w = w * wlen;
+                }
+                len <<= 1;
+            }
+        }
+        FftPlan { n, rev, fwd, inv }
+    }
+
+    /// Transform size this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True only for the degenerate length-0 plan (which cannot exist:
+    /// `new` rejects 0). Present for API completeness.
+    // lint: allow-dead-pub(len/is_empty API pair)
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward FFT; bit-identical to [`fft_in_place`].
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the planned size.
+    // lint: hot-path
+    pub fn process_forward(&self, data: &mut [Complex64]) {
+        self.butterflies(data, &self.fwd);
+    }
+
+    /// In-place inverse FFT normalized by `1/N`; bit-identical to
+    /// [`ifft_in_place`].
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the planned size.
+    // lint: hot-path
+    pub fn process_inverse(&self, data: &mut [Complex64]) {
+        self.butterflies(data, &self.inv);
+        let n = self.n.as_f64();
+        for v in data.iter_mut() {
+            *v = *v / n;
+        }
+    }
+
+    fn butterflies(&self, data: &mut [Complex64], twiddles: &[Complex64]) {
+        let n = self.n;
+        assert_eq!(data.len(), n, "plan is for length {n}");
+        if n <= 1 {
+            return;
+        }
+        for i in 0..n {
+            let j = self.rev[i] as usize; // lint: allow-cast(u32 widens losslessly)
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        let mut base = 0usize;
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stage = &twiddles[base..base + half];
+            let mut i = 0;
+            while i < n {
+                for k in 0..half {
+                    let u = data[i + k];
+                    let v = data[i + k + half] * stage[k];
+                    data[i + k] = u + v;
+                    data[i + k + half] = u - v;
+                }
+                i += len;
+            }
+            base += half;
+            len <<= 1;
+        }
+    }
+}
+
 /// Forward FFT of a real-valued sequence, zero-padded to at least
 /// `min_len` (rounded up to a power of two). Returns the full complex
 /// spectrum of length `max(len, min_len).next_power_of_two()`.
@@ -268,5 +401,72 @@ mod tests {
         let spec = vec![Complex64::new(3.0, 4.0), Complex64::ZERO];
         assert_eq!(magnitudes(&spec), vec![5.0, 0.0]);
         assert_eq!(powers(&spec), vec![25.0, 0.0]);
+    }
+
+    fn ramp(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 1.3).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn plan_forward_bit_identical_to_direct() {
+        for n in [1usize, 2, 4, 8, 64, 256] {
+            let plan = FftPlan::new(n);
+            assert_eq!(plan.len(), n);
+            let mut a = ramp(n);
+            let mut b = a.clone();
+            fft_in_place(&mut a);
+            plan.process_forward(&mut b);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.re.to_bits(), y.re.to_bits(), "n={n}");
+                assert_eq!(x.im.to_bits(), y.im.to_bits(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_inverse_bit_identical_to_direct() {
+        for n in [1usize, 2, 16, 128] {
+            let plan = FftPlan::new(n);
+            let mut a = ramp(n);
+            let mut b = a.clone();
+            ifft_in_place(&mut a);
+            plan.process_inverse(&mut b);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.re.to_bits(), y.re.to_bits(), "n={n}");
+                assert_eq!(x.im.to_bits(), y.im.to_bits(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn plan_rejects_non_power_of_two() {
+        let _ = FftPlan::new(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "plan is for length")]
+    fn plan_rejects_wrong_length() {
+        let plan = FftPlan::new(8);
+        let mut d = vec![Complex64::ZERO; 4];
+        plan.process_forward(&mut d);
+    }
+
+    #[test]
+    fn plan_reuse_is_stateless() {
+        // Two consecutive executes on the same plan give the same bits
+        // — the plan carries no per-call state.
+        let plan = FftPlan::new(32);
+        let orig = ramp(32);
+        let mut a = orig.clone();
+        let mut b = orig.clone();
+        plan.process_forward(&mut a);
+        plan.process_forward(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
     }
 }

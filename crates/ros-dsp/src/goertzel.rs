@@ -7,7 +7,7 @@
 //! `ros_radar::processing::spotlight` and anywhere else a matched
 //! single-tone correlation is needed.
 
-use crate::window::Window;
+use crate::window::{Window, WindowTable};
 use ros_em::Complex64;
 use ros_em::units::cast::AsF64;
 
@@ -50,6 +50,41 @@ pub fn single_bin_windowed(
         ph = ph * step;
     }
     let gain = window.coherent_gain(n).max(1e-12);
+    acc / (n.as_f64() * gain)
+}
+
+/// Windowed single-bin DFT driven by a precomputed [`WindowTable`].
+///
+/// Bit-identical to [`single_bin_windowed`] for a table of matching
+/// shape and length, but allocation-free: the per-call
+/// `coherent_gain` scratch vector of the direct version is replaced by
+/// the table's stored gain. This is the variant the spotlight
+/// beamformer uses on the per-frame hot path.
+///
+/// # Panics
+/// Panics if the table length differs from `signal.len()` (empty
+/// signals short-circuit first, as in the direct version).
+// lint: hot-path
+pub fn single_bin_windowed_table(
+    signal: &[Complex64],
+    cycles_per_sample: f64,
+    table: &WindowTable,
+) -> Complex64 {
+    if signal.is_empty() {
+        return Complex64::ZERO;
+    }
+    let n = signal.len();
+    let coeffs = table.coeffs();
+    assert_eq!(coeffs.len(), n, "window table is for length {}", coeffs.len());
+    let w = -std::f64::consts::TAU * cycles_per_sample;
+    let step = Complex64::cis(w);
+    let mut ph = Complex64::ONE;
+    let mut acc = Complex64::ZERO;
+    for (i, &s) in signal.iter().enumerate() {
+        acc += s * ph * coeffs[i];
+        ph = ph * step;
+    }
+    let gain = table.gain().max(1e-12);
     acc / (n.as_f64() * gain)
 }
 
@@ -121,6 +156,21 @@ mod tests {
     fn empty_signal() {
         assert_eq!(single_bin(&[], 0.1), Complex64::ZERO);
         assert_eq!(single_bin_windowed(&[], 0.1, Window::Hann), Complex64::ZERO);
+        let table = WindowTable::new(Window::Hann, 0);
+        assert_eq!(single_bin_windowed_table(&[], 0.1, &table), Complex64::ZERO);
+    }
+
+    #[test]
+    fn table_variant_bit_identical() {
+        let f = 10.37 / 256.0;
+        let x = tone(256, f, 1.7, -0.4);
+        for win in [Window::Rect, Window::Hann, Window::Hamming, Window::Blackman] {
+            let table = WindowTable::new(win, x.len());
+            let direct = single_bin_windowed(&x, f, win);
+            let tabled = single_bin_windowed_table(&x, f, &table);
+            assert_eq!(direct.re.to_bits(), tabled.re.to_bits(), "{win:?}");
+            assert_eq!(direct.im.to_bits(), tabled.im.to_bits(), "{win:?}");
+        }
     }
 
     #[test]

@@ -35,10 +35,12 @@ pub mod goertzel;
 pub mod interp;
 pub mod music;
 pub mod peaks;
+pub mod plan;
 pub mod resample;
 pub mod stats;
 pub mod window;
 
 pub use dbscan::{dbscan, DbscanParams};
-pub use fft::{fft_in_place, ifft_in_place, spectrum_padded};
+pub use fft::{fft_in_place, ifft_in_place, spectrum_padded, FftPlan};
 pub use peaks::{find_peaks, Peak, PeakParams};
+pub use plan::PlanCache;

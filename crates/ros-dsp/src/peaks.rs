@@ -92,6 +92,71 @@ pub fn find_peaks(data: &[f64], params: &PeakParams) -> Vec<Peak> {
     peaks
 }
 
+/// Stable in-place insertion sort by descending value — the same
+/// permutation `sort_by(|a, b| b.value.total_cmp(&a.value))` produces
+/// (both are stable), but without `std`'s runtime merge buffer. Peak
+/// lists on the hot path are short (a handful of coding/AoA peaks), so
+/// the quadratic worst case is irrelevant.
+fn sort_desc_by_value(peaks: &mut [Peak]) {
+    for i in 1..peaks.len() {
+        let mut j = i;
+        while j > 0 && peaks[j - 1].value.total_cmp(&peaks[j].value) == std::cmp::Ordering::Less {
+            peaks.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+}
+
+/// Scratch-buffer twin of [`find_peaks`]: identical detections written
+/// into `out` (cleared first). Allocation-free once `out` has grown to
+/// capacity, so it is safe to call from `lint: hot-path` kernels.
+// lint: hot-path
+pub fn find_peaks_into(data: &[f64], params: &PeakParams, out: &mut Vec<Peak>) {
+    out.clear();
+    let n = data.len();
+    if n < 3 {
+        return;
+    }
+    for i in 1..n - 1 {
+        // A strict local max; plateaus are attributed to their left edge.
+        if data[i] > data[i - 1] && data[i] >= data[i + 1] {
+            if data[i] < params.min_height {
+                continue;
+            }
+            let prominence = prominence_at(data, i);
+            if prominence < params.min_prominence {
+                continue;
+            }
+            out.push(Peak {
+                index: i,
+                value: data[i],
+                prominence,
+                refined_index: parabolic_refine(data, i),
+            });
+        }
+    }
+
+    sort_desc_by_value(out);
+
+    if params.min_separation > 0 {
+        // Greedy strongest-first keep, compacted in place: the kept
+        // set is always a prefix of `out`, so the separation test can
+        // run against the already-written prefix.
+        let mut write = 0usize;
+        for i in 0..out.len() {
+            let p = out[i];
+            if out[..write]
+                .iter()
+                .all(|q| p.index.abs_diff(q.index) >= params.min_separation)
+            {
+                out[write] = p;
+                write += 1;
+            }
+        }
+        out.truncate(write);
+    }
+}
+
 /// Prominence of the local maximum at `i`: walk left and right until a
 /// sample higher than `data[i]` is found (or the edge); the prominence
 /// is `data[i]` minus the higher of the two interval minima.
@@ -266,6 +331,38 @@ mod tests {
     fn max_value_handles_empty() {
         assert_eq!(max_value(&[]), 0.0);
         assert_eq!(max_value(&[1.0, 7.0, 3.0]), 7.0);
+    }
+
+    #[test]
+    fn into_variant_matches_direct() {
+        // Ties, separation, thresholds — the into variant must agree
+        // exactly (same order, same bits) with the allocating one.
+        let d = [0.0, 4.0, 0.0, 5.0, 0.0, 4.0, 0.0, 2.0, 0.0, 5.0, 0.0];
+        for params in [
+            PeakParams::default(),
+            PeakParams {
+                min_separation: 3,
+                ..Default::default()
+            },
+            PeakParams {
+                min_height: 3.0,
+                min_prominence: 1.0,
+                min_separation: 2,
+            },
+        ] {
+            let direct = find_peaks(&d, &params);
+            let mut out = vec![
+                Peak {
+                    index: 9,
+                    value: 9.9,
+                    prominence: 0.0,
+                    refined_index: 0.0
+                };
+                2
+            ]; // dirty buffer must be cleared
+            find_peaks_into(&d, &params, &mut out);
+            assert_eq!(direct, out);
+        }
     }
 
     #[test]

@@ -75,11 +75,106 @@ pub fn interp(samples: &[Sample], x: f64) -> f64 {
     }
 }
 
+/// Stable bottom-up merge sort of samples by `x`, using `aux` as the
+/// merge buffer. Stability makes the output permutation identical to
+/// the `sort_by(total_cmp)` the direct path uses — `std`'s stable sort
+/// allocates a scratch buffer at runtime, which is exactly what the
+/// hot path must avoid.
+fn merge_sort_by_x(samples: &mut [Sample], aux: &mut Vec<Sample>) {
+    let n = samples.len();
+    aux.clear();
+    aux.resize(n, Sample { x: 0.0, y: 0.0 });
+    let mut width = 1;
+    while width < n {
+        let mut lo = 0;
+        while lo < n {
+            let mid = (lo + width).min(n);
+            let hi = (lo + 2 * width).min(n);
+            if mid < hi {
+                let (mut i, mut j) = (lo, mid);
+                for k in lo..hi {
+                    if i < mid
+                        && (j >= hi
+                            || samples[i].x.total_cmp(&samples[j].x) != std::cmp::Ordering::Greater)
+                    {
+                        aux[k] = samples[i];
+                        i += 1;
+                    } else {
+                        aux[k] = samples[j];
+                        j += 1;
+                    }
+                }
+                samples[lo..hi].copy_from_slice(&aux[lo..hi]);
+            }
+            lo = hi;
+        }
+        width *= 2;
+    }
+}
+
+/// In-place twin of the [`sort_dedup`] compaction pass: averages runs
+/// of exactly-equal abscissae, writing the survivors to the front and
+/// truncating. Same run grouping and summation order as the direct
+/// path, so the averaged values carry the same bits.
+fn dedup_average_in_place(samples: &mut Vec<Sample>) {
+    let n = samples.len();
+    let mut write = 0usize;
+    let mut i = 0usize;
+    while i < n {
+        let x = samples[i].x;
+        let mut sum = 0.0;
+        let mut cnt = 0usize;
+        while i < n && samples[i].x == x {
+            sum += samples[i].y;
+            cnt += 1;
+            i += 1;
+        }
+        samples[write] = Sample {
+            x,
+            y: sum / cnt.as_f64(),
+        };
+        write += 1;
+    }
+    samples.truncate(write);
+}
+
+/// Scratch-buffer twin of [`resample_uniform`]: sorts/dedups `samples`
+/// in place (it is consumed as working storage, exactly like the
+/// by-value direct version) and writes the uniform grid into `out`.
+/// `aux` is merge-sort scratch. Bit-identical to the direct path;
+/// allocation-free once all three buffers have grown to capacity.
+// lint: hot-path
+pub fn resample_uniform_into(
+    samples: &mut Vec<Sample>,
+    x0: f64,
+    x1: f64,
+    n: usize,
+    aux: &mut Vec<Sample>,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    if samples.is_empty() || n == 0 {
+        return;
+    }
+    merge_sort_by_x(samples, aux);
+    dedup_average_in_place(samples);
+    for i in 0..n {
+        let x = if n == 1 {
+            (x0 + x1) / 2.0
+        } else {
+            x0 + (x1 - x0) * i.as_f64() / (n - 1).as_f64()
+        };
+        out.push(interp(samples, x));
+    }
+}
+
 /// Resamples a non-uniform trace onto `n` uniform points spanning
 /// `[x0, x1]`. The input is sorted/deduplicated internally.
 ///
 /// Returns an empty vector when the input is empty or `n == 0`.
-// lint: hot-path
+///
+/// This is the direct (allocating) reference; the hot decode path uses
+/// [`resample_uniform_into`] with caller-held scratch.
 pub fn resample_uniform(mut samples: Vec<Sample>, x0: f64, x1: f64, n: usize) -> Vec<f64> {
     if samples.is_empty() || n == 0 {
         return Vec::new();
@@ -172,6 +267,53 @@ mod tests {
     fn resample_single_point_grid() {
         let out = resample_uniform(vec![s(0.0, 0.0), s(1.0, 10.0)], 0.0, 1.0, 1);
         assert_eq!(out, vec![5.0]); // midpoint of the span
+    }
+
+    #[test]
+    fn into_variant_bit_identical_to_direct() {
+        // Awkward data: duplicates, negative zero, unsorted, ties.
+        let data = vec![
+            s(0.3, 1.0),
+            s(-0.2, 4.0),
+            s(0.3, 3.0),
+            s(0.0, 7.0),
+            s(-0.0, 9.0),
+            s(0.11, -2.5),
+            s(-0.2, 6.0),
+            s(0.3, 5.0),
+        ];
+        for n in [0usize, 1, 2, 7, 64] {
+            let direct = resample_uniform(data.clone(), -0.5, 0.5, n);
+            let mut work = data.clone();
+            let mut aux = Vec::new();
+            let mut out = vec![99.0; 3]; // dirty buffer must be cleared
+            resample_uniform_into(&mut work, -0.5, 0.5, n, &mut aux, &mut out);
+            assert_eq!(direct.len(), out.len(), "n={n}");
+            for (a, b) in direct.iter().zip(&out) {
+                assert_eq!(a.to_bits(), b.to_bits(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn into_variant_scratch_reuse_across_sizes() {
+        // The same scratch buffers serve different trace lengths and
+        // grid sizes without leaking state between calls.
+        let mut aux = Vec::new();
+        let mut out = Vec::new();
+        for len in [3usize, 17, 5, 64, 2] {
+            let data: Vec<Sample> = (0..len)
+                .map(|i| s(((i * 7919) % len) as f64 / len as f64, i as f64 * 0.3))
+                .collect();
+            let n = len * 2;
+            let direct = resample_uniform(data.clone(), 0.0, 1.0, n);
+            let mut work = data;
+            resample_uniform_into(&mut work, 0.0, 1.0, n, &mut aux, &mut out);
+            assert_eq!(direct.len(), out.len());
+            for (a, b) in direct.iter().zip(&out) {
+                assert_eq!(a.to_bits(), b.to_bits(), "len={len}");
+            }
+        }
     }
 
     #[test]

@@ -61,6 +61,90 @@ impl Window {
         }
         self.generate(n).iter().sum::<f64>() / n.as_f64()
     }
+
+    /// Stable cache key for plan maps (`BTreeMap`-friendly).
+    pub fn key(self) -> u8 {
+        match self {
+            Window::Rect => 0,
+            Window::Hann => 1,
+            Window::Hamming => 2,
+            Window::Blackman => 3,
+        }
+    }
+}
+
+/// A window evaluated once for a fixed length: coefficient table plus
+/// precomputed coherent gain.
+///
+/// [`Window::apply`] and [`Window::coherent_gain`] re-evaluate the
+/// taper (and the gain even allocates a scratch vector) on every call;
+/// on the per-frame hot path that cost is pure waste because the
+/// length never changes. `WindowTable` front-loads both, and its
+/// [`taper`](WindowTable::taper) runs allocation-free with bit-identical
+/// results (the table is filled by the same [`Window::coeff`] the
+/// direct path evaluates).
+#[derive(Clone, Debug)]
+pub struct WindowTable {
+    window: Window,
+    coeffs: Vec<f64>,
+    gain: f64,
+}
+
+impl WindowTable {
+    /// Evaluates `window` for signals of length `n`.
+    pub fn new(window: Window, n: usize) -> Self {
+        WindowTable {
+            window,
+            coeffs: window.generate(n),
+            gain: window.coherent_gain(n),
+        }
+    }
+
+    /// The window shape this table was built from.
+    pub fn window(&self) -> Window {
+        self.window
+    }
+
+    /// Signal length the table covers.
+    pub fn len(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// True when built for length 0.
+    // lint: allow-dead-pub(len/is_empty API pair)
+    pub fn is_empty(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// The raw coefficient table.
+    pub(crate) fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Precomputed coherent gain — the same value
+    /// [`Window::coherent_gain`] computes, without the per-call
+    /// allocation.
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// Applies the taper in place; bit-identical to [`Window::apply`]
+    /// on a signal of the planned length.
+    ///
+    /// # Panics
+    /// Panics if `signal.len()` differs from the table length.
+    // lint: hot-path
+    pub fn taper(&self, signal: &mut [f64]) {
+        assert_eq!(
+            signal.len(),
+            self.coeffs.len(),
+            "window table is for length {}",
+            self.coeffs.len()
+        );
+        for (s, &c) in signal.iter_mut().zip(self.coeffs.iter()) {
+            *s *= c;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +218,41 @@ mod tests {
         assert_eq!(Window::Hann.generate(0).len(), 0);
         assert_eq!(Window::Hann.generate(1), vec![1.0]);
         assert_eq!(Window::Blackman.coeff(0, 1), 1.0);
+    }
+
+    #[test]
+    fn table_matches_direct_window_bitwise() {
+        for win in [Window::Rect, Window::Hann, Window::Hamming, Window::Blackman] {
+            for n in [0usize, 1, 7, 64] {
+                let table = WindowTable::new(win, n);
+                assert_eq!(table.window(), win);
+                assert_eq!(table.len(), n);
+                assert_eq!(
+                    table.gain().to_bits(),
+                    win.coherent_gain(n).to_bits(),
+                    "{win:?} n={n}"
+                );
+                let mut direct: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+                let mut tabled = direct.clone();
+                win.apply(&mut direct);
+                table.taper(&mut tabled);
+                for (a, b) in direct.iter().zip(&tabled) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{win:?} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_keys_distinct() {
+        let keys: Vec<u8> = [Window::Rect, Window::Hann, Window::Hamming, Window::Blackman]
+            .iter()
+            .map(|w| w.key())
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), keys.len());
     }
 
     #[test]

@@ -206,6 +206,80 @@ where
     chunks.into_iter().flatten().collect()
 }
 
+/// Parallel in-place transform with per-worker scratch arenas:
+/// `f(&mut scratches[w], i, &mut items[i])` for every item, where `w`
+/// is the index of the worker chunk the item landed in.
+///
+/// This is the zero-allocation sibling of [`par_map`]: results are
+/// written *into* the items (no output vector, no per-chunk collect
+/// buffers), and each worker thread gets exclusive `&mut` access to
+/// one scratch arena from the caller-held pool. Determinism at any
+/// thread count holds under the same contract as `par_map` — `f`'s
+/// writes to `items[i]` must depend only on `items[i]` (plus captured
+/// shared state), never on scratch *contents* left by other items;
+/// scratch is working memory, not a carrier of results.
+///
+/// At most `min(threads(), scratches.len(), items.len())` workers run;
+/// with one worker the call degenerates to a plain serial loop over
+/// `scratches[0]` with no thread machinery and no allocation at all,
+/// which is what the steady-state allocation-budget tests pin.
+///
+/// # Panics
+/// Panics if `scratches` is empty while `items` is not, and propagates
+/// worker panics after the scope joins.
+// lint: hot-path
+pub fn par_for_each_mut<S, T, F>(scratches: &mut [S], items: &mut [T], f: F)
+where
+    S: Send,
+    T: Send,
+    F: Fn(&mut S, usize, &mut T) + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    assert!(
+        !scratches.is_empty(),
+        "par_for_each_mut needs at least one scratch arena"
+    );
+    let workers = threads().max(1).min(scratches.len()).min(n);
+    if workers <= 1 {
+        // Serial fast path: no thread setup, identical evaluation order.
+        let scratch = &mut scratches[0];
+        for (i, item) in items.iter_mut().enumerate() {
+            f(scratch, i, item);
+        }
+        return;
+    }
+    let chunk_len = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        // Walk both slices with split_at_mut so each spawned worker
+        // owns a disjoint (scratch, chunk) pair. No handle vector is
+        // collected: the scope joins every worker on exit and re-raises
+        // the first panic, so the spawn loop itself stays
+        // allocation-free (thread spawning is the OS's business).
+        let mut rest_items: &mut [T] = items;
+        let mut rest_scratch: &mut [S] = scratches;
+        let mut start = 0usize;
+        while !rest_items.is_empty() {
+            let take = chunk_len.min(rest_items.len());
+            let (chunk, items_tail) = rest_items.split_at_mut(take);
+            rest_items = items_tail;
+            let (scratch, scratch_tail) = rest_scratch.split_at_mut(1);
+            rest_scratch = scratch_tail;
+            let scratch = &mut scratch[0];
+            let base = start;
+            let f = &f;
+            scope.spawn(move || {
+                for (j, item) in chunk.iter_mut().enumerate() {
+                    f(scratch, base + j, item);
+                }
+            });
+            start += take;
+        }
+    });
+}
+
 /// Splits one master seed into independent per-item RNG seeds.
 ///
 /// Each work item `i` gets `stream(i)`, a 64-bit seed derived from the
@@ -349,6 +423,62 @@ mod tests {
                 assert!(*x != 5, "boom");
                 *x
             })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn for_each_mut_matches_serial_at_every_thread_count() {
+        let expect: Vec<f64> = (0..257)
+            .map(|i| (i as f64 * 0.37).sin() * (i as f64 + 1.0))
+            .collect();
+        for t in [1usize, 2, 3, 8, 64] {
+            let _pin = ThreadGuard::pin(Some(t));
+            let mut items: Vec<f64> = (0..257).map(|i| i as f64).collect();
+            let mut scratches = vec![0.0f64; t];
+            par_for_each_mut(&mut scratches, &mut items, |scratch, i, item| {
+                // Scratch is used as working memory but never carries
+                // information between items.
+                *scratch = (*item * 0.37).sin();
+                *item = *scratch * (i as f64 + 1.0);
+            });
+            let bits: Vec<u64> = items.iter().map(|v| v.to_bits()).collect();
+            let expect_bits: Vec<u64> = expect.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits, expect_bits, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn for_each_mut_clamps_workers_to_scratch_pool() {
+        // 8 threads requested but only 2 arenas: must still process
+        // every item exactly once, in order-independent fashion.
+        let _pin = ThreadGuard::pin(Some(8));
+        let mut items: Vec<u64> = (0..100).collect();
+        let mut scratches = [0u64; 2];
+        par_for_each_mut(&mut scratches, &mut items, |_, i, item| {
+            *item += i as u64;
+        });
+        let expect: Vec<u64> = (0..100).map(|i| 2 * i).collect();
+        assert_eq!(items, expect);
+    }
+
+    #[test]
+    fn for_each_mut_empty_items_is_noop() {
+        let mut items: Vec<u64> = Vec::new();
+        let mut scratches: [u64; 0] = [];
+        // Empty items must not even touch the (empty) scratch pool.
+        par_for_each_mut(&mut scratches, &mut items, |_, _, _| {});
+    }
+
+    #[test]
+    fn for_each_mut_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            let _pin = ThreadGuard::pin(Some(4));
+            let mut items = [1u64, 2, 3, 4, 5, 6, 7, 8];
+            let mut scratches = [0u64; 4];
+            par_for_each_mut(&mut scratches, &mut items, |_, _, item| {
+                assert!(*item != 5, "boom");
+            });
         });
         assert!(result.is_err());
     }

@@ -60,6 +60,15 @@ impl Judged {
 }
 
 impl Baseline {
+    /// Total grandfathered debt for one rule, summed across entries.
+    pub fn rule_debt(&self, rule: &str) -> usize {
+        self.counts
+            .iter()
+            .filter(|((r, _, _), _)| r == rule)
+            .map(|(_, n)| *n)
+            .sum()
+    }
+
     /// Judges `findings` (sorted by the engine) against this baseline.
     pub fn judge(&self, findings: &[Finding]) -> Judged {
         let mut remaining = self.counts.clone();
@@ -145,6 +154,84 @@ pub fn render(findings: &[Finding]) -> String {
     s
 }
 
+/// Canonical debt-ratchet file name, resolved against the workspace
+/// root. Maps rule IDs to the *maximum* baselined debt each may carry;
+/// `xtask ratchet` fails whenever a rule's baseline debt exceeds its
+/// ceiling — and also when it dips below it, forcing the ceiling down
+/// (`--tighten`) so the count can never silently bounce back up.
+pub const RATCHET_FILE: &str = "lint-ratchet.json";
+
+/// Loads the ratchet ceilings. A missing file means no ceilings (the
+/// check is opt-in per rule); a malformed one is an error for the same
+/// reason a malformed baseline is.
+pub fn load_ratchet(path: &Path) -> Result<BTreeMap<String, usize>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(BTreeMap::new()),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    let doc =
+        json::parse(&text).map_err(|e| format!("malformed ratchet {}: {e}", path.display()))?;
+    let entries = doc
+        .get("ceilings")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("ratchet {} has no `ceilings` array", path.display()))?;
+    let mut out = BTreeMap::new();
+    for e in entries {
+        let rule = e
+            .get("rule")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "ratchet entry missing string field `rule`".to_string())?;
+        let max = e
+            .get("max")
+            .and_then(Value::as_f64)
+            .filter(|n| (0.0..=1e6).contains(n) && n.fract() <= 0.0)
+            .ok_or_else(|| "ratchet entry missing non-negative integer `max`".to_string())?;
+        out.insert(rule.to_string(), max as usize); // lint: allow-cast(validated integral, 0..=1e6)
+    }
+    Ok(out)
+}
+
+/// Renders ceilings as a ratchet document.
+pub fn render_ratchet(ceilings: &BTreeMap<String, usize>) -> String {
+    let mut s = String::from("{\n  \"version\": 1,\n  \"ceilings\": [\n");
+    let total = ceilings.len();
+    for (i, (rule, max)) in ceilings.iter().enumerate() {
+        let comma = if i + 1 < total { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"max\": {max}}}{comma}\n",
+            json::escape(rule)
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Judges the baseline's per-rule debt against the ratchet ceilings.
+/// Returns one human-readable violation per broken ceiling; an empty
+/// vector is a pass. Both directions fail: debt above the ceiling is
+/// regression, debt below it means the ceiling itself must be lowered
+/// so the improvement is locked in.
+pub fn judge_ratchet(baseline: &Baseline, ceilings: &BTreeMap<String, usize>) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (rule, &max) in ceilings {
+        let debt = baseline.rule_debt(rule);
+        if debt > max {
+            violations.push(format!(
+                "`{rule}` baseline debt grew to {debt} (ratchet ceiling {max}); \
+                 fix the regression instead of re-baselining"
+            ));
+        } else if debt < max {
+            violations.push(format!(
+                "`{rule}` baseline debt fell to {debt} but the ratchet ceiling is \
+                 still {max}; run `cargo run -p xtask -- ratchet --tighten` to lock \
+                 the improvement in"
+            ));
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +296,59 @@ mod tests {
         assert_eq!(judged.baselined_count(), 1);
         assert_eq!(judged.stale.len(), 1);
         assert_eq!(judged.stale[0].1, "gone.rs");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ratchet_passes_only_at_the_exact_ceiling() {
+        let bl_src = render(&[
+            finding("alloc-in-hot-path", "a.rs", 3, "m1"),
+            finding("alloc-in-hot-path", "a.rs", 9, "m1"),
+            finding("alloc-in-hot-path", "b.rs", 1, "m2"),
+            finding("float-eq", "c.rs", 2, "m3"),
+        ]);
+        let dir = std::env::temp_dir().join(format!("ros-lint-rt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join(BASELINE_FILE);
+        std::fs::write(&path, &bl_src).expect("write");
+        let bl = load(&path).expect("load");
+        assert_eq!(bl.rule_debt("alloc-in-hot-path"), 3);
+        assert_eq!(bl.rule_debt("float-eq"), 1);
+        assert_eq!(bl.rule_debt("no-such-rule"), 0);
+
+        let at = BTreeMap::from([("alloc-in-hot-path".to_string(), 3usize)]);
+        assert!(judge_ratchet(&bl, &at).is_empty());
+
+        // Debt above the ceiling: regression.
+        let below = BTreeMap::from([("alloc-in-hot-path".to_string(), 2usize)]);
+        let v = judge_ratchet(&bl, &below);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("grew"), "{}", v[0]);
+
+        // Debt below the ceiling: the ceiling must come down too.
+        let above = BTreeMap::from([("alloc-in-hot-path".to_string(), 7usize)]);
+        let v = judge_ratchet(&bl, &above);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("tighten"), "{}", v[0]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ratchet_round_trips_and_tolerates_absence() {
+        let dir = std::env::temp_dir().join(format!("ros-lint-rt2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join(RATCHET_FILE);
+        assert!(load_ratchet(&path).expect("missing = empty").is_empty());
+
+        let ceilings = BTreeMap::from([
+            ("alloc-in-hot-path".to_string(), 0usize),
+            ("nondet-iter".to_string(), 4usize),
+        ]);
+        std::fs::write(&path, render_ratchet(&ceilings)).expect("write");
+        assert_eq!(load_ratchet(&path).expect("load"), ceilings);
+
+        std::fs::write(&path, "{ not json").expect("write");
+        assert!(load_ratchet(&path).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

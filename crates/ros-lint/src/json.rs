@@ -79,7 +79,7 @@ impl std::fmt::Display for ParseError {
 pub fn parse(src: &str) -> Result<Value, ParseError> {
     let mut p = Parser { b: src.as_bytes(), i: 0 };
     p.ws();
-    let v = p.value()?;
+    let v = p.parse_value()?;
     p.ws();
     if p.i != p.b.len() {
         return Err(ParseError { at: p.i, msg: "trailing content" });
@@ -112,20 +112,20 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self) -> Result<Value, ParseError> {
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
         match self.b.get(self.i) {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Value::Str(self.string()?)),
-            Some(b't') => self.literal("true", Value::Bool(true)),
-            Some(b'f') => self.literal("false", Value::Bool(false)),
-            Some(b'n') => self.literal("null", Value::Null),
-            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", Value::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Value::Bool(false)),
+            Some(b'n') => self.parse_literal("null", Value::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.parse_number(),
             _ => Err(self.err("expected a value")),
         }
     }
 
-    fn literal(&mut self, word: &'static str, v: Value) -> Result<Value, ParseError> {
+    fn parse_literal(&mut self, word: &'static str, v: Value) -> Result<Value, ParseError> {
         if self.b[self.i..].starts_with(word.as_bytes()) {
             self.i += word.len();
             Ok(v)
@@ -134,7 +134,7 @@ impl Parser<'_> {
         }
     }
 
-    fn object(&mut self) -> Result<Value, ParseError> {
+    fn parse_object(&mut self) -> Result<Value, ParseError> {
         self.eat(b'{')?;
         let mut m = BTreeMap::new();
         self.ws();
@@ -144,11 +144,11 @@ impl Parser<'_> {
         }
         loop {
             self.ws();
-            let k = self.string()?;
+            let k = self.parse_string()?;
             self.ws();
             self.eat(b':')?;
             self.ws();
-            let v = self.value()?;
+            let v = self.parse_value()?;
             m.insert(k, v);
             self.ws();
             match self.b.get(self.i) {
@@ -162,7 +162,7 @@ impl Parser<'_> {
         }
     }
 
-    fn array(&mut self) -> Result<Value, ParseError> {
+    fn parse_array(&mut self) -> Result<Value, ParseError> {
         self.eat(b'[')?;
         let mut a = Vec::new();
         self.ws();
@@ -172,7 +172,7 @@ impl Parser<'_> {
         }
         loop {
             self.ws();
-            a.push(self.value()?);
+            a.push(self.parse_value()?);
             self.ws();
             match self.b.get(self.i) {
                 Some(b',') => self.i += 1,
@@ -185,7 +185,7 @@ impl Parser<'_> {
         }
     }
 
-    fn string(&mut self) -> Result<String, ParseError> {
+    fn parse_string(&mut self) -> Result<String, ParseError> {
         self.eat(b'"')?;
         let mut s = String::new();
         loop {
@@ -242,7 +242,7 @@ impl Parser<'_> {
         }
     }
 
-    fn number(&mut self) -> Result<Value, ParseError> {
+    fn parse_number(&mut self) -> Result<Value, ParseError> {
         let start = self.i;
         if self.b.get(self.i) == Some(&b'-') {
             self.i += 1;

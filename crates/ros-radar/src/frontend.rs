@@ -115,24 +115,166 @@ pub(crate) fn synthesize_signal(
     Frame { data, pose }
 }
 
+/// Reusable split-complex scratch for [`synthesize_signal_into`]: the
+/// tone accumulator planes (sample-major, antenna-minor) and the
+/// per-antenna phasor lanes. Keeping real and imaginary parts in
+/// separate contiguous `f64` arrays lets the inner antenna loop
+/// autovectorize; one scratch per worker keeps the batch path
+/// allocation-free after warm-up.
+#[derive(Clone, Debug, Default)]
+pub struct SynthScratch {
+    acc_re: Vec<f64>,
+    acc_im: Vec<f64>,
+    ph_re: Vec<f64>,
+    ph_im: Vec<f64>,
+}
+
+/// Scratch-buffer twin of [`synthesize_signal`]: writes the identical
+/// noiseless frame into `frame`, reusing `scratch` between calls.
+///
+/// Bit-identity with the reference implementation holds because every
+/// per-element operation is preserved exactly: the phasor recurrence
+/// `phasor = phasor * rot` becomes the split-complex pair
+/// `(pr·rot.re − pi·rot.im, pr·rot.im + pi·rot.re)` — the literal
+/// expansion of `Complex64::mul` — and accumulation stays one add per
+/// (sample, antenna) per echo in the same echo order. Only the loop
+/// nest is transposed (sample-outer, antenna-inner) so the antenna
+/// lanes vectorize; the per-`k` operation sequence is unchanged.
+// lint: hot-path
+pub(crate) fn synthesize_signal_into(
+    chirp: &ChirpConfig,
+    array: &RadarArray,
+    pose: Pose,
+    echoes: &[Echo],
+    scratch: &mut SynthScratch,
+    frame: &mut Frame,
+) {
+    let n = chirp.n_samples;
+    let k_rx = array.n_rx;
+    let lambda = chirp.wavelength_m();
+
+    frame.pose = pose;
+    frame.data.truncate(k_rx);
+    while frame.data.len() < k_rx {
+        frame.data.push(Vec::default());
+    }
+    for row in frame.data.iter_mut() {
+        // Length fix-up only: every element is overwritten by the
+        // final transpose out of the accumulator planes, so a warm
+        // row of the right length needs no zero-fill pass.
+        if row.len() != n {
+            row.clear();
+            row.resize(n, Complex64::ZERO);
+        }
+    }
+
+    let SynthScratch {
+        acc_re,
+        acc_im,
+        ph_re,
+        ph_im,
+    } = scratch;
+    acc_re.clear();
+    acc_re.resize(n * k_rx, 0.0);
+    acc_im.clear();
+    acc_im.resize(n * k_rx, 0.0);
+    ph_re.clear();
+    ph_re.resize(k_rx, 0.0);
+    ph_im.clear();
+    ph_im.resize(k_rx, 0.0);
+
+    for echo in echoes {
+        if echo.amp == Complex64::ZERO {
+            continue;
+        }
+        let range = pose.range_to(echo.pos);
+        let az = pose.azimuth_to(echo.pos);
+        let g = radar_pattern(az);
+        // Gain is non-negative, so `<=` keeps the exact-zero skip
+        // behavior while avoiding an exact float comparison.
+        if g <= 0.0 {
+            continue;
+        }
+        // Two-way radar antenna pattern.
+        let amp = echo.amp * (g * g);
+        let f_beat = chirp.beat_frequency_hz(range);
+        let w = std::f64::consts::TAU * f_beat / chirp.sample_rate_hz;
+        let rot = Complex64::cis(w);
+        let (rot_re, rot_im) = (rot.re, rot.im);
+        for k in 0..k_rx {
+            let p = amp * Complex64::cis(array.steering_phase(k, az, lambda));
+            ph_re[k] = p.re;
+            ph_im[k] = p.im;
+        }
+        // Explicit k_rx-length reborrows so the `k` loops below carry
+        // no bounds checks and vectorize across the antenna lanes.
+        let ph_r = &mut ph_re[..k_rx];
+        let ph_i = &mut ph_im[..k_rx];
+        for j in 0..n {
+            let base = j * k_rx;
+            let acc_r = &mut acc_re[base..base + k_rx];
+            let acc_i = &mut acc_im[base..base + k_rx];
+            for k in 0..k_rx {
+                let pr = ph_r[k];
+                let pi = ph_i[k];
+                acc_r[k] += pr;
+                acc_i[k] += pi;
+                ph_r[k] = pr * rot_re - pi * rot_im;
+                ph_i[k] = pr * rot_im + pi * rot_re;
+            }
+        }
+    }
+
+    for (k, row) in frame.data.iter_mut().enumerate() {
+        for (j, s) in row.iter_mut().enumerate() {
+            *s = Complex64::new(acc_re[j * k_rx + k], acc_im[j * k_rx + k]);
+        }
+    }
+}
+
 /// Unit-variance complex Gaussian draws for one frame's thermal noise:
 /// `out[k][n]` pairs with sample `n` of antenna `k`. Draws consume the
-/// RNG in exactly the order [`synthesize_frame`] historically did
-/// (antenna-major, sample-major, re before im), so pre-drawing packets
-/// for a batch and applying them later is bit-identical to the serial
-/// capture loop.
+/// RNG in exactly the order [`synthesize_frame`] does (antenna-major,
+/// sample-major, one [`gaussian_pair`] per sample giving re then im),
+/// so pre-drawing packets for a batch and applying them later is
+/// bit-identical to the serial capture loop.
 pub(crate) fn draw_noise<R: Rng>(n_rx: usize, n_samples: usize, rng: &mut R) -> Vec<Vec<Complex64>> {
     (0..n_rx)
         .map(|_| {
             (0..n_samples)
                 .map(|_| {
-                    let re = gaussian(rng);
-                    let im = gaussian(rng);
+                    let (re, im) = gaussian_pair(rng);
                     Complex64::new(re, im)
                 })
                 .collect()
         })
         .collect()
+}
+
+/// Fills a pre-sized slice with unit-variance complex Gaussian draws in
+/// the [`draw_noise`] order (element-major, one pair per sample). Lets
+/// a batch interleave per-frame noise and phase-walk draws into flat
+/// segments of one reusable buffer.
+// lint: hot-path
+pub(crate) fn fill_noise<R: Rng>(rng: &mut R, out: &mut [Complex64]) {
+    for g in out.iter_mut() {
+        let (re, im) = gaussian_pair(rng);
+        *g = Complex64::new(re, im);
+    }
+}
+
+/// [`add_noise`] for a flat antenna-major noise buffer laid out
+/// `noise[k·n_samples + j]` (see [`fill_noise`]). Deterministic; safe
+/// on worker threads.
+// lint: hot-path
+pub(crate) fn add_noise_from_slice(frame: &mut Frame, noise: &[Complex64], sigma: f64) {
+    let n = frame.n_samples();
+    for (k, ant) in frame.data.iter_mut().enumerate() {
+        let nz = &noise[k * n..(k + 1) * n];
+        for (s, g) in ant.iter_mut().zip(nz) {
+            *s += Complex64::new(g.re * sigma, g.im * sigma);
+        }
+    }
 }
 
 /// Adds pre-drawn unit-variance noise (from [`draw_noise`]), scaled by
@@ -163,15 +305,27 @@ pub fn synthesize_frame<R: Rng>(
     frame
 }
 
-/// Standard normal sample via Box–Muller (avoids a rand_distr dep).
-fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+/// Standard normal *pair* via the Marsaglia polar method (avoids a
+/// rand_distr dep). Noise is always consumed as (re, im) pairs, and the
+/// polar transform hands back two independent normals per accepted
+/// candidate — for the cost of one `ln` + one `sqrt` and **no** trig,
+/// where the one-at-a-time Box–Muller this replaced spent an `ln`, a
+/// `sqrt` *and* a `cos` per single normal. The rejection loop (≈21.5%
+/// of candidates fall outside the unit disc) is deterministic for a
+/// seeded RNG, which is all the capture pipeline requires.
+// lint: hot-path
+fn gaussian_pair<R: Rng>(rng: &mut R) -> (f64, f64) {
     loop {
-        let u1: f64 = rng.gen::<f64>();
-        if u1 <= f64::MIN_POSITIVE {
+        let x = 2.0 * rng.gen::<f64>() - 1.0;
+        let y = 2.0 * rng.gen::<f64>() - 1.0;
+        let s = x * x + y * y;
+        // Reject outside the unit disc; also reject a (sub)normal-tiny
+        // `s`, where `ln(s)/s` overflows.
+        if s >= 1.0 || s < f64::MIN_POSITIVE {
             continue;
         }
-        let u2: f64 = rng.gen::<f64>();
-        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let f = (-2.0 * s.ln() / s).sqrt();
+        return (x * f, y * f);
     }
 }
 
@@ -312,10 +466,84 @@ mod tests {
     }
 
     #[test]
+    fn signal_into_bit_identical_to_direct() {
+        let (c, a, _) = setup();
+        let pose = Pose::side_looking(Vec3::new(0.2, -0.1, 0.0));
+        let echoes = [
+            Echo::new(Vec3::new(0.5, 3.0, 0.0), Complex64::from_polar(2e-3, 0.4)),
+            Echo::new(Vec3::new(-1.0, 4.0, 0.0), Complex64::from_polar(7e-4, -1.1)),
+            Echo::new(Vec3::new(0.0, -2.0, 0.0), Complex64::from_polar(1e-3, 0.0)), // behind
+            Echo::new(Vec3::new(1.0, 1.0, 0.0), Complex64::ZERO),                   // skipped
+        ];
+        let direct = synthesize_signal(&c, &a, pose, &echoes);
+        let mut scratch = SynthScratch::default();
+        let mut frame = Frame {
+            data: vec![vec![Complex64::new(9.0, 9.0); 3]; 7], // wrong shape, dirty
+            pose: Pose::side_looking(Vec3::ZERO),
+        };
+        // Twice through the same scratch: reuse must not change bits.
+        for _ in 0..2 {
+            synthesize_signal_into(&c, &a, pose, &echoes, &mut scratch, &mut frame);
+            assert_eq!(frame.n_rx(), direct.n_rx());
+            assert_eq!(frame.n_samples(), direct.n_samples());
+            for (da, fa) in direct.data.iter().zip(&frame.data) {
+                for (d, f) in da.iter().zip(fa) {
+                    assert_eq!(d.re.to_bits(), f.re.to_bits());
+                    assert_eq!(d.im.to_bits(), f.im.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noise_into_matches_nested_draws() {
+        let (n_rx, n_samples) = (4usize, 64usize);
+        let nested = draw_noise(n_rx, n_samples, &mut StdRng::seed_from_u64(42));
+        let mut flat = vec![Complex64::new(1.0, 1.0); 5]; // dirty, wrong length
+        flat.clear();
+        flat.resize(n_rx * n_samples, Complex64::ZERO);
+        fill_noise(&mut StdRng::seed_from_u64(42), &mut flat);
+        assert_eq!(flat.len(), n_rx * n_samples);
+        for k in 0..n_rx {
+            for j in 0..n_samples {
+                let a = nested[k][j];
+                let b = flat[k * n_samples + j];
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+
+        // Applying the flat buffer matches applying the nested one.
+        let (c, a, _) = setup();
+        let pose = Pose::side_looking(Vec3::ZERO);
+        let echo = Echo::new(Vec3::new(0.0, 3.0, 0.0), Complex64::from_polar(1e-3, 0.2));
+        let mut f1 = synthesize_signal(&c, &a, pose, &[echo]);
+        let mut f2 = f1.clone();
+        let nested = draw_noise(f1.n_rx(), f1.n_samples(), &mut StdRng::seed_from_u64(7));
+        let mut flat = Vec::new();
+        flat.clear();
+        flat.resize(f2.n_rx() * f2.n_samples(), Complex64::ZERO);
+        fill_noise(&mut StdRng::seed_from_u64(7), &mut flat);
+        add_noise(&mut f1, &nested, 0.31);
+        add_noise_from_slice(&mut f2, &flat, 0.31);
+        for (da, fa) in f1.data.iter().zip(&f2.data) {
+            for (d, s) in da.iter().zip(fa) {
+                assert_eq!(d.re.to_bits(), s.re.to_bits());
+                assert_eq!(d.im.to_bits(), s.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn gaussian_moments() {
         let mut rng = StdRng::seed_from_u64(6);
         let n = 20_000;
-        let xs: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let xs: Vec<f64> = (0..n / 2)
+            .flat_map(|_| {
+                let (a, b) = gaussian_pair(&mut rng);
+                [a, b]
+            })
+            .collect();
         let mean = xs.iter().sum::<f64>() / n as f64;
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.03, "mean {mean}");

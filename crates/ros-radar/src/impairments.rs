@@ -94,6 +94,21 @@ impl Impairments {
         walk
     }
 
+    /// Fills a pre-sized slice with the [`draw_walk`] phase walk (same
+    /// RNG consumption; the slice is zeroed first). Lets a batch carve
+    /// per-frame walk segments out of one reusable flat buffer.
+    // lint: hot-path
+    pub(crate) fn fill_walk<R: Rng>(&self, rng: &mut R, out: &mut [f64]) {
+        out.fill(0.0);
+        if self.phase_noise_rad_per_sample > 0.0 {
+            let mut acc = 0.0;
+            for w in out.iter_mut() {
+                acc += (rng.gen::<f64>() - 0.5) * 2.0 * self.phase_noise_rad_per_sample;
+                *w = acc;
+            }
+        }
+    }
+
     /// Deterministic half of [`apply`]: impairs a frame with a
     /// pre-drawn phase walk. Safe on worker threads.
     pub(crate) fn apply_with_walk(&self, frame: &mut Frame, walk: &[f64]) {
@@ -200,6 +215,33 @@ mod tests {
         let orig = g.data.clone();
         saturate_frame(&mut g, wide);
         assert_eq!(g.data, orig);
+    }
+
+    #[test]
+    fn walk_into_matches_direct_draw() {
+        for imp in [
+            Impairments::eval_board(),
+            Impairments::default(),
+            Impairments {
+                adc_bits: 8,
+                ..Default::default()
+            },
+        ] {
+            let direct = imp.draw_walk(256, &mut StdRng::seed_from_u64(33));
+            let mut rng = StdRng::seed_from_u64(33);
+            let mut out = vec![5.0; 3]; // dirty, wrong length
+            out.clear();
+            out.resize(256, 0.0);
+            imp.fill_walk(&mut rng, &mut out);
+            assert_eq!(direct.len(), out.len());
+            for (a, b) in direct.iter().zip(&out) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            // Both must leave the RNG at the same point.
+            let mut rng2 = StdRng::seed_from_u64(33);
+            let _ = imp.draw_walk(256, &mut rng2);
+            assert_eq!(rng.gen::<u64>(), rng2.gen::<u64>());
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::array::RadarArray;
 use crate::chirp::ChirpConfig;
 use crate::echo::{Echo, Pose};
-use crate::frontend::{synthesize_frame, Frame};
+use crate::frontend::{synthesize_frame, Frame, SynthScratch};
 use crate::impairments::Impairments;
 use crate::pointcloud::RadarPoint;
 use crate::processing;
@@ -35,6 +35,17 @@ impl RadarMode {
             RadarMode::PolarizationSwitched => (native.orthogonal(), native),
         }
     }
+}
+
+/// Reusable per-batch scratch arena for [`FmcwRadar::capture_batch_into`]:
+/// the pre-drawn flat noise/phase-walk buffers plus one
+/// [`SynthScratch`] per worker thread. A long-lived pipeline keeps one
+/// of these per run so steady-state frames allocate nothing.
+#[derive(Clone, Debug, Default)]
+pub struct CaptureScratch {
+    noise: Vec<Complex64>,
+    walks: Vec<f64>,
+    synth: Vec<SynthScratch>,
 }
 
 /// A complete FMCW radar instance.
@@ -77,39 +88,110 @@ impl FmcwRadar {
     /// Captures a batch of frames, bit-identical to calling
     /// [`FmcwRadar::capture`] once per job in order.
     ///
-    /// The RNG is consumed serially up front — per frame, the thermal
-    /// noise draws then the impairment phase walk, exactly the order
-    /// the serial loop uses — while the deterministic synthesis
-    /// (echo beat tones, noise/impairment application) fans out over
-    /// [`ros_exec::par_map_indexed`]. Output order matches job order
-    /// at any thread count.
-    // lint: hot-path
+    /// Convenience wrapper over [`FmcwRadar::capture_batch_with`] with
+    /// a throwaway scratch arena; steady-state pipelines keep a
+    /// [`CaptureScratch`] alive and call the `_with`/`_into` form so
+    /// warm frames allocate nothing.
     pub fn capture_batch<R: Rng>(&self, jobs: &[(Pose, Vec<Echo>)], rng: &mut R) -> Vec<Frame> {
+        let mut scratch = CaptureScratch::default();
+        let mut out = Vec::new();
+        self.capture_batch_with(jobs, rng, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`FmcwRadar::capture_batch_into`] plus the telemetry the legacy
+    /// entry point always emitted (batch span + frame counter). Kept
+    /// outside the hot-path kernel so the observability layer's own
+    /// bookkeeping never counts against the zero-alloc budget.
+    pub fn capture_batch_with<R: Rng>(
+        &self,
+        jobs: &[(Pose, Vec<Echo>)],
+        rng: &mut R,
+        scratch: &mut CaptureScratch,
+        out: &mut Vec<Frame>,
+    ) {
         let _span = ros_obs::span("radar.capture_batch");
         ros_obs::count("radar.frames_synthesized", jobs.len());
+        self.capture_batch_into(jobs, rng, scratch, out);
+    }
+
+    /// Scratch-arena batch capture: writes one frame per job into
+    /// `out`, bit-identical to the serial [`FmcwRadar::capture`] loop
+    /// at any thread count.
+    ///
+    /// The RNG is consumed serially up front — per frame, the thermal
+    /// noise draws then the impairment phase walk, exactly the order
+    /// the serial loop uses — into flat segments of the scratch arena.
+    /// The deterministic synthesis then fans out over
+    /// [`ros_exec::par_for_each_mut`] with one [`SynthScratch`] per
+    /// worker, so output frames (and every intermediate) depend only on
+    /// the job order, never on thread scheduling.
+    // lint: hot-path
+    pub fn capture_batch_into<R: Rng>(
+        &self,
+        jobs: &[(Pose, Vec<Echo>)],
+        rng: &mut R,
+        scratch: &mut CaptureScratch,
+        out: &mut Vec<Frame>,
+    ) {
         let n = self.chirp.n_samples;
         let k_rx = self.array.n_rx;
-        let packets: Vec<(Vec<Vec<Complex64>>, Vec<f64>)> = jobs
-            .iter()
-            .map(|_| {
-                let noise = crate::frontend::draw_noise(k_rx, n, rng);
-                let walk = if self.impairments.is_clean() {
-                    Vec::new()
-                } else {
-                    self.impairments.draw_walk(n, rng)
-                };
-                (noise, walk)
-            })
-            .collect();
+        let n_jobs = jobs.len();
+        out.truncate(n_jobs);
+        while out.len() < n_jobs {
+            out.push(Frame {
+                data: Vec::default(),
+                pose: jobs[out.len()].0,
+            });
+        }
+        if n_jobs == 0 {
+            return;
+        }
+
+        let clean = self.impairments.is_clean();
+        let CaptureScratch {
+            noise,
+            walks,
+            synth,
+        } = scratch;
+        noise.clear();
+        noise.resize(n_jobs * k_rx * n, Complex64::ZERO);
+        walks.clear();
+        walks.resize(if clean { 0 } else { n_jobs * n }, 0.0);
+        for i in 0..n_jobs {
+            crate::frontend::fill_noise(rng, &mut noise[i * k_rx * n..(i + 1) * k_rx * n]);
+            if !clean {
+                self.impairments.fill_walk(rng, &mut walks[i * n..(i + 1) * n]);
+            }
+        }
+
+        let want = ros_exec::threads().max(1);
+        synth.truncate(want);
+        while synth.len() < want {
+            synth.push(SynthScratch::default());
+        }
+
         let sigma = crate::frontend::per_sample_noise_sigma(&self.budget, &self.chirp, &self.array);
-        ros_exec::par_map_indexed(&packets, |i, (noise, walk)| {
+        let noise = &*noise;
+        let walks = &*walks;
+        ros_exec::par_for_each_mut(synth, out, |synth_scratch, i, frame| {
             let (pose, echoes) = &jobs[i];
-            let mut frame =
-                crate::frontend::synthesize_signal(&self.chirp, &self.array, *pose, echoes);
-            crate::frontend::add_noise(&mut frame, noise, sigma);
-            self.impairments.apply_with_walk(&mut frame, walk);
-            frame
-        })
+            crate::frontend::synthesize_signal_into(
+                &self.chirp,
+                &self.array,
+                *pose,
+                echoes,
+                synth_scratch,
+                frame,
+            );
+            crate::frontend::add_noise_from_slice(
+                frame,
+                &noise[i * k_rx * n..(i + 1) * k_rx * n],
+                sigma,
+            );
+            let walk = if clean { &[][..] } else { &walks[i * n..(i + 1) * n] };
+            self.impairments.apply_with_walk(frame, walk);
+        });
     }
 
     /// Detects prominent reflectors in a frame (local polar points).
@@ -119,6 +201,19 @@ impl FmcwRadar {
         pts
     }
 
+    /// Scratch-arena twin of [`FmcwRadar::detect`]: identical points
+    /// written into `out`, with every intermediate (and the FFT plan)
+    /// reused from `scratch` so steady-state frames allocate nothing.
+    pub fn detect_with(
+        &self,
+        frame: &Frame,
+        scratch: &mut processing::DetectScratch,
+        out: &mut Vec<RadarPoint>,
+    ) {
+        processing::detect_points_with(frame, &self.chirp, &self.array, &self.cfar, 2, scratch, out);
+        ros_obs::hist("radar.points_per_frame", out.len().as_f64());
+    }
+
     /// Runs [`FmcwRadar::detect`] (range FFT + CFAR + AoA sweep) over
     /// a batch of frames in parallel. Detection is a pure function of
     /// each frame, so the output is identical to a serial loop.
@@ -126,16 +221,22 @@ impl FmcwRadar {
         ros_exec::par_map(frames, |f| self.detect(f))
     }
 
-    /// Computes per-frame range spectra ([`processing::range_spectra`])
-    /// over a batch of frames in parallel.
-    pub fn range_spectra_batch(&self, frames: &[Frame]) -> Vec<Vec<Vec<Complex64>>> {
-        ros_exec::par_map(frames, processing::range_spectra)
-    }
-
     /// Spotlight-beamforms on a known world position, returning the
     /// complex RSS amplitude \[√mW\].
     pub fn spotlight(&self, frame: &Frame, target_world: Vec3) -> Complex64 {
         processing::spotlight(frame, &self.chirp, &self.array, target_world)
+    }
+
+    /// [`FmcwRadar::spotlight`] with a precomputed Hann window table
+    /// (sized for the frame's sample count); bit-identical and safe in
+    /// hot-path kernels.
+    pub fn spotlight_with(
+        &self,
+        frame: &Frame,
+        target_world: Vec3,
+        table: &ros_dsp::window::WindowTable,
+    ) -> Complex64 {
+        processing::spotlight_with(frame, &self.chirp, &self.array, target_world, table)
     }
 
     /// The radar's decode-condition noise floor \[dBm\].
@@ -213,6 +314,46 @@ mod tests {
             let batch = radar.capture_batch(&jobs, &mut rng);
             assert_eq!(serial.len(), batch.len());
             for (a, b) in serial.iter().zip(&batch) {
+                for (ra, rb) in a.data.iter().zip(&b.data) {
+                    for (sa, sb) in ra.iter().zip(rb) {
+                        assert_eq!(sa.re.to_bits(), sb.re.to_bits());
+                        assert_eq!(sa.im.to_bits(), sb.im.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn capture_batch_into_reuses_scratch_across_sizes_and_threads() {
+        let mut radar = FmcwRadar::ti_eval();
+        radar.impairments = Impairments::eval_board();
+        let make_jobs = |count: usize| -> Vec<(Pose, Vec<Echo>)> {
+            (0..count)
+                .map(|i| {
+                    let echo = Echo::new(
+                        Vec3::new(-0.8 + 0.4 * i as f64, 3.2, 0.0),
+                        Complex64::from_polar(10f64.powf(-38.0 / 20.0), 0.2 * i as f64),
+                    );
+                    (Pose::side_looking(Vec3::ZERO), vec![echo])
+                })
+                .collect()
+        };
+        // One scratch arena survives shrinking and growing batches at
+        // several thread counts; every run must match the serial loop.
+        let mut scratch = CaptureScratch::default();
+        let mut out = Vec::new();
+        for (n_threads, n_jobs) in [(1usize, 6usize), (2, 3), (8, 6), (2, 1)] {
+            let _guard = ros_exec::ThreadGuard::pin(Some(n_threads));
+            let mut rng = StdRng::seed_from_u64(1234);
+            let serial: Vec<Frame> = make_jobs(n_jobs)
+                .iter()
+                .map(|(pose, echoes)| radar.capture(*pose, echoes, &mut rng))
+                .collect();
+            let mut rng = StdRng::seed_from_u64(1234);
+            radar.capture_batch_into(&make_jobs(n_jobs), &mut rng, &mut scratch, &mut out);
+            assert_eq!(out.len(), serial.len());
+            for (a, b) in serial.iter().zip(&out) {
                 for (ra, rb) in a.data.iter().zip(&b.data) {
                     for (sa, sb) in ra.iter().zip(rb) {
                         assert_eq!(sa.re.to_bits(), sb.re.to_bits());

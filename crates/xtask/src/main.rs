@@ -30,6 +30,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
         Some("lint-artifact") => lint_artifact(&args[1..]),
+        Some("ratchet") => ratchet(&args[1..]),
         Some(other) => {
             eprintln!("unknown task `{other}`");
             usage();
@@ -46,7 +47,8 @@ fn usage() {
     eprintln!(
         "usage: cargo run -p xtask -- lint [--json PATH] [--update-baseline] [--no-baseline]\n\
                 cargo run -p xtask -- lint --explain RULE-ID\n\
-                cargo run -p xtask -- lint-artifact PATH"
+                cargo run -p xtask -- lint-artifact PATH\n\
+                cargo run -p xtask -- ratchet [--tighten]"
     );
 }
 
@@ -124,6 +126,79 @@ fn lint(args: &[String]) -> ExitCode {
             eprintln!("xtask lint: {e}");
             ExitCode::from(2)
         }
+    }
+}
+
+/// Checks the per-rule debt ratchet: `lint-ratchet.json` pins the
+/// exact baselined debt each listed rule may carry, so a rule's
+/// grandfathered count can only move *down* through history. Debt
+/// above a ceiling is a regression; debt below one fails too until
+/// `--tighten` rewrites the ceilings to the (lower) current counts.
+fn ratchet(args: &[String]) -> ExitCode {
+    let mut tighten = false;
+    for a in args {
+        match a.as_str() {
+            "--tighten" => tighten = true,
+            other => {
+                eprintln!("xtask ratchet: unknown flag `{other}`");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = workspace_root();
+    let baseline = match ros_lint::baseline::load(&root.join(ros_lint::baseline::BASELINE_FILE)) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("xtask ratchet: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let ratchet_path = root.join(ros_lint::baseline::RATCHET_FILE);
+    let ceilings = match ros_lint::baseline::load_ratchet(&ratchet_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("xtask ratchet: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if ceilings.is_empty() {
+        println!("xtask ratchet: no ceilings in {}", ratchet_path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    if tighten {
+        let tightened: std::collections::BTreeMap<String, usize> = ceilings
+            .keys()
+            .map(|rule| (rule.clone(), baseline.rule_debt(rule)))
+            .collect();
+        let doc = ros_lint::baseline::render_ratchet(&tightened);
+        if let Err(e) = std::fs::write(&ratchet_path, doc) {
+            eprintln!("xtask ratchet: cannot write {}: {e}", ratchet_path.display());
+            return ExitCode::from(2);
+        }
+        for (rule, max) in &tightened {
+            println!("{rule:<22} ceiling -> {max}");
+        }
+        println!("tightened {}", ratchet_path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    for (rule, max) in &ceilings {
+        println!(
+            "{rule:<22} debt {:>4} / ceiling {max}",
+            baseline.rule_debt(rule)
+        );
+    }
+    let violations = ros_lint::baseline::judge_ratchet(&baseline, &ceilings);
+    if violations.is_empty() {
+        println!("ratchet holds");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("xtask ratchet: {v}");
+        }
+        ExitCode::FAILURE
     }
 }
 

@@ -15,15 +15,21 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use ros_core::decode::{decode, decode_into, DecodeResult, DecodeScratch, DecoderConfig, RssSample};
 use ros_core::encode::SpatialCode;
 use ros_core::reader::{DriveBy, Outcome, ReaderConfig};
 use ros_core::rcs_model;
+use ros_core::tag::Tag;
 use ros_em::constants::LAMBDA_CENTER_M;
+use ros_em::jones::Polarization;
 use ros_em::{Complex64, Vec3};
 use ros_exec::ParSeed;
 use ros_optim::{minimize_par, DeConfig, Strategy};
 use ros_radar::echo::{Echo, Pose};
-use ros_radar::radar::FmcwRadar;
+use ros_radar::pointcloud::RadarPoint;
+use ros_radar::processing::DetectScratch;
+use ros_radar::radar::{CaptureScratch, FmcwRadar};
+use ros_scene::reflector::{EchoContext, Reflector};
 use std::sync::Mutex;
 
 static LOCK: Mutex<()> = Mutex::new(());
@@ -248,6 +254,138 @@ fn assert_outcomes_bit_identical(a: &Outcome, b: &Outcome, what: &str) {
         }
         (None, None) => {}
         _ => panic!("{what}: one run decoded, the other did not"),
+    }
+}
+
+/// The planned capture → detect path exactly as the full reader wires
+/// it: one [`CaptureScratch`], then one [`DetectScratch`] per worker
+/// partitioned by [`ros_exec::par_for_each_mut`].
+fn planned_capture_detect(
+    radar: &FmcwRadar,
+    jobs: &[(Pose, Vec<Echo>)],
+) -> (Vec<ros_radar::frontend::Frame>, Vec<Vec<RadarPoint>>) {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    let mut capture = CaptureScratch::default();
+    let mut frames = Vec::new();
+    radar.capture_batch_with(jobs, &mut rng, &mut capture, &mut frames);
+    let workers = ros_exec::threads().max(1).min(frames.len().max(1));
+    let mut scratches = vec![DetectScratch::default(); workers];
+    let mut detections: Vec<Vec<RadarPoint>> = vec![Vec::new(); frames.len()];
+    ros_exec::par_for_each_mut(&mut scratches, &mut detections, |scratch, j, pts| {
+        radar.detect_with(&frames[j], scratch, pts);
+    });
+    (frames, detections)
+}
+
+#[test]
+fn planned_capture_detect_bit_identical_across_thread_counts() {
+    let radar = FmcwRadar::ti_eval();
+    let jobs = capture_jobs();
+    let (ref_frames, ref_points) = with_threads(1, || planned_capture_detect(&radar, &jobs));
+    for t in THREAD_COUNTS {
+        let (frames, points) = with_threads(t, || planned_capture_detect(&radar, &jobs));
+        assert_eq!(frames.len(), ref_frames.len());
+        for (f, r) in frames.iter().zip(&ref_frames) {
+            for (fa, ra) in f.data.iter().zip(&r.data) {
+                assert_complex_bits_eq(ra, fa, &format!("planned capture@{t}"));
+            }
+        }
+        assert_eq!(points.len(), ref_points.len());
+        for (ps, rs) in points.iter().zip(&ref_points) {
+            assert_eq!(ps.len(), rs.len(), "planned detect@{t}: point count");
+            for (p, r) in ps.iter().zip(rs) {
+                assert_eq!(p.range_m.to_bits(), r.range_m.to_bits(), "range@{t}");
+                assert_eq!(
+                    p.azimuth_rad.to_bits(),
+                    r.azimuth_rad.to_bits(),
+                    "azimuth@{t}"
+                );
+                assert_eq!(p.power_mw.to_bits(), r.power_mw.to_bits(), "power@{t}");
+            }
+        }
+    }
+}
+
+/// A noise-free drive-by RSS trace straight from the tag physics (sum
+/// of scatterer echoes per believed radar position).
+fn planned_decode_trace(tag: &Tag) -> Vec<RssSample> {
+    let ctx = EchoContext::ti_clear();
+    (0..161)
+        .map(|i| {
+            let pos = Vec3::new(-2.0 + 4.0 * i as f64 / 160.0, 0.0, 0.0);
+            let echoes = tag.echoes(pos, Polarization::H, Polarization::V, &ctx);
+            let mut rss = Complex64::ZERO;
+            for e in &echoes {
+                rss += e.amp;
+            }
+            RssSample { radar_pos: pos, rss }
+        })
+        .collect()
+}
+
+#[test]
+fn planned_decode_bit_identical_across_thread_counts() {
+    let tag = SpatialCode {
+        rows_per_stack: 8,
+        ..SpatialCode::paper_4bit()
+    }
+    .encode(&[true, false, true, true])
+    .expect("valid 4-bit word")
+    .mounted_at(Vec3::new(0.0, 2.0, 0.0));
+    let trace = planned_decode_trace(&tag);
+
+    for cfg in [
+        DecoderConfig::default(),
+        DecoderConfig {
+            use_czt: true,
+            ..DecoderConfig::default()
+        },
+    ] {
+        let reference = with_threads(1, || decode(&trace, tag.mount(), 0.0, tag.code(), &cfg))
+            .expect("fixture decodes");
+        assert_eq!(reference.bits, vec![true, false, true, true]);
+        // One scratch arena survives the whole sweep: plan reuse across
+        // repeated decodes must not perturb a single bit either.
+        let mut scratch = DecodeScratch::new();
+        for t in THREAD_COUNTS {
+            let mut out = DecodeResult::default();
+            with_threads(t, || {
+                decode_into(
+                    &trace,
+                    tag.mount(),
+                    0.0,
+                    tag.code(),
+                    &cfg,
+                    &mut scratch,
+                    &mut out,
+                )
+            })
+            .expect("planned fixture decodes");
+            assert_eq!(out.bits, reference.bits, "bits@{t}");
+            assert_eq!(out.erasures, reference.erasures, "erasures@{t}");
+            assert_eq!(
+                out.snr_linear.to_bits(),
+                reference.snr_linear.to_bits(),
+                "snr@{t}"
+            );
+            assert_eq!(out.n_samples_used, reference.n_samples_used);
+            assert_eq!(out.n_samples_nonfinite, reference.n_samples_nonfinite);
+            assert_f64_bits_eq(
+                &reference.slot_amplitudes,
+                &out.slot_amplitudes,
+                &format!("planned slot amps@{t}"),
+            );
+            assert_f64_bits_eq(
+                &reference.spectrum_spacings_m,
+                &out.spectrum_spacings_m,
+                &format!("planned spacings@{t}"),
+            );
+            assert_f64_bits_eq(
+                &reference.spectrum_mags,
+                &out.spectrum_mags,
+                &format!("planned mags@{t}"),
+            );
+        }
     }
 }
 

@@ -82,6 +82,37 @@ fn golden_bits_and_amplitudes() {
     }
 }
 
+/// The steady-state path — plan caches, scratch arenas, per-worker
+/// partitioning — must land on the frozen goldens at *any* worker
+/// count, not just reproduce itself. 1/2/8 workers each replay the
+/// fixture against the same constants.
+#[test]
+fn golden_holds_at_every_worker_count() {
+    for workers in [1usize, 2, 8] {
+        let _pin = ros_exec::ThreadGuard::pin(Some(workers));
+        let outcome = run_fixture();
+        assert_eq!(
+            outcome.bits, GOLDEN_BITS,
+            "decoded payload drifted at {workers} worker(s)"
+        );
+        let decode = outcome.decode.as_ref().expect("fixture decodes");
+        for (i, (got, want)) in decode.slot_amplitudes.iter().zip(&GOLDEN_AMPS).enumerate() {
+            assert!(
+                (got - want).abs() < TOL * want.abs(),
+                "slot {i}@{workers} workers: amplitude {got} != golden {want}"
+            );
+        }
+        assert!(
+            (decode.snr_linear - GOLDEN_SNR_LINEAR).abs() < TOL * GOLDEN_SNR_LINEAR,
+            "SNR drifted at {workers} worker(s): {} vs golden {}",
+            decode.snr_linear,
+            GOLDEN_SNR_LINEAR
+        );
+        assert_eq!(decode.n_samples_used, GOLDEN_SAMPLES_USED);
+        assert_eq!(outcome.rss_trace.len(), GOLDEN_TRACE_LEN);
+    }
+}
+
 #[test]
 fn golden_snr_and_sampling() {
     let outcome = run_fixture();

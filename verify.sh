@@ -15,12 +15,29 @@ cargo test --workspace -q
 # The executor honours ROS_EXEC_THREADS as the pool-size default; the
 # determinism suite must hold whether the process defaults to one
 # worker or several (it also pins 1/2/8 internally -- this exercises
-# the env-override path on top).
+# the env-override path on top). The suite includes the planned-path
+# twins (capture_batch_with + detect_with, decode_into under FFT and
+# CZT plans), so plan/scratch reuse is re-proven bit-identical across
+# thread counts on every verify pass.
 echo "==> determinism suite at ROS_EXEC_THREADS=1"
 ROS_EXEC_THREADS=1 cargo test -q -p ros-tests --test determinism
 
 echo "==> determinism suite at ROS_EXEC_THREADS=4"
 ROS_EXEC_THREADS=4 cargo test -q -p ros-tests --test determinism
+
+# Steady-state allocation budget: one full planned frame (capture ->
+# detect -> spotlight -> decode) must allocate exactly zero bytes
+# after warm-up. Release mode so the measured path is the shipped
+# code, not debug scaffolding.
+echo "==> allocation budget (tests/alloc_budget.rs, release)"
+cargo test -q --release -p ros-tests --test alloc_budget
+
+# Debt ratchet: per-rule baselined lint debt may only decrease
+# through history (lint-ratchet.json pins the ceilings; currently
+# alloc-in-hot-path == 0). Fails on regression AND on an unlocked
+# improvement, forcing `xtask ratchet --tighten` commits.
+echo "==> xtask ratchet (lint debt ceilings)"
+cargo run -q -p xtask -- ratchet
 
 # Static-analysis gate (ros-lint): token-level rules over every
 # workspace source, judged against lint-baseline.json. The run also

@@ -60,11 +60,11 @@ fn trace_bits(o: &Outcome) -> Vec<(u64, u64)> {
 /// Bit error rate against the fixture word; a failed decode counts as
 /// all bits wrong.
 fn ber(o: &Outcome) -> f64 {
-    if o.bits.len() != EXPECTED_BITS.len() {
+    if o.bits().len() != EXPECTED_BITS.len() {
         return 1.0;
     }
     let errors = o
-        .bits
+        .bits()
         .iter()
         .zip(&EXPECTED_BITS)
         .filter(|(a, b)| a != b)
@@ -143,7 +143,7 @@ pub fn run(smoke: bool) {
         }
         let lo = run_pinned(&drive, &cfg, pins[0]);
         let hi = run_pinned(&drive, &cfg, pins[1]);
-        let identical = lo.bits == hi.bits
+        let identical = lo.bits() == hi.bits()
             && trace_bits(&lo) == trace_bits(&hi)
             && lo.verdict == hi.verdict
             && lo.frame_verdicts == hi.frame_verdicts;

@@ -101,7 +101,7 @@ pub fn ablate_window() {
         t.row(vec![
             name.into(),
             f(o.snr_db().unwrap_or(f64::NAN), 1),
-            format!("{}", o.bits == vec![true, false, true, true]),
+            format!("{}", o.bits() == vec![true, false, true, true]),
         ]);
     }
     t.emit("ablate_window");
@@ -127,7 +127,7 @@ pub fn ablate_sampling() {
             format!("{stride}"),
             f(1000.0 / stride as f64, 0),
             f(o.snr_db().unwrap_or(f64::NAN), 1),
-            format!("{}", o.bits == vec![true; 4]),
+            format!("{}", o.bits() == vec![true; 4]),
         ]);
     }
     t.emit("ablate_sampling");
@@ -294,7 +294,7 @@ pub fn tag_yaw() {
             f(yaw_deg, 0),
             f(o.median_rss_dbm(), 1),
             f(o.snr_db().unwrap_or(f64::NAN), 1),
-            format!("{}", o.bits == vec![true; 4]),
+            format!("{}", o.bits() == vec![true; 4]),
         ]);
     }
     t.emit("tag_yaw");
@@ -357,7 +357,7 @@ pub fn impairments_ablation() {
         t.row(vec![
             label.into(),
             format!("{}", o.detected_center.is_some()),
-            format!("{}", o.bits == vec![true, false, true, true]),
+            format!("{}", o.bits() == vec![true, false, true, true]),
             f(o.snr_db().unwrap_or(f64::NAN), 1),
         ]);
     }
@@ -393,7 +393,7 @@ pub fn blockage() {
         t.row(vec![
             f(frac, 1),
             f(o.snr_db().unwrap_or(f64::NAN), 1),
-            format!("{}", o.bits == vec![true; 4]),
+            format!("{}", o.bits() == vec![true; 4]),
         ]);
     }
     t.emit("blockage");

@@ -54,7 +54,7 @@ pub fn fig11b() {
     println!(
         "   detected tag centre: {:?}; decoded bits: {:?}",
         outcome.detected_center.map(|c| (f(c.x, 2), f(c.y, 2))),
-        outcome.bits.iter().map(|b| *b as u8).collect::<Vec<_>>()
+        outcome.bits().iter().map(|b| *b as u8).collect::<Vec<_>>()
     );
     note("two prominent clusters (tag ≈(0, 3), tripod ≈(1.4, 3.1)); tag correctly singled out.");
 }
@@ -97,7 +97,7 @@ pub fn fig11c() {
 pub fn fig11d() {
     let drive = tripod_scene();
     let outcome = drive.run(&ReaderConfig::full());
-    if let Some(dec) = &outcome.decode {
+    if let Ok(dec) = &outcome.decode {
         let mut t = Table::new(
             "Fig. 11d — measured RSS frequency spectrum (tag)",
             &["spacing_lambda", "normalized magnitude"],

@@ -89,7 +89,7 @@ pub fn fig15() {
                 let o = drive.run(&ReaderConfig::fast());
                 rss_s.push(o.median_rss_dbm());
                 snr_s.push(o.snr_db().unwrap_or(0.0));
-                if o.bits == vec![true; 4] {
+                if o.bits() == vec![true; 4] {
                     n_ok += 1;
                 }
             }

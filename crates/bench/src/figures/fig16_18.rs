@@ -168,7 +168,7 @@ pub fn commercial_range() {
             f(d, 0),
             f(o.median_rss_dbm(), 1),
             f(o.snr_db().unwrap_or(f64::NAN), 1),
-            format!("{}", o.bits == vec![true; 4]),
+            format!("{}", o.bits() == vec![true; 4]),
         ]);
     }
     t.emit("commercial_range");

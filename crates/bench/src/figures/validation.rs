@@ -50,7 +50,7 @@ pub fn ber_validation() {
                     .with_seed(0xbe7 + trial * 31);
                 drive.half_span_m = 8.0;
                 let outcome = drive.run(&ReaderConfig::fast());
-                if let Some(dec) = &outcome.decode {
+                if let Ok(dec) = &outcome.decode {
                     snrs.push(dec.snr_db());
                     for (got, want) in dec.bits.iter().zip(bits) {
                         total += 1;

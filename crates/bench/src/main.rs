@@ -8,6 +8,8 @@
 //! cargo run --release -p bench -- perf        # serial-vs-parallel timings
 //! cargo run --release -p bench -- perf --require-valid   # canonical multi-core record
 //! cargo run --release -p bench -- perf --force   # may replace a valid record with an invalid one
+//! cargo run --release -p bench -- serve       # corridor reader service benchmark
+//! cargo run --release -p bench -- serve --smoke   # reduced CI corridor
 //! cargo run --release -p bench -- smoke       # one full-pipeline drive-by
 //! cargo run --release -p bench -- faults      # fault-injection sweep
 //! cargo run --release -p bench -- faults --smoke   # reduced CI matrix
@@ -30,6 +32,7 @@
 mod faults;
 mod figures;
 mod perf;
+mod serve;
 mod util;
 
 use figures::*;
@@ -42,6 +45,15 @@ fn main() {
 
     if args.iter().any(|a| a == "perf") {
         perf::run(
+            args.iter().any(|a| a == "--require-valid"),
+            args.iter().any(|a| a == "--force"),
+        );
+        ros_obs::flush();
+        return;
+    }
+    if args.iter().any(|a| a == "serve") {
+        serve::run(
+            args.iter().any(|a| a == "--smoke"),
             args.iter().any(|a| a == "--require-valid"),
             args.iter().any(|a| a == "--force"),
         );
@@ -110,7 +122,7 @@ fn smoke() {
     let outcome = drive.run(&cfg);
     println!(
         "smoke: bits={:?} clusters={} detected={} snr_db={:.2}",
-        outcome.bits,
+        outcome.bits(),
         outcome.clusters.len(),
         outcome.detected_center.is_some(),
         outcome.snr_db().unwrap_or(f64::NAN),

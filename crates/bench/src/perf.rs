@@ -38,6 +38,7 @@
 //! from one instrumented run of the path, tying the timing to the
 //! amount of work it performed.
 
+use crate::util::should_overwrite;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ros_core::encode::SpatialCode;
@@ -178,25 +179,9 @@ fn figure_fanout() {
         let outcome = DriveBy::new(tag, 2.0)
             .with_seed(0x51ee_d000 + s)
             .run(&ReaderConfig::fast());
-        outcome.bits.len()
+        outcome.bits().len()
     });
     criterion::black_box(outcomes.len());
-}
-
-/// True when `json` is a `BENCH_pipeline.json` record marked valid.
-///
-/// The artifact is written by [`render_json`] only, so a plain token
-/// scan is an exact parse of our own output format.
-fn record_is_valid(json: &str) -> bool {
-    json.contains("\"valid\": true")
-}
-
-/// The overwrite policy for `BENCH_pipeline.json`: a valid (multi-core)
-/// record is never clobbered by an invalid (single-effective-worker)
-/// one unless the caller passes `--force`. Every other transition —
-/// valid over anything, invalid over invalid, first write — proceeds.
-fn should_overwrite(existing: Option<&str>, new_valid: bool, force: bool) -> bool {
-    force || new_valid || !existing.is_some_and(record_is_valid)
 }
 
 /// Runs all four wired paths and writes `BENCH_pipeline.json`.
@@ -312,6 +297,7 @@ fn render_json(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::util::record_is_valid;
 
     /// A minimal record as [`render_json`] emits it.
     fn record(valid: bool) -> String {

@@ -122,7 +122,7 @@ mod tests {
             let tag = code.encode(&bits).unwrap();
             let mut drive = DriveBy::new(tag, standoff).with_seed(5500 + seed);
             drive.half_span_m = 8.0;
-            if let Some(d) = drive.run(&ReaderConfig::fast()).decode {
+            if let Ok(d) = drive.run(&ReaderConfig::fast()).decode {
                 passes.push(d);
             }
         }

@@ -41,7 +41,7 @@
 //! // Drive past it with a TI-class radar at 2 m standoff and decode.
 //! let drive = DriveBy::new(tag, 2.0);
 //! let outcome = drive.run(&ReaderConfig::fast());
-//! assert_eq!(outcome.bits, vec![true, true, true, true]);
+//! assert_eq!(outcome.bits(), vec![true, true, true, true]);
 //! ```
 
 pub mod ask;
@@ -56,6 +56,7 @@ pub mod nearfield;
 pub mod rcs_model;
 pub mod reader;
 pub mod signpost;
+pub mod stream;
 pub mod tag;
 
 pub use encode::SpatialCode;

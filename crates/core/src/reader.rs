@@ -243,7 +243,7 @@ impl DriveBy {
         self
     }
 
-    fn context(&self) -> EchoContext {
+    pub(crate) fn context(&self) -> EchoContext {
         EchoContext {
             budget: self.radar.budget,
             fog: self.fog,
@@ -280,7 +280,7 @@ impl DriveBy {
         (times, truth, believed)
     }
 
-    fn noise_sigma(&self) -> f64 {
+    pub(crate) fn noise_sigma(&self) -> f64 {
         let floor_dbm = self.radar.noise_floor_dbm() + self.interference_db;
         ros_em::db::db_to_lin(floor_dbm) / std::f64::consts::SQRT_2
     }
@@ -306,28 +306,7 @@ impl DriveBy {
         let (tx, rx) = RadarMode::PolarizationSwitched.polarizations(self.radar.array.native_pol);
         let mut rng = StdRng::seed_from_u64(self.seed);
         let sigma = self.noise_sigma();
-
-        // Spotlight selectivity, mirrored from the full pipeline: a
-        // single-bin DFT at the tag's beat frequency plus a 4-antenna
-        // beamformer. Echoes away from the spotlighted range/azimuth
-        // are attenuated by the corresponding Dirichlet kernels.
-        let n_fft = self.radar.chirp.n_samples;
-        let n_rx = self.radar.array.n_rx;
-        let slope = self.radar.chirp.slope_hz_per_s;
-        let fs = self.radar.chirp.sample_rate_hz;
-        let lambda = self.radar.chirp.wavelength_m();
-        let spotlight_gain = |pose: Vec3, e_pos: Vec3, target: Vec3| -> f64 {
-            let p = Pose::side_looking(pose);
-            let dr = p.range_to(e_pos) - p.range_to(target);
-            let df = 2.0 * slope * dr / ros_em::constants::C;
-            let g_range = ros_em::special::dirichlet(std::f64::consts::TAU * df / fs, n_fft);
-            let du = p.azimuth_to(e_pos).sin() - p.azimuth_to(target).sin();
-            let g_az = ros_em::special::dirichlet(
-                std::f64::consts::TAU * self.radar.array.rx_spacing_m * du / lambda,
-                n_rx,
-            );
-            (g_range * g_az).abs()
-        };
+        let spot = SpotlightModel::new(&self.radar);
 
         // Anchor the decode centre the way detection would: the tag
         // centre estimate is consistent with the *believed* track, so a
@@ -351,45 +330,18 @@ impl DriveBy {
         // bit-identical at any thread count.
         let frame_jobs: Vec<(f64, Vec3)> = times.iter().copied().zip(truth.iter().copied()).collect();
         let clean_rss: Vec<Complex64> = ros_exec::par_map(&frame_jobs, |&(t, pos_true)| {
-            let block_amp = self
-                .blockages
-                .iter()
-                .filter(|b| t >= b.t_start_s && t <= b.t_end_s)
-                .map(|b| ros_em::db::db_to_lin(-b.attenuation_db))
-                .fold(1.0, f64::min);
-            let mut rss = Complex64::ZERO;
-            for refl in self.all_reflectors() {
-                for e in refl.echoes(pos_true, tx, rx, &ctx) {
-                    let az = Pose::side_looking(pos_true).azimuth_to(e.pos);
-                    let g = ros_radar::frontend::radar_pattern(az);
-                    let gate = spotlight_gain(pos_true, e.pos, self.tag.mount());
-                    rss += e.amp * (g * g * gate * block_amp);
-                }
-            }
-            rss
+            self.fast_clean_rss(t, pos_true, tx, rx, &ctx, &spot)
         });
 
         let mut samples = Vec::with_capacity(truth.len());
         let mut frame_verdicts = Vec::new();
         let mut degraded = 0usize;
-        for (i, (mut rss, pos_believed)) in clean_rss.into_iter().zip(&believed).enumerate() {
-            // Receiver noise is drawn for every frame — faulted or not —
-            // so the RNG stream stays aligned with the clean run and a
-            // zero-rate plan is bit-identical to no plan at all.
-            rss += Complex64::new(gauss(&mut rng) * sigma, gauss(&mut rng) * sigma);
+        for (i, (rss_clean, pos_believed)) in clean_rss.into_iter().zip(&believed).enumerate() {
             let ff = match &schedule {
                 Some(sch) => *sch.get(i),
                 None => FrameFaults::clean(),
             };
-            if let Some(b) = &ff.burst {
-                let sigma_b = sigma * ros_em::db::db_to_lin(b.excess_db);
-                // lint: allow-cast(frame index, lossless widening)
-                let (g_re, g_im) = b.gaussian_pair(i as u64);
-                rss += Complex64::new(g_re * sigma_b, g_im * sigma_b);
-            }
-            if let Some(fs) = ff.saturation {
-                rss = Complex64::new(rss.re.clamp(-fs, fs), rss.im.clamp(-fs, fs));
-            }
+            let rss = fast_frame_rss(rss_clean, i, &mut rng, sigma, &ff);
             if !ff.is_clean() {
                 degraded += 1;
                 ff.record(0);
@@ -442,7 +394,7 @@ impl DriveBy {
             &[
                 ("mode", "fast".into()),
                 ("frames", outcome.rss_trace.len().into()),
-                ("decoded", outcome.decode.is_some().into()),
+                ("decoded", outcome.decode.is_ok().into()),
                 ("verdict", outcome.verdict.name().into()),
             ],
         );
@@ -769,7 +721,7 @@ impl DriveBy {
                 ("frames", outcome.rss_trace.len().into()),
                 ("clusters", outcome.clusters.len().into()),
                 ("detected", outcome.detected_center.is_some().into()),
-                ("decoded", outcome.decode.is_some().into()),
+                ("decoded", outcome.decode.is_ok().into()),
                 ("verdict", outcome.verdict.name().into()),
             ],
         );
@@ -803,6 +755,112 @@ impl DriveBy {
         }
         echoes
     }
+}
+
+/// Fast-mode spotlight selectivity parameters, mirrored from the full
+/// pipeline: a single-bin DFT at the tag's beat frequency plus a
+/// 4-antenna beamformer. Echoes away from the spotlighted
+/// range/azimuth are attenuated by the corresponding Dirichlet
+/// kernels. Extracted from `run_fast` so the streaming
+/// [`crate::stream::DriveBySource`] evaluates the identical
+/// expression (bit-for-bit) one frame at a time.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SpotlightModel {
+    n_fft: usize,
+    n_rx: usize,
+    slope: f64,
+    fs: f64,
+    lambda: f64,
+    rx_spacing_m: f64,
+}
+
+impl SpotlightModel {
+    /// Captures the spotlight parameters of `radar`.
+    pub(crate) fn new(radar: &FmcwRadar) -> Self {
+        SpotlightModel {
+            n_fft: radar.chirp.n_samples,
+            n_rx: radar.array.n_rx,
+            slope: radar.chirp.slope_hz_per_s,
+            fs: radar.chirp.sample_rate_hz,
+            lambda: radar.chirp.wavelength_m(),
+            rx_spacing_m: radar.array.rx_spacing_m,
+        }
+    }
+
+    /// Combined range × azimuth spotlight gate for an echo at `e_pos`
+    /// while the radar at `pose` spotlights `target`.
+    fn gain(&self, pose: Vec3, e_pos: Vec3, target: Vec3) -> f64 {
+        let p = Pose::side_looking(pose);
+        let dr = p.range_to(e_pos) - p.range_to(target);
+        let df = 2.0 * self.slope * dr / ros_em::constants::C;
+        let g_range = ros_em::special::dirichlet(std::f64::consts::TAU * df / self.fs, self.n_fft);
+        let du = p.azimuth_to(e_pos).sin() - p.azimuth_to(target).sin();
+        let g_az = ros_em::special::dirichlet(
+            std::f64::consts::TAU * self.rx_spacing_m * du / self.lambda,
+            self.n_rx,
+        );
+        (g_range * g_az).abs()
+    }
+}
+
+impl DriveBy {
+    /// One frame's clean (noise-free, fault-free) fast-mode spotlight
+    /// RSS at time `t`, true radar position `pos_true`. Shared by
+    /// `run_fast`'s parallel fan-out and the streaming source — both
+    /// paths call this exact function, so their RSS values are
+    /// bit-identical by construction.
+    pub(crate) fn fast_clean_rss(
+        &self,
+        t: f64,
+        pos_true: Vec3,
+        tx: Polarization,
+        rx: Polarization,
+        ctx: &EchoContext,
+        spot: &SpotlightModel,
+    ) -> Complex64 {
+        let block_amp = self
+            .blockages
+            .iter()
+            .filter(|b| t >= b.t_start_s && t <= b.t_end_s)
+            .map(|b| ros_em::db::db_to_lin(-b.attenuation_db))
+            .fold(1.0, f64::min);
+        let mut rss = Complex64::ZERO;
+        for refl in self.all_reflectors() {
+            for e in refl.echoes(pos_true, tx, rx, ctx) {
+                let az = Pose::side_looking(pos_true).azimuth_to(e.pos);
+                let g = ros_radar::frontend::radar_pattern(az);
+                let gate = spot.gain(pos_true, e.pos, self.tag.mount());
+                rss += e.amp * (g * g * gate * block_amp);
+            }
+        }
+        rss
+    }
+}
+
+/// Receiver noise + per-frame signal faults for one fast-mode frame.
+/// Noise is drawn for every frame — faulted or not, dropped or not —
+/// so the RNG stream stays aligned with the clean run and a zero-rate
+/// plan is bit-identical to no plan at all. Shared by `run_fast` and
+/// the streaming source; the draw order (noise, burst, saturation) is
+/// part of the bit-compatibility contract.
+pub(crate) fn fast_frame_rss(
+    rss_clean: Complex64,
+    i: usize,
+    rng: &mut StdRng,
+    sigma: f64,
+    ff: &FrameFaults,
+) -> Complex64 {
+    let mut rss = rss_clean + Complex64::new(gauss(rng) * sigma, gauss(rng) * sigma);
+    if let Some(b) = &ff.burst {
+        let sigma_b = sigma * ros_em::db::db_to_lin(b.excess_db);
+        // lint: allow-cast(frame index, lossless widening)
+        let (g_re, g_im) = b.gaussian_pair(i as u64);
+        rss += Complex64::new(g_re * sigma_b, g_im * sigma_b);
+    }
+    if let Some(fs) = ff.saturation {
+        rss = Complex64::new(rss.re.clamp(-fs, fs), rss.im.clamp(-fs, fs));
+    }
+    rss
 }
 
 /// Applies frame-stream faults to a per-frame spotlight trace:
@@ -846,6 +904,40 @@ pub enum PassVerdict {
 }
 
 impl PassVerdict {
+    /// Derives the pass verdict from a decode outcome — the single
+    /// source of truth for degradation classification (the [`Outcome`]
+    /// constructor and the streaming reader both go through here).
+    ///
+    /// Erasure indices are sanitized at this boundary: sorted, deduped,
+    /// and bounds-checked against the bit count. Under composite fault
+    /// storms an upstream producer can hand over aliased or
+    /// out-of-range indices, and the historical
+    /// `bits.len() - erasures.len()` arithmetic then over-counted the
+    /// erased slots (under-counting `bits_resolved`, even below zero
+    /// but for the saturating clamp). After sanitizing, the
+    /// subtraction is exact.
+    pub fn from_decode(decode: Result<&DecodeResult, &crate::decode::DecodeError>) -> Self {
+        let Ok(d) = decode else {
+            return PassVerdict::NoTag;
+        };
+        let mut erasures: Vec<usize> = d
+            .erasures
+            .iter()
+            .copied()
+            .filter(|&i| i < d.bits.len())
+            .collect();
+        erasures.sort_unstable();
+        erasures.dedup();
+        if erasures.is_empty() {
+            PassVerdict::Clean
+        } else {
+            PassVerdict::PartialDecode {
+                bits_resolved: d.bits.len() - erasures.len(),
+                erasures,
+            }
+        }
+    }
+
     /// Stable lowercase label (observability payloads, bench CSV).
     pub fn name(&self) -> &'static str {
         match self {
@@ -917,10 +1009,11 @@ pub struct DecodedTag {
 /// Result of a drive-by.
 #[derive(Clone, Debug)]
 pub struct Outcome {
-    /// Decoded bits (empty when decoding failed).
-    pub bits: Vec<bool>,
-    /// Full decode diagnostics, when decoding succeeded.
-    pub decode: Option<DecodeResult>,
+    /// Decode outcome: full diagnostics on success, the typed decode
+    /// error otherwise. A failed decode is *not* an empty read — the
+    /// error is preserved here and [`Outcome::verdict`] reports
+    /// [`PassVerdict::NoTag`].
+    pub decode: Result<DecodeResult, crate::decode::DecodeError>,
     /// The detected tag centre (full pipeline; `None` in fast mode or
     /// when detection failed).
     pub detected_center: Option<Vec3>,
@@ -944,17 +1037,8 @@ impl Outcome {
         detected_center: Option<Vec3>,
         clusters: Vec<ScoredCluster>,
     ) -> Self {
-        let decode = decode.ok();
-        let verdict = match &decode {
-            None => PassVerdict::NoTag,
-            Some(d) if !d.erasures.is_empty() => PassVerdict::PartialDecode {
-                bits_resolved: d.bits.len().saturating_sub(d.erasures.len()),
-                erasures: d.erasures.clone(),
-            },
-            Some(_) => PassVerdict::Clean,
-        };
+        let verdict = PassVerdict::from_decode(decode.as_ref());
         Outcome {
-            bits: decode.as_ref().map(|d| d.bits.clone()).unwrap_or_default(),
             decode,
             detected_center,
             clusters,
@@ -965,9 +1049,25 @@ impl Outcome {
         }
     }
 
+    /// The decoded bits, or `None` when decoding failed. Check
+    /// [`Outcome::verdict`] to distinguish a trustworthy read from a
+    /// partial one.
+    pub fn decoded_bits(&self) -> Option<&[bool]> {
+        self.decode.as_ref().ok().map(|d| d.bits.as_slice())
+    }
+
+    /// Lossy convenience view of the decoded bits: an empty slice when
+    /// decoding failed. A legitimately empty read and a failed decode
+    /// look identical here — [`Outcome::verdict`] (and
+    /// [`Outcome::decoded_bits`]) are the source of truth; this exists
+    /// for assertions and plotting where the distinction is irrelevant.
+    pub fn bits(&self) -> &[bool] {
+        self.decoded_bits().unwrap_or(&[])
+    }
+
     /// Decoding SNR \[dB\], `None` when decoding failed.
     pub fn snr_db(&self) -> Option<f64> {
-        self.decode.as_ref().map(|d| d.snr_db())
+        self.decode.as_ref().ok().map(|d| d.snr_db())
     }
 
     /// Median spotlight RSS across the middle half of the pass \[dBm\].
@@ -1007,7 +1107,7 @@ mod tests {
     #[test]
     fn fast_mode_decodes_all_ones() {
         let outcome = DriveBy::new(tag8(&[true; 4]), 2.0).run(&ReaderConfig::fast());
-        assert_eq!(outcome.bits, vec![true; 4]);
+        assert_eq!(outcome.bits(), vec![true; 4]);
         assert!(outcome.snr_db().unwrap() > 10.0);
     }
 
@@ -1017,7 +1117,7 @@ mod tests {
             let outcome = DriveBy::new(tag8(&bits), 2.0)
                 .with_seed(7)
                 .run(&ReaderConfig::fast());
-            assert_eq!(outcome.bits.as_slice(), &bits);
+            assert_eq!(outcome.bits(), &bits);
         }
     }
 

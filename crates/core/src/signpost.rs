@@ -215,7 +215,7 @@ mod tests {
             let outcome = DriveBy::new(tag, 2.5)
                 .with_seed(sign.codeword() as u64)
                 .run(&ReaderConfig::fast());
-            let decoded = RoadSign::from_bits(&outcome.bits);
+            let decoded = RoadSign::from_bits(&outcome.bits());
             assert_eq!(decoded, Some(sign), "{}", sign.name());
         }
     }

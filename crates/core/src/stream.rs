@@ -1,0 +1,679 @@
+//! Streaming frame ingestion for long-running reader services.
+//!
+//! [`DriveBy::run`](crate::reader::DriveBy::run) materializes a whole
+//! pass — fine for sweeps, wrong for a fleet service watching an
+//! arbitrarily long drive. This module splits the reader into a
+//! producer/consumer pair with bounded memory on both sides:
+//!
+//! * [`FrameSource`] — a pull-based event iterator. A source yields
+//!   [`StreamEvent`]s in chunks; nothing upstream ever holds more than
+//!   one chunk of frames.
+//! * [`StreamingReader`] — incremental decode state. It buffers only
+//!   the *open* passes (frames between `PassStart` and `PassEnd`),
+//!   decodes each pass the moment it closes via
+//!   [`decode_into`](crate::decode::decode_into) with one reused
+//!   scratch arena, and recycles the per-pass sample buffers through a
+//!   free pool. Peak memory is `O(open passes × frames per pass)`,
+//!   independent of drive length.
+//!
+//! ## Bit-compatibility contract
+//!
+//! [`DriveBySource`] streams the exact computation of
+//! `DriveBy::run_fast`: the same `fast_clean_rss` spotlight expression,
+//! the same serial receiver-noise RNG (two draws per frame, drawn even
+//! for dropped frames), the same fault schedule realization, and the
+//! same decode-centre anchoring. A [`SignRead`] produced by feeding a
+//! `DriveBySource` through a `StreamingReader` carries bit-identical
+//! bits and SNR to the `Outcome` of the equivalent batch run — at any
+//! worker or thread count. `tests/serve_stream.rs` pins this.
+
+use crate::decode::{
+    decode_into, DecodeError, DecodeResult, DecodeScratch, DecoderConfig, RssSample,
+};
+use crate::encode::SpatialCode;
+use crate::reader::{DriveBy, PassVerdict, ReaderConfig, SpotlightModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ros_em::jones::Polarization;
+use ros_em::units::cast::AsF64;
+use ros_em::{Vec3};
+use ros_fault::{FaultSchedule, FrameFaults};
+use ros_scene::reflector::EchoContext;
+use ros_scene::tracking::TrackingStream;
+use ros_scene::trajectory::{ManoeuvreTrajectory, Trajectory};
+use std::collections::BTreeMap;
+
+/// Globally unique pass identity inside a corridor run. The ordering
+/// (derived lexicographically: radar, vehicle, tag, seq) defines the
+/// canonical read-log order, which is how the service proves its
+/// output is invariant under worker count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PassId {
+    /// Roadside radar index.
+    pub radar: u32,
+    /// Vehicle index.
+    pub vehicle: u32,
+    /// Tag index along the corridor.
+    pub tag: u32,
+    /// Encounter sequence number (repeat passes of the same triple).
+    pub seq: u32,
+}
+
+impl PassId {
+    /// Compact `r/v/t/s` label for logs and metric payloads.
+    pub fn label(&self) -> String {
+        format!("r{}v{}t{}s{}", self.radar, self.vehicle, self.tag, self.seq)
+    }
+}
+
+/// Everything the decoder needs to know about a pass, carried by
+/// [`StreamEvent::PassStart`] so the consumer is stateless with
+/// respect to scenario geometry.
+#[derive(Clone, Copy, Debug)]
+pub struct PassContext {
+    /// Decode-centre estimate (believed-track anchored, see
+    /// `DriveBy::run_fast`).
+    pub center_est: Vec3,
+    /// The tag's spatial code.
+    pub code: SpatialCode,
+    /// Tag axis yaw \[rad\] passed to the decoder.
+    pub tag_axis_yaw: f64,
+}
+
+/// One event of a frame stream.
+#[derive(Clone, Copy, Debug)]
+pub enum StreamEvent {
+    /// A pass opened; frames for `pass` follow.
+    PassStart {
+        /// Pass identity.
+        pass: PassId,
+        /// Decode parameters for the pass.
+        ctx: PassContext,
+    },
+    /// One spotlight RSS frame of an open pass.
+    Frame {
+        /// Pass identity.
+        pass: PassId,
+        /// The believed-position + RSS sample.
+        sample: RssSample,
+    },
+    /// The pass closed; its decode verdict can now be produced.
+    PassEnd {
+        /// Pass identity.
+        pass: PassId,
+    },
+}
+
+/// A decoded sign read: the streaming counterpart of
+/// [`Outcome`](crate::reader::Outcome), carrying the typed verdict and
+/// — unlike the historical flattened `bits` — the decode error when
+/// decoding failed.
+#[derive(Clone, Debug)]
+pub struct SignRead {
+    /// Which pass produced this read.
+    pub pass: PassId,
+    /// Typed degradation verdict (single source of truth, shared with
+    /// the batch reader via [`PassVerdict::from_decode`]).
+    pub verdict: PassVerdict,
+    /// Decoded bits on success, `None` when decoding failed.
+    pub bits: Option<Vec<bool>>,
+    /// Decode SNR \[dB\] on success.
+    pub snr_db: Option<f64>,
+    /// The typed decode error when decoding failed.
+    pub error: Option<DecodeError>,
+    /// Number of frames the decode consumed.
+    pub n_frames: usize,
+}
+
+impl SignRead {
+    /// Canonical one-line textual form. SNR is rendered as the raw IEEE
+    /// bit pattern so two logs compare bit-exactly — the corridor
+    /// service's worker-count invariance proof string-compares these.
+    pub fn log_line(&self) -> String {
+        let bits = match &self.bits {
+            Some(b) => b.iter().map(|&x| if x { '1' } else { '0' }).collect(),
+            None => "-".to_string(),
+        };
+        let snr = match self.snr_db {
+            Some(s) => format!("{:016x}", s.to_bits()),
+            None => "-".to_string(),
+        };
+        let err = match &self.error {
+            Some(e) => format!("{e}"),
+            None => "-".to_string(),
+        };
+        format!(
+            "{} verdict={} bits={} snr={} frames={} err={}",
+            self.pass.label(),
+            self.verdict.name(),
+            bits,
+            snr,
+            self.n_frames,
+            err
+        )
+    }
+}
+
+/// A pull-based producer of [`StreamEvent`]s.
+///
+/// `next_events` appends up to `max` events to `out` and returns
+/// `false` once the stream is exhausted (nothing appended, nothing
+/// ever again). Chunked pulling keeps the producer's working set
+/// bounded regardless of drive length.
+pub trait FrameSource {
+    /// Appends up to `max` events to `out`; returns `false` when the
+    /// stream is exhausted.
+    fn next_events(&mut self, max: usize, out: &mut Vec<StreamEvent>) -> bool;
+}
+
+/// Per-open-pass buffer held by the streaming reader.
+#[derive(Debug)]
+struct OpenPass {
+    ctx: PassContext,
+    samples: Vec<RssSample>,
+}
+
+/// Incremental decode state: feed it [`StreamEvent`]s, collect
+/// [`SignRead`]s. See the module docs for the memory model.
+#[derive(Debug)]
+pub struct StreamingReader {
+    decoder: DecoderConfig,
+    scratch: DecodeScratch,
+    result: DecodeResult,
+    open: BTreeMap<PassId, OpenPass>,
+    pool: Vec<Vec<RssSample>>,
+    buffered: usize,
+    peak_open: usize,
+    peak_buffered: usize,
+    decodes: u64,
+}
+
+impl StreamingReader {
+    /// A reader with the given decoder configuration. Scratch arenas
+    /// (FFT plans, workspaces) are allocated once here and reused for
+    /// every pass.
+    pub fn new(decoder: DecoderConfig) -> Self {
+        StreamingReader {
+            decoder,
+            scratch: DecodeScratch::new(),
+            result: DecodeResult::default(),
+            open: BTreeMap::new(),
+            pool: Vec::new(),
+            buffered: 0,
+            peak_open: 0,
+            peak_buffered: 0,
+            decodes: 0,
+        }
+    }
+
+    /// Ingests one event. Returns a [`SignRead`] when the event closed
+    /// a pass (i.e. it was a `PassEnd` for a known pass). Frames for
+    /// unknown passes are ignored — a source that never loses events
+    /// never triggers that path.
+    pub fn ingest(&mut self, ev: StreamEvent) -> Option<SignRead> {
+        match ev {
+            StreamEvent::PassStart { pass, ctx } => {
+                let samples = self.pool.pop().unwrap_or_default();
+                self.open.insert(pass, OpenPass { ctx, samples });
+                self.peak_open = self.peak_open.max(self.open.len());
+                None
+            }
+            StreamEvent::Frame { pass, sample } => {
+                if let Some(p) = self.open.get_mut(&pass) {
+                    p.samples.push(sample);
+                    self.buffered += 1;
+                    self.peak_buffered = self.peak_buffered.max(self.buffered);
+                }
+                None
+            }
+            StreamEvent::PassEnd { pass } => {
+                let p = self.open.remove(&pass)?;
+                Some(self.close(pass, p))
+            }
+        }
+    }
+
+    /// Closes every still-open pass (in canonical [`PassId`] order) and
+    /// returns their reads. Call once the source is exhausted so a
+    /// stream that ends mid-pass still yields a verdict per pass.
+    pub fn finish(&mut self) -> Vec<SignRead> {
+        let mut reads = Vec::with_capacity(self.open.len());
+        while let Some((&pass, _)) = self.open.iter().next() {
+            if let Some(p) = self.open.remove(&pass) {
+                reads.push(self.close(pass, p));
+            }
+        }
+        reads
+    }
+
+    fn close(&mut self, pass: PassId, mut p: OpenPass) -> SignRead {
+        let n_frames = p.samples.len();
+        self.buffered -= n_frames;
+        let decode = decode_into(
+            &p.samples,
+            p.ctx.center_est,
+            p.ctx.tag_axis_yaw,
+            &p.ctx.code,
+            &self.decoder,
+            &mut self.scratch,
+            &mut self.result,
+        );
+        self.decodes += 1;
+        p.samples.clear();
+        self.pool.push(p.samples);
+        match decode {
+            Ok(()) => SignRead {
+                pass,
+                verdict: PassVerdict::from_decode(Ok(&self.result)),
+                bits: Some(self.result.bits.clone()),
+                snr_db: Some(self.result.snr_db()),
+                error: None,
+                n_frames,
+            },
+            Err(e) => SignRead {
+                pass,
+                verdict: PassVerdict::from_decode(Err(&e)),
+                bits: None,
+                snr_db: None,
+                error: Some(e),
+                n_frames,
+            },
+        }
+    }
+
+    /// Frames currently buffered across all open passes.
+    pub fn buffered(&self) -> usize {
+        self.buffered
+    }
+
+    /// High-water mark of simultaneously open passes.
+    pub fn peak_open(&self) -> usize {
+        self.peak_open
+    }
+
+    /// High-water mark of buffered frames — the number a memory bound
+    /// should be asserted against.
+    pub fn peak_buffered(&self) -> usize {
+        self.peak_buffered
+    }
+
+    /// Total passes decoded so far.
+    pub fn decodes(&self) -> u64 {
+        self.decodes
+    }
+}
+
+/// Phase of a [`DriveBySource`]'s event emission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SourcePhase {
+    Start,
+    Frames,
+    End,
+    Done,
+}
+
+/// Streams one [`DriveBy`] pass as [`StreamEvent`]s, frame by frame,
+/// in O(1) memory per frame (the fault schedule, when a plan is
+/// attached, is the one O(n)-per-pass allocation — identical to the
+/// batch reader's).
+///
+/// The emitted frame stream matches `DriveBy::run_fast` bit for bit:
+/// same spotlight RSS, same receiver-noise RNG consumption (noise is
+/// drawn for dropped frames too), same believed-track perturbation,
+/// same decode-centre anchor. See the module docs for the contract.
+pub struct DriveBySource {
+    drive: DriveBy,
+    pass: PassId,
+    ctx_pass: PassContext,
+    // Frame timeline: index i ∈ {0, stride, 2·stride, …} ≤ n_last.
+    rate_hz: f64,
+    stride: usize,
+    n_last: usize,
+    i: usize,
+    traj: ManoeuvreTrajectory,
+    schedule: Option<FaultSchedule>,
+    // Per-frame state shared with run_fast's serial loop.
+    echo_ctx: EchoContext,
+    spot: SpotlightModel,
+    tx: Polarization,
+    rx: Polarization,
+    sigma: f64,
+    rng: StdRng,
+    tracking: TrackingStream,
+    frame_no: usize,
+    phase: SourcePhase,
+}
+
+impl DriveBySource {
+    /// Prepares the streaming pass. Runs an O(1)-memory prepass over
+    /// the frame timeline to anchor the decode centre exactly as
+    /// `run_fast` does (closest-approach frame of the *truth* track,
+    /// offset by the believed-track error at that frame), then rewinds
+    /// for streaming.
+    pub fn new(drive: DriveBy, cfg: &ReaderConfig, pass: PassId) -> Self {
+        let base = Trajectory::drive_by(drive.speed_mps, drive.half_span_m, drive.radar_height_m);
+        let traj = ManoeuvreTrajectory::new(base, drive.lateral);
+        let rate_hz = drive.radar.chirp.frame_rate_hz;
+        let stride = cfg.frame_stride.max(1);
+        let n_last = ros_em::units::cast::floor_usize(base.duration_s * rate_hz);
+
+        // Fault plans are realized against the materialized timeline —
+        // one Vec<f64> per pass, exactly like the batch reader.
+        let schedule = drive.faults.as_ref().map(|p| {
+            let times: Vec<f64> = (0..=n_last)
+                .step_by(stride)
+                .map(|i| i.as_f64() / rate_hz)
+                .collect();
+            p.schedule(&times)
+        });
+
+        // Prepass: walk the timeline once with a throwaway tracking
+        // stream to find the closest-approach anchor and the believed
+        // offset there. Frame positions are O(1) recomputable, so no
+        // track is materialized.
+        let mut prepass_tracking = TrackingStream::new(drive.tracking);
+        let mut best_d = f64::INFINITY;
+        let mut offset = Vec3::ZERO;
+        for (j, i) in (0..=n_last).step_by(stride).enumerate() {
+            let t = i.as_f64() / rate_hz;
+            let truth = traj.position_at(t);
+            let mut believed = prepass_tracking.advance(truth);
+            if let Some(sch) = &schedule {
+                if let Some(s) = sch.get(j).spike {
+                    believed += Vec3::new(s.dx_m, s.dy_m, 0.0);
+                }
+            }
+            let d = truth.distance(drive.tag.mount());
+            if d < best_d {
+                best_d = d;
+                offset = believed - truth;
+            }
+        }
+        let ctx_pass = PassContext {
+            center_est: drive.tag.mount() + offset,
+            code: *drive.tag.code(),
+            tag_axis_yaw: 0.0,
+        };
+
+        let echo_ctx = drive.context();
+        let (tx, rx) = ros_radar::radar::RadarMode::PolarizationSwitched
+            .polarizations(drive.radar.array.native_pol);
+        let sigma = drive.noise_sigma();
+        let spot = SpotlightModel::new(&drive.radar);
+        let rng = StdRng::seed_from_u64(drive.seed);
+        let tracking = TrackingStream::new(drive.tracking);
+        DriveBySource {
+            drive,
+            pass,
+            ctx_pass,
+            rate_hz,
+            stride,
+            n_last,
+            i: 0,
+            traj,
+            schedule,
+            echo_ctx,
+            spot,
+            tx,
+            rx,
+            sigma,
+            rng,
+            tracking,
+            frame_no: 0,
+            phase: SourcePhase::Start,
+        }
+    }
+
+    /// Total decoding frames on the timeline (before drop/duplicate
+    /// faults reshape the emitted stream).
+    pub fn n_frames(&self) -> usize {
+        self.n_last / self.stride + 1
+    }
+}
+
+impl FrameSource for DriveBySource {
+    fn next_events(&mut self, max: usize, out: &mut Vec<StreamEvent>) -> bool {
+        let mut emitted = 0usize;
+        while emitted < max {
+            match self.phase {
+                SourcePhase::Start => {
+                    out.push(StreamEvent::PassStart {
+                        pass: self.pass,
+                        ctx: self.ctx_pass,
+                    });
+                    emitted += 1;
+                    self.phase = SourcePhase::Frames;
+                }
+                SourcePhase::Frames => {
+                    if self.i > self.n_last {
+                        self.phase = SourcePhase::End;
+                        continue;
+                    }
+                    // A duplicated frame emits two events; reserve room
+                    // so a chunk boundary never splits the RNG draw
+                    // from its emission.
+                    if max - emitted < 2 {
+                        return true;
+                    }
+                    let t = self.i.as_f64() / self.rate_hz;
+                    let truth = self.traj.position_at(t);
+                    let mut believed = self.tracking.advance(truth);
+                    let ff = match &self.schedule {
+                        Some(sch) => *sch.get(self.frame_no),
+                        None => FrameFaults::clean(),
+                    };
+                    if let Some(s) = ff.spike {
+                        believed += Vec3::new(s.dx_m, s.dy_m, 0.0);
+                    }
+                    let rss_clean = self.drive.fast_clean_rss(
+                        t,
+                        truth,
+                        self.tx,
+                        self.rx,
+                        &self.echo_ctx,
+                        &self.spot,
+                    );
+                    let rss = crate::reader::fast_frame_rss(
+                        rss_clean,
+                        self.frame_no,
+                        &mut self.rng,
+                        self.sigma,
+                        &ff,
+                    );
+                    self.i += self.stride;
+                    self.frame_no += 1;
+                    if ff.dropped {
+                        continue;
+                    }
+                    let sample = RssSample {
+                        radar_pos: believed,
+                        rss,
+                    };
+                    out.push(StreamEvent::Frame {
+                        pass: self.pass,
+                        sample,
+                    });
+                    emitted += 1;
+                    if ff.duplicated {
+                        out.push(StreamEvent::Frame {
+                            pass: self.pass,
+                            sample,
+                        });
+                        emitted += 1;
+                    }
+                }
+                SourcePhase::End => {
+                    out.push(StreamEvent::PassEnd { pass: self.pass });
+                    emitted += 1;
+                    self.phase = SourcePhase::Done;
+                }
+                SourcePhase::Done => return false,
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::SpatialCode;
+    use crate::reader::ReaderConfig;
+    use crate::tag::Tag;
+
+    fn tag8(bits: &[bool]) -> Tag {
+        SpatialCode {
+            rows_per_stack: 8,
+            ..SpatialCode::paper_4bit()
+        }
+        .encode(bits)
+        .unwrap()
+    }
+
+    fn pid() -> PassId {
+        PassId {
+            radar: 0,
+            vehicle: 0,
+            tag: 0,
+            seq: 0,
+        }
+    }
+
+    fn stream_read(drive: &DriveBy, cfg: &ReaderConfig, chunk: usize) -> SignRead {
+        let mut src = DriveBySource::new(drive.clone(), cfg, pid());
+        let mut reader = StreamingReader::new(cfg.decoder);
+        let mut events = Vec::new();
+        let mut read = None;
+        loop {
+            events.clear();
+            let more = src.next_events(chunk, &mut events);
+            for ev in events.drain(..) {
+                if let Some(r) = reader.ingest(ev) {
+                    read = Some(r);
+                }
+            }
+            if !more {
+                break;
+            }
+        }
+        read.unwrap_or_else(|| reader.finish().pop().expect("one pass"))
+    }
+
+    #[test]
+    fn streaming_matches_batch_bitwise() {
+        let cfg = ReaderConfig::fast();
+        let drive = DriveBy::new(tag8(&[true, false, true, true]), 2.0).with_seed(42);
+        let batch = drive.run(&cfg);
+        for chunk in [2, 7, 64, 100_000] {
+            let read = stream_read(&drive, &cfg, chunk);
+            assert_eq!(read.bits.as_deref(), batch.decoded_bits(), "chunk {chunk}");
+            assert_eq!(
+                read.snr_db.map(f64::to_bits),
+                batch.snr_db().map(f64::to_bits),
+                "chunk {chunk}"
+            );
+            assert_eq!(read.verdict, batch.verdict, "chunk {chunk}");
+            assert_eq!(read.n_frames, batch.rss_trace.len(), "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch_under_faults() {
+        use ros_fault::{FaultKind, FaultPlan};
+        let cfg = ReaderConfig::fast();
+        let drive = DriveBy::new(tag8(&[true, true, false, true]), 2.5)
+            .with_seed(9)
+            .with_tracking(ros_scene::tracking::TrackingError {
+                drift: 0.03,
+                jitter_m: 0.01,
+                seed: 4,
+            })
+            .with_faults(
+                FaultPlan::new(77)
+                    .with(FaultKind::FrameDrop, 0.08)
+                    .with(FaultKind::FrameDuplicate, 0.05)
+                    .with(FaultKind::InterferenceBurst { excess_db: 12.0 }, 0.04)
+                    .with(FaultKind::TrackingSpike { magnitude_m: 0.4 }, 0.03),
+            );
+        let batch = drive.run(&cfg);
+        let read = stream_read(&drive, &cfg, 33);
+        assert_eq!(read.bits.as_deref(), batch.decoded_bits());
+        assert_eq!(
+            read.snr_db.map(f64::to_bits),
+            batch.snr_db().map(f64::to_bits)
+        );
+        assert_eq!(read.verdict, batch.verdict);
+        assert_eq!(read.n_frames, batch.rss_trace.len());
+    }
+
+    #[test]
+    fn reader_bounds_memory_and_recycles() {
+        let cfg = ReaderConfig::fast();
+        let mut reader = StreamingReader::new(cfg.decoder);
+        for round in 0..3u32 {
+            let drive = DriveBy::new(tag8(&[true; 4]), 2.0).with_seed(u64::from(round));
+            let mut src = DriveBySource::new(
+                drive,
+                &cfg,
+                PassId {
+                    seq: round,
+                    ..pid()
+                },
+            );
+            let mut events = Vec::new();
+            while src.next_events(64, &mut events) {}
+            for ev in events.drain(..) {
+                reader.ingest(ev);
+            }
+        }
+        assert_eq!(reader.decodes(), 3);
+        assert_eq!(reader.buffered(), 0, "all pass buffers returned");
+        assert_eq!(reader.peak_open(), 1, "sequential passes never overlap");
+    }
+
+    #[test]
+    fn finish_closes_truncated_pass() {
+        let cfg = ReaderConfig::fast();
+        let drive = DriveBy::new(tag8(&[true; 4]), 2.0);
+        let mut src = DriveBySource::new(drive, &cfg, pid());
+        let mut reader = StreamingReader::new(cfg.decoder);
+        let mut events = Vec::new();
+        src.next_events(10, &mut events); // start + a few frames, no end
+        for ev in events.drain(..) {
+            assert!(reader.ingest(ev).is_none());
+        }
+        let reads = reader.finish();
+        assert_eq!(reads.len(), 1);
+        assert_eq!(reads[0].pass, pid());
+        assert_eq!(reader.buffered(), 0);
+    }
+
+    #[test]
+    fn failed_decode_surfaces_error_not_empty_bits() {
+        let cfg = ReaderConfig::fast();
+        let mut reader = StreamingReader::new(cfg.decoder);
+        let ctx = PassContext {
+            center_est: Vec3::new(0.0, 2.0, 1.0),
+            code: SpatialCode::paper_4bit(),
+            tag_axis_yaw: 0.0,
+        };
+        reader.ingest(StreamEvent::PassStart { pass: pid(), ctx });
+        // Two samples: far below any decoder minimum.
+        for _ in 0..2 {
+            reader.ingest(StreamEvent::Frame {
+                pass: pid(),
+                sample: RssSample {
+                    radar_pos: Vec3::ZERO,
+                    rss: ros_em::Complex64::ZERO,
+                },
+            });
+        }
+        let read = reader
+            .ingest(StreamEvent::PassEnd { pass: pid() })
+            .expect("pass closed");
+        assert_eq!(read.verdict, PassVerdict::NoTag);
+        assert!(read.bits.is_none(), "no flattened empty-bits read");
+        assert!(read.error.is_some(), "typed decode error surfaced");
+        assert!(read.log_line().contains("verdict=no_tag"));
+    }
+}

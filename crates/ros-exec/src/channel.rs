@@ -1,0 +1,312 @@
+//! Bounded blocking channels for long-running service pipelines.
+//!
+//! The `ros-serve` corridor service streams radar frames through
+//! sharded workers; the seams between its stages are these channels.
+//! Two properties the fleet workload needs that `std::sync::mpsc` does
+//! not provide together:
+//!
+//! 1. **Explicit backpressure, never silent loss.** The buffer is hard
+//!    bounded at its construction capacity. A producer that outruns its
+//!    consumer *blocks* (and the blocking event is counted in
+//!    [`ChannelStats::stalls`]) — frames are never dropped to make
+//!    room. Frame-count conservation across a fan-in is therefore an
+//!    assertable invariant, not a hope.
+//! 2. **Observable occupancy.** The channel tracks its high-water mark
+//!    ([`ChannelStats::max_occupancy`]), which by construction can
+//!    never exceed the capacity — the slow-consumer integration test
+//!    pins both facts.
+//!
+//! [`Sender`] is `Clone`, so one channel serves both the SPSC shape
+//! (producer → shard worker) and the MPSC shape (worker fan-in →
+//! aggregator). Disconnect semantics are conventional: `recv` returns
+//! `None` once the buffer is empty and every sender is gone; `send`
+//! returns the rejected value once the receiver is gone.
+//!
+//! Determinism note: a channel transports values, it does not create
+//! them. Cross-thread *arrival order* at an MPSC fan-in is scheduler
+//! dependent; consumers that need a reproducible aggregate (the serve
+//! read log) must order by a deterministic key after draining, which is
+//! exactly what `ros-serve` does.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Snapshot of a channel's backpressure counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Number of `send` calls that had to block on a full buffer
+    /// (counted once per blocking send, not once per wakeup).
+    pub stalls: u64,
+    /// High-water mark of buffered items; `<= capacity` always.
+    pub max_occupancy: usize,
+    /// The bound the channel was built with.
+    pub capacity: usize,
+}
+
+/// Mutex-guarded channel state (stats live under the same lock, so a
+/// snapshot is always internally consistent).
+struct State<T> {
+    buf: VecDeque<T>,
+    senders: usize,
+    recv_alive: bool,
+    stalls: u64,
+    max_occupancy: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    cap: usize,
+}
+
+impl<T> Shared<T> {
+    fn stats(&self) -> ChannelStats {
+        let st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        ChannelStats {
+            stalls: st.stalls,
+            max_occupancy: st.max_occupancy,
+            capacity: self.cap,
+        }
+    }
+}
+
+/// The sending half of a bounded channel; clone it for MPSC fan-in.
+// lint: allow-dead-pub(returned by bounded; callers bind it, never write the name)
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a bounded channel (single consumer).
+// lint: allow-dead-pub(returned by bounded; callers bind it, never write the name)
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a bounded blocking channel with room for `cap` items.
+///
+/// `cap` is clamped to at least 1 (a zero-capacity buffer could never
+/// accept a send). The buffer is allocated up front, so steady-state
+/// send/recv never allocates.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let cap = cap.max(1);
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            buf: VecDeque::with_capacity(cap),
+            senders: 1,
+            recv_alive: true,
+            stalls: 0,
+            max_occupancy: 0,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+        cap,
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Sends `v`, blocking while the buffer is full. Each blocking send
+    /// increments the stall counter exactly once. Returns `Err(v)` when
+    /// the receiver is gone (the value is handed back, never dropped
+    /// silently).
+    pub fn send(&self, v: T) -> Result<(), T> {
+        let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        let mut stalled = false;
+        loop {
+            if !st.recv_alive {
+                return Err(v);
+            }
+            if st.buf.len() < self.shared.cap {
+                break;
+            }
+            if !stalled {
+                stalled = true;
+                st.stalls += 1;
+            }
+            st = self
+                .shared
+                .not_full
+                .wait(st)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+        st.buf.push_back(v);
+        if st.buf.len() > st.max_occupancy {
+            st.max_occupancy = st.buf.len();
+        }
+        drop(st);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Backpressure counters as of now.
+    pub fn stats(&self) -> ChannelStats {
+        self.shared.stats()
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.senders += 1;
+        drop(st);
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.senders -= 1;
+        let last = st.senders == 0;
+        drop(st);
+        if last {
+            // Wake a receiver parked on an empty buffer so it can
+            // observe the disconnect and return `None`.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives the next item, blocking while the buffer is empty.
+    /// Returns `None` once the buffer is drained and every sender has
+    /// been dropped — by then every sent item has been delivered.
+    pub fn recv(&self) -> Option<T> {
+        let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(v) = st.buf.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Some(v);
+            }
+            if st.senders == 0 {
+                return None;
+            }
+            st = self
+                .shared
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Backpressure counters as of now.
+    pub fn stats(&self) -> ChannelStats {
+        self.shared.stats()
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.recv_alive = false;
+        drop(st);
+        // Wake every producer parked on a full buffer so their sends
+        // can fail fast instead of blocking forever.
+        self.shared.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let (tx, rx) = bounded(8);
+        for i in 0..5 {
+            tx.send(i).map_err(|_| "receiver gone").unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = std::iter::from_fn(|| rx.recv()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        let stats = rx.stats();
+        assert_eq!(stats.stalls, 0);
+        assert_eq!(stats.max_occupancy, 5);
+        assert_eq!(stats.capacity, 8);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_cap_and_stalls_count() {
+        let cap = 3;
+        let (tx, rx) = bounded(cap);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..50u64 {
+                    tx.send(i).map_err(|_| "receiver gone").unwrap();
+                }
+            });
+            // Slow consumer: drain with a delay so the producer fills
+            // the buffer and must stall.
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv() {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                got.push(v);
+            }
+            let expect: Vec<u64> = (0..50).collect();
+            assert_eq!(got, expect, "no item lost or reordered");
+            let stats = rx.stats();
+            assert!(stats.max_occupancy <= cap, "occupancy {stats:?}");
+            assert!(stats.stalls > 0, "producer never stalled: {stats:?}");
+        });
+    }
+
+    #[test]
+    fn mpsc_fan_in_conserves_items() {
+        let (tx, rx) = bounded(4);
+        let n_producers = 4;
+        let per = 25u64;
+        std::thread::scope(|s| {
+            for p in 0..n_producers {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..per {
+                        tx.send(p * 1000 + i).map_err(|_| "receiver gone").unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut got: Vec<u64> = std::iter::from_fn(|| rx.recv()).collect();
+            got.sort_unstable();
+            let mut expect: Vec<u64> = (0..n_producers)
+                .flat_map(|p| (0..per).map(move |i| p * 1000 + i))
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "fan-in must conserve every item");
+        });
+    }
+
+    #[test]
+    fn send_after_receiver_drop_returns_value() {
+        let (tx, rx) = bounded(2);
+        drop(rx);
+        assert_eq!(tx.send(42), Err(42));
+    }
+
+    #[test]
+    fn recv_after_senders_drop_drains_then_ends() {
+        let (tx, rx) = bounded(4);
+        tx.send(1).map_err(|_| "receiver gone").unwrap();
+        tx.send(2).map_err(|_| "receiver gone").unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let (tx, rx) = bounded(0);
+        tx.send(7).map_err(|_| "receiver gone").unwrap();
+        assert_eq!(rx.stats().capacity, 1);
+        assert_eq!(rx.recv(), Some(7));
+    }
+}

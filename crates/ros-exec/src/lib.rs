@@ -27,6 +27,25 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+pub mod channel;
+
+/// Runs `f` inside a scoped-thread region, as `std::thread::scope` does.
+///
+/// This crate is the workspace's single spawn boundary (the no-raw-spawn
+/// lint bans direct `std::thread` spawning everywhere else), and the
+/// `par_map` family only covers slice-shaped fan-out. Long-running
+/// services — `ros-serve`'s producer/worker/aggregator topology — need
+/// free-form scoped workers wired by [`channel`]s, so the escape hatch
+/// lives here where the spawn policy is audited. Workers spawned on the
+/// scope are joined before `scope` returns and panics propagate, same
+/// as the underlying std primitive.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+{
+    std::thread::scope(f)
+}
+
 /// Global programmatic thread-count override (0 = unset).
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 

@@ -45,7 +45,7 @@ mod sink;
 
 pub use clock::{install_monotonic_clock, install_null_clock};
 pub use json::Value;
-pub use metrics::{count, gauge, hist, metrics_json, metrics_json_touched, reset_metrics};
+pub use metrics::{count, gauge, hist, hist_quantile, metrics_json, metrics_json_touched, reset_metrics};
 pub use sink::install_memory_sink;
 
 use clock::now_ns;

@@ -55,6 +55,15 @@ pub const ALL: &[(&str, Kind)] = &[
     // every minimize / minimize_par call. Emitted from the serial
     // epilogue of each run, so the value is thread-count invariant.
     ("optim.de.generations", Kind::Counter),
+    // Corridor reader service (ros-serve). Counters are aggregated
+    // across workers, so totals are thread-count invariant even though
+    // per-worker interleaving is not.
+    ("serve.frames_in", Kind::Counter),
+    ("serve.frames_out", Kind::Counter),
+    ("serve.reads", Kind::Counter),
+    ("serve.backpressure_stalls", Kind::Counter),
+    ("serve.channel_max_occupancy", Kind::Gauge),
+    ("serve.decode_latency_ns", Kind::Histogram),
     // Reader.
     ("reader.frames", Kind::Counter),
     ("reader.cloud_points", Kind::Gauge),

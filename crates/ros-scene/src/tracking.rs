@@ -46,33 +46,60 @@ impl TrackingError {
     /// believed positions.
     ///
     /// Drift scales each position's displacement from the track start;
-    /// jitter adds an integrated random walk.
+    /// jitter adds an integrated random walk. Equivalent to driving a
+    /// [`TrackingStream`] over the track (this is literally how it is
+    /// implemented, so the two can never diverge).
     pub fn apply(&self, truth: &[Vec3]) -> Vec<Vec3> {
-        if truth.is_empty() {
-            return Vec::new();
-        }
-        let origin = truth[0];
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x7ac4_11e5);
-        let mut walk = Vec3::ZERO;
-        truth
-            .iter()
-            .map(|&p| {
-                if self.jitter_m > 0.0 {
-                    walk += Vec3::new(
-                        (rng.gen::<f64>() - 0.5) * 2.0 * self.jitter_m,
-                        (rng.gen::<f64>() - 0.5) * 2.0 * self.jitter_m,
-                        0.0,
-                    );
-                }
-                origin + (p - origin) * (1.0 + self.drift) + walk
-            })
-            .collect()
+        let mut stream = TrackingStream::new(*self);
+        truth.iter().map(|&p| stream.advance(p)).collect()
     }
 
     /// The believed-vs-true position error at the end of a track of
     /// length `travel_m` \[m\] (drift component only).
     pub fn terminal_error_m(&self, travel_m: f64) -> f64 {
         self.drift * travel_m
+    }
+}
+
+/// Incremental realization of a [`TrackingError`]: yields believed
+/// positions one ground-truth frame at a time in O(1) memory.
+///
+/// The RNG stream, origin anchoring, and evaluation order are exactly
+/// those of [`TrackingError::apply`] (which is implemented on top of
+/// this), so a streamed track is bit-identical to the whole-track
+/// method at every frame. The streaming reader uses this so an
+/// arbitrarily long drive never materializes its track.
+#[derive(Clone, Debug)]
+pub struct TrackingStream {
+    err: TrackingError,
+    rng: StdRng,
+    walk: Vec3,
+    origin: Option<Vec3>,
+}
+
+impl TrackingStream {
+    /// Starts a fresh realization of `err`; the first position fed to
+    /// [`TrackingStream::advance`] anchors the track origin.
+    pub fn new(err: TrackingError) -> Self {
+        TrackingStream {
+            err,
+            rng: StdRng::seed_from_u64(err.seed ^ 0x7ac4_11e5),
+            walk: Vec3::ZERO,
+            origin: None,
+        }
+    }
+
+    /// The believed position for the next ground-truth position.
+    pub fn advance(&mut self, truth: Vec3) -> Vec3 {
+        let origin = *self.origin.get_or_insert(truth);
+        if self.err.jitter_m > 0.0 {
+            self.walk += Vec3::new(
+                (self.rng.gen::<f64>() - 0.5) * 2.0 * self.err.jitter_m,
+                (self.rng.gen::<f64>() - 0.5) * 2.0 * self.err.jitter_m,
+                0.0,
+            );
+        }
+        origin + (truth - origin) * (1.0 + self.err.drift) + self.walk
     }
 }
 
@@ -142,6 +169,26 @@ mod tests {
     #[test]
     fn empty_track() {
         assert!(TrackingError::drift(0.1).apply(&[]).is_empty());
+    }
+
+    #[test]
+    fn stream_bit_identical_to_apply() {
+        let t: Vec<Vec3> = (0..200)
+            .map(|i| Vec3::new(i as f64 * 0.05, (i as f64 * 0.11).sin(), 1.0))
+            .collect();
+        let e = TrackingError {
+            drift: 0.04,
+            jitter_m: 0.02,
+            seed: 17,
+        };
+        let whole = e.apply(&t);
+        let mut stream = TrackingStream::new(e);
+        for (i, (&truth, want)) in t.iter().zip(&whole).enumerate() {
+            let got = stream.advance(truth);
+            assert_eq!(got.x.to_bits(), want.x.to_bits(), "frame {i}");
+            assert_eq!(got.y.to_bits(), want.y.to_bits(), "frame {i}");
+            assert_eq!(got.z.to_bits(), want.z.to_bits(), "frame {i}");
+        }
     }
 
     #[test]

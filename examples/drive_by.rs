@@ -65,12 +65,12 @@ fn main() {
     }
     println!(
         "decoded bits: {:?} (sent {:?})",
-        outcome.bits.iter().map(|&b| b as u8).collect::<Vec<_>>(),
+        outcome.bits().iter().map(|&b| b as u8).collect::<Vec<_>>(),
         message.map(|b| b as u8)
     );
     if let Some(snr) = outcome.snr_db() {
         println!("decoding SNR: {snr:.1} dB");
     }
-    assert_eq!(outcome.bits, message.to_vec(), "decode mismatch");
+    assert_eq!(outcome.bits(), message.to_vec(), "decode mismatch");
     println!("\nscene decoded correctly ✓");
 }

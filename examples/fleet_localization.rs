@@ -40,7 +40,7 @@ fn main() {
         let tag = code.encode(&sign.bits()).unwrap();
         let mut drive = DriveBy::new(tag, 4.75).with_seed(8100 + trip);
         drive.half_span_m = 8.0;
-        if let Some(d) = drive.run(&ReaderConfig::fast()).decode {
+        if let Ok(d) = drive.run(&ReaderConfig::fast()).decode {
             if d.bits == sign.bits().to_vec() {
                 singles_ok += 1;
             }

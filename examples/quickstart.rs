@@ -35,10 +35,10 @@ fn main() {
     // Drive by at 3 m standoff (one lane over) with the TI-class radar.
     let outcome = DriveBy::new(tag, 3.0).run(&ReaderConfig::fast());
 
-    let decoded: Vec<u8> = outcome.bits.iter().map(|&b| b as u8).collect();
+    let decoded: Vec<u8> = outcome.bits().iter().map(|&b| b as u8).collect();
     println!("\ndecoded bits: {decoded:?}");
-    match outcome.decode {
-        Some(d) => {
+    match &outcome.decode {
+        Ok(d) => {
             println!("decoding SNR: {:.1} dB (BER {:.3}%)", d.snr_db(), d.ber() * 100.0);
             println!(
                 "coding-slot amplitudes: {:?}",
@@ -48,8 +48,8 @@ fn main() {
                     .collect::<Vec<_>>()
             );
         }
-        None => println!("decoding failed"),
+        Err(e) => println!("decoding failed: {e}"),
     }
-    assert_eq!(outcome.bits, message.to_vec(), "round trip failed");
+    assert_eq!(outcome.bits(), message.to_vec(), "round trip failed");
     println!("\nround trip OK ✓");
 }

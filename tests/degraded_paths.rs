@@ -39,7 +39,7 @@ fn assert_finite(o: &Outcome, label: &str) {
             "{label}: non-finite RSS sample at index {i}"
         );
     }
-    if let Some(d) = &o.decode {
+    if let Ok(d) = &o.decode {
         for (i, a) in d.slot_amplitudes.iter().enumerate() {
             assert!(
                 a.is_finite(),
@@ -59,7 +59,7 @@ fn all_frames_dropped_in_fast_mode_is_typed_no_tag() {
         .with_faults(FaultPlan::single(1, FaultKind::FrameDrop, 1.0));
     let o = drive.run(&ReaderConfig::fast());
     assert_eq!(o.verdict, PassVerdict::NoTag);
-    assert!(o.bits.is_empty(), "dropped pass must decode no bits");
+    assert!(o.bits().is_empty(), "dropped pass must decode no bits");
     assert!(o.rss_trace.is_empty(), "dropped pass must sample nothing");
     assert!(o.frame_verdicts.iter().all(|v| v.dropped));
     assert_finite(&o, "all-dropped fast");
@@ -73,7 +73,7 @@ fn all_frames_dropped_in_full_mode_is_typed_no_tag() {
         .run(&cfg);
     assert_eq!(o.verdict, PassVerdict::NoTag);
     assert!(o.detected_center.is_none());
-    assert!(o.bits.is_empty());
+    assert!(o.bits().is_empty());
     assert_finite(&o, "all-dropped full");
 }
 
@@ -136,7 +136,7 @@ fn hard_adc_saturation_in_fast_mode_stays_finite_and_typed() {
             erasures,
         } => {
             assert!(!erasures.is_empty());
-            assert_eq!(bits_resolved + erasures.len(), o.bits.len());
+            assert_eq!(bits_resolved + erasures.len(), o.bits().len());
         }
     }
 }
@@ -173,8 +173,8 @@ fn wide_erasure_margin_yields_partial_decode_with_consistent_counts() {
             erasures,
         } => {
             assert!(!erasures.is_empty());
-            assert_eq!(bits_resolved + erasures.len(), o.bits.len());
-            assert!(erasures.iter().all(|&slot| slot < o.bits.len()));
+            assert_eq!(bits_resolved + erasures.len(), o.bits().len());
+            assert!(erasures.iter().all(|&slot| slot < o.bits().len()));
         }
         other => panic!("expected PartialDecode, got {other:?}"),
     }

@@ -228,7 +228,7 @@ fn drive_by_outcome(cfg: &ReaderConfig) -> Outcome {
 }
 
 fn assert_outcomes_bit_identical(a: &Outcome, b: &Outcome, what: &str) {
-    assert_eq!(a.bits, b.bits, "{what}: decoded bits");
+    assert_eq!(a.bits(), b.bits(), "{what}: decoded bits");
     assert_eq!(a.rss_trace.len(), b.rss_trace.len(), "{what}: trace length");
     for (sa, sb) in a.rss_trace.iter().zip(&b.rss_trace) {
         assert_eq!(sa.rss.re.to_bits(), sb.rss.re.to_bits(), "{what}: rss re");
@@ -240,7 +240,7 @@ fn assert_outcomes_bit_identical(a: &Outcome, b: &Outcome, what: &str) {
         );
     }
     match (&a.decode, &b.decode) {
-        (Some(da), Some(db)) => {
+        (Ok(da), Ok(db)) => {
             assert_eq!(
                 da.snr_linear.to_bits(),
                 db.snr_linear.to_bits(),
@@ -252,7 +252,7 @@ fn assert_outcomes_bit_identical(a: &Outcome, b: &Outcome, what: &str) {
                 &format!("{what}: slot amplitudes"),
             );
         }
-        (None, None) => {}
+        (Err(_), Err(_)) => {}
         _ => panic!("{what}: one run decoded, the other did not"),
     }
 }
@@ -406,5 +406,31 @@ fn drive_by_full_bit_identical_across_thread_counts() {
     for t in THREAD_COUNTS {
         let o = with_threads(t, || drive_by_outcome(&cfg));
         assert_outcomes_bit_identical(&reference, &o, &format!("full@{t}"));
+    }
+}
+
+/// The corridor reader service at 1, 2, and 8 pinned executor threads
+/// (auto worker resolution) produces one bit-identical read log: the
+/// service's output is a function of the scenario, never of how many
+/// shards the encounters landed on.
+#[test]
+fn corridor_service_bit_identical_across_thread_counts() {
+    use ros_serve::{run_corridor, CorridorConfig};
+    let cfg = CorridorConfig {
+        n_radars: 2,
+        n_vehicles: 2,
+        n_tags: 1,
+        channel_capacity: 8,
+        chunk_frames: 32,
+        ..CorridorConfig::default()
+    };
+    let reference = with_threads(1, || run_corridor(&cfg, 0));
+    assert_eq!(reference.workers, 1);
+    for t in THREAD_COUNTS {
+        let r = with_threads(t, || run_corridor(&cfg, 0));
+        assert_eq!(r.workers, t, "auto resolution follows the pinned pool");
+        assert_eq!(r.log(), reference.log(), "read log @ {t} threads");
+        assert_eq!(r.frames_produced, reference.frames_produced, "@ {t} threads");
+        assert_eq!(r.frames_produced, r.frames_consumed, "@ {t} threads");
     }
 }

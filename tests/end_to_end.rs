@@ -30,10 +30,10 @@ fn all_16_bit_patterns_roundtrip() {
             .with_seed(word as u64)
             .run(&ReaderConfig::fast());
         assert_eq!(
-            outcome.bits,
+            outcome.bits(),
             bits.to_vec(),
             "pattern {word:04b} mis-decoded: {:?}",
-            outcome.decode.map(|d| d.slot_amplitudes)
+            outcome.decode.as_ref().map(|d| &d.slot_amplitudes)
         );
     }
 }
@@ -63,7 +63,7 @@ fn decode_fails_gracefully_beyond_range() {
     let mut drive = DriveBy::new(tag, 6.0).with_seed(11);
     drive.half_span_m = 8.0;
     let outcome = drive.run(&ReaderConfig::fast());
-    assert_ne!(outcome.bits, vec![true; 4], "ghost decode at 6 m");
+    assert_ne!(outcome.bits(), vec![true; 4], "ghost decode at 6 m");
 }
 
 #[test]
@@ -100,7 +100,7 @@ fn full_pipeline_detects_and_decodes_among_clutter() {
         .find(|c| (c.features.center.x - 1.8).abs() < 0.6)
         .expect("lamp cluster");
     assert!(!lamp_cluster.is_tag);
-    assert_eq!(outcome.bits, bits.to_vec());
+    assert_eq!(outcome.bits(), bits.to_vec());
 }
 
 #[test]
@@ -118,7 +118,7 @@ fn six_bit_code_needs_far_field_and_a_better_radar() {
     let mut near = DriveBy::new(tag, 4.0).with_seed(66);
     near.half_span_m = 10.0;
     let near_out = near.run(&ReaderConfig::fast());
-    assert_ne!(near_out.bits, bits.to_vec(), "near-field read should fail");
+    assert_ne!(near_out.bits(), bits.to_vec(), "near-field read should fail");
 
     // Far field with the commercial radar: clean decode.
     let tag = code6.encode(&bits).unwrap();
@@ -126,7 +126,7 @@ fn six_bit_code_needs_far_field_and_a_better_radar() {
     far.half_span_m = 14.0;
     far.radar.budget = ros_em::radar_eq::RadarLinkBudget::commercial();
     let far_out = far.run(&ReaderConfig::fast());
-    assert_eq!(far_out.bits, bits.to_vec());
+    assert_eq!(far_out.bits(), bits.to_vec());
 }
 
 #[test]
@@ -171,7 +171,7 @@ fn crowded_scene_preset_still_decodes() {
     let mut cfg = ReaderConfig::full();
     cfg.frame_stride = 8;
     let outcome = drive.run(&cfg);
-    assert_eq!(outcome.bits, bits.to_vec());
+    assert_eq!(outcome.bits(), bits.to_vec());
     // No clutter cluster may be classified as a tag.
     for c in &outcome.clusters {
         if c.is_tag {
@@ -197,7 +197,7 @@ fn lane_change_pass_still_decodes() {
         .with_seed(707);
     drive.half_span_m = 8.0;
     let outcome = drive.run(&ReaderConfig::fast());
-    assert_eq!(outcome.bits, bits.to_vec());
+    assert_eq!(outcome.bits(), bits.to_vec());
     assert!(outcome.snr_db().unwrap() > 10.0);
 }
 
@@ -211,7 +211,7 @@ fn curved_road_pass_still_decodes() {
         .with_seed(708);
     drive.half_span_m = 8.0;
     let outcome = drive.run(&ReaderConfig::fast());
-    assert_eq!(outcome.bits, bits.to_vec());
+    assert_eq!(outcome.bits(), bits.to_vec());
 }
 
 #[test]
@@ -225,7 +225,7 @@ fn decodes_over_reflective_asphalt() {
     let mut drive = DriveBy::new(tag, 3.0).with_ground(-0.2).with_seed(313);
     drive.half_span_m = 8.0;
     let outcome = drive.run(&ReaderConfig::fast());
-    assert_eq!(outcome.bits, bits.to_vec());
+    assert_eq!(outcome.bits(), bits.to_vec());
 }
 
 #[test]
@@ -243,7 +243,7 @@ fn partial_blockage_tolerated_full_blockage_fails() {
         .with_seed(515);
     drive.half_span_m = 8.0;
     let outcome = drive.run(&ReaderConfig::fast());
-    assert_eq!(outcome.bits, bits.to_vec(), "partial blockage should survive");
+    assert_eq!(outcome.bits(), bits.to_vec(), "partial blockage should survive");
 
     // Full-pass metal blockage: §7.3 says decoding fails — and it must
     // not hallucinate the message.
@@ -257,7 +257,7 @@ fn partial_blockage_tolerated_full_blockage_fails() {
         .with_seed(516);
     drive.half_span_m = 8.0;
     let outcome = drive.run(&ReaderConfig::fast());
-    assert_ne!(outcome.bits, bits.to_vec(), "ghost decode through a truck");
+    assert_ne!(outcome.bits(), bits.to_vec(), "ghost decode through a truck");
 }
 
 #[test]
@@ -269,6 +269,6 @@ fn deterministic_given_seed() {
     let b = DriveBy::new(tag, 3.0)
         .with_seed(123)
         .run(&ReaderConfig::fast());
-    assert_eq!(a.bits, b.bits);
+    assert_eq!(a.bits(), b.bits());
     assert_eq!(a.snr_db(), b.snr_db());
 }

@@ -45,7 +45,7 @@ fn full_fixture() -> (DriveBy, ReaderConfig) {
 /// Bit-exact fingerprint of everything a pass reports.
 fn fingerprint(o: &Outcome) -> (Vec<bool>, Vec<(u64, u64)>, String, usize) {
     (
-        o.bits.clone(),
+        o.bits().to_vec(),
         o.rss_trace
             .iter()
             .map(|s| (s.rss.re.to_bits(), s.rss.im.to_bits()))
@@ -157,7 +157,7 @@ fn zero_rate_plan_matches_no_plan_bit_for_bit() {
     ));
     let a = run_pinned(&clean, &cfg, 2);
     let b = run_pinned(&gated, &cfg, 2);
-    assert_eq!(a.bits, b.bits);
+    assert_eq!(a.bits(), b.bits());
     assert_eq!(
         fingerprint(&a).1,
         fingerprint(&b).1,

@@ -53,7 +53,7 @@ fn run_fixture() -> Outcome {
 #[test]
 fn golden_bits_and_amplitudes() {
     let outcome = run_fixture();
-    assert_eq!(outcome.bits, GOLDEN_BITS, "decoded payload drifted");
+    assert_eq!(outcome.bits(), GOLDEN_BITS, "decoded payload drifted");
 
     let decode = outcome.decode.as_ref().expect("fixture decodes");
     assert_eq!(decode.bits, GOLDEN_BITS);
@@ -92,7 +92,7 @@ fn golden_holds_at_every_worker_count() {
         let _pin = ros_exec::ThreadGuard::pin(Some(workers));
         let outcome = run_fixture();
         assert_eq!(
-            outcome.bits, GOLDEN_BITS,
+            outcome.bits(), GOLDEN_BITS,
             "decoded payload drifted at {workers} worker(s)"
         );
         let decode = outcome.decode.as_ref().expect("fixture decodes");

@@ -98,7 +98,7 @@ fn run_traced(threads: usize) -> Vec<String> {
     cfg.frame_stride = 8;
     let outcome = drive.run(&cfg);
     assert!(outcome.detected_center.is_some(), "fixture must detect");
-    assert_eq!(outcome.bits, bits, "fixture must decode");
+    assert_eq!(outcome.bits(), bits, "fixture must decode");
 
     ros_obs::flush();
     ros_obs::set_level(Level::Off);

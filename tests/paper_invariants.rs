@@ -67,12 +67,12 @@ fn detection_ranges_scale_with_stack_size() {
     let mut drive8 = DriveBy::new(mk(8), 6.0).with_seed(2);
     drive8.half_span_m = 8.0;
     let out8 = drive8.run(&ReaderConfig::fast());
-    assert_ne!(out8.bits, vec![true; 4], "8-row tag should fail at 6 m");
+    assert_ne!(out8.bits(), vec![true; 4], "8-row tag should fail at 6 m");
 
     let mut drive32 = DriveBy::new(mk(32), 6.0).with_seed(2);
     drive32.half_span_m = 8.0;
     let out32 = drive32.run(&ReaderConfig::fast());
-    assert_eq!(out32.bits, vec![true; 4], "32-row tag must decode at 6 m");
+    assert_eq!(out32.bits(), vec![true; 4], "32-row tag must decode at 6 m");
 }
 
 #[test]
@@ -115,7 +115,7 @@ fn fog_does_not_break_decoding() {
     let mut drive = DriveBy::new(tag, 3.0).with_fog(FogLevel::Heavy).with_seed(3);
     drive.half_span_m = 8.0;
     let outcome = drive.run(&ReaderConfig::fast());
-    assert_eq!(outcome.bits, vec![true; 4]);
+    assert_eq!(outcome.bits(), vec![true; 4]);
     assert!(outcome.snr_db().unwrap() > 14.0);
 }
 
@@ -128,7 +128,7 @@ fn sixty_degree_fov_is_sufficient() {
     let mut drive = DriveBy::new(tag, 3.0).with_seed(4);
     drive.half_span_m = 8.0;
     let outcome = drive.run(&cfg);
-    assert_eq!(outcome.bits, vec![true; 4]);
+    assert_eq!(outcome.bits(), vec![true; 4]);
 }
 
 #[test]
@@ -142,7 +142,7 @@ fn driving_speed_does_not_break_decoding() {
         .with_seed(5);
     drive.half_span_m = 8.0;
     let outcome = drive.run(&cfg);
-    assert_eq!(outcome.bits, vec![true; 4]);
+    assert_eq!(outcome.bits(), vec![true; 4]);
     assert!(outcome.snr_db().unwrap() > 14.0);
 }
 
@@ -156,7 +156,7 @@ fn mild_tracking_drift_is_tolerated() {
         .with_seed(6);
     drive.half_span_m = 8.0;
     let outcome = drive.run(&ReaderConfig::fast());
-    assert_eq!(outcome.bits, vec![true; 4]);
+    assert_eq!(outcome.bits(), vec![true; 4]);
 }
 
 #[test]

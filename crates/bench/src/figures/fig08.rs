@@ -6,14 +6,17 @@
 //! example.
 
 use crate::util::{f, note, Table};
-use ros_antenna::shaping::{standard_profile, ShapingProfile};
+use ros_antenna::shaping::{standard_profile_in, ShapingProfile};
 use ros_antenna::stack::PsvaaStack;
+use ros_cache::GeomCache;
 use ros_em::constants::F_CENTER_HZ;
 use ros_em::geom::{deg_to_rad, rad_to_deg};
 
 /// Fig. 8a: the optimized stack layout.
-pub fn fig8a() {
-    let profile = standard_profile(8);
+pub fn fig8a(cache: &GeomCache) {
+    // The DE-GA profile is the most expensive table in the repo; the
+    // shared cache means fig8a and fig8b run it once between them.
+    let profile = standard_profile_in(cache, 8);
     let paper = ShapingProfile::paper_example_8();
     let shaped = profile.build();
     let mut t = Table::new(
@@ -34,21 +37,18 @@ pub fn fig8a() {
 }
 
 /// Fig. 8b: elevation pattern with and without beam shaping.
-pub fn fig8b() {
-    let shaped = standard_profile(8).build();
+pub fn fig8b(cache: &GeomCache) {
+    let shaped = standard_profile_in(cache, 8).build();
     let flat = PsvaaStack::uniform(8);
     let mut t = Table::new(
         "Fig. 8b — elevation power pattern (dB, peak-normalized)",
         &["elev_deg", "with shaping", "without shaping"],
     );
-    for i in -20..=20 {
-        let deg = i as f64;
-        let eps = deg_to_rad(deg);
-        t.row(vec![
-            f(deg, 0),
-            f(shaped.elevation_pattern_db(eps, F_CENTER_HZ), 1),
-            f(flat.elevation_pattern_db(eps, F_CENTER_HZ), 1),
-        ]);
+    let epsilons: Vec<f64> = (-20..=20).map(|i| deg_to_rad(f64::from(i))).collect();
+    let shaped_db = shaped.elevation_pattern_table_in(cache, &epsilons, F_CENTER_HZ);
+    let flat_db = flat.elevation_pattern_table_in(cache, &epsilons, F_CENTER_HZ);
+    for (k, i) in (-20..=20).enumerate() {
+        t.row(vec![f(f64::from(i), 0), f(shaped_db[k], 1), f(flat_db[k], 1)]);
     }
     t.emit("fig8b");
 

@@ -6,6 +6,7 @@
 //! * Fig. 10c: RCS frequency spectrum with the 4 coding peaks.
 
 use crate::util::{f, note, Table};
+use ros_cache::GeomCache;
 use ros_core::encode::SpatialCode;
 use ros_core::rcs_model;
 use ros_em::constants::LAMBDA_CENTER_M;
@@ -30,20 +31,23 @@ pub fn fig10b() {
 }
 
 /// Fig. 10c: the RCS frequency spectrum of the 4-bit tag.
-pub fn fig10c() {
+pub fn fig10c(cache: &GeomCache) {
     let code = SpatialCode::paper_4bit();
     for (label, bits) in [("1111", [true; 4]), ("1010", [true, false, true, false])] {
-        let tag = code.encode(&bits).unwrap_or_else(|e| panic!("tag encode: {e}"));
+        let tag = code
+            .encode_with(cache, &bits)
+            .unwrap_or_else(|e| panic!("tag encode: {e}"));
         let pos = tag.stack_positions_m().to_vec();
-        let rcs = rcs_model::sample_rcs_factor(&pos, LAMBDA_CENTER_M, 1.0, 1024);
-        let (spacings, mags) = rcs_model::rcs_spectrum(&rcs, 1.0, LAMBDA_CENTER_M, 8);
+        let rcs = rcs_model::sample_rcs_factor_cached(cache, &pos, LAMBDA_CENTER_M, 1.0, 1024);
+        let spectrum = rcs_model::rcs_spectrum_cached(cache, &rcs, 1.0, LAMBDA_CENTER_M, 8);
+        let (spacings, mags) = (&spectrum.0, &spectrum.1);
         let mut t = Table::new(
             &format!("Fig. 10c — RCS frequency spectrum, bits {label}"),
             &["spacing_lambda", "normalized magnitude"],
         );
         let peak = mags.iter().cloned().fold(1e-30, f64::max);
         let mut last = -1.0f64;
-        for (s, m) in spacings.iter().zip(&mags) {
+        for (s, m) in spacings.iter().zip(mags.iter()) {
             let sl = s / LAMBDA_CENTER_M;
             if sl > 25.0 {
                 break;
@@ -60,7 +64,7 @@ pub fn fig10c() {
             &["slot_lambda", "bit", "normalized amplitude"],
         );
         for (k, slot) in code.slot_spacings_lambda().iter().enumerate() {
-            let m = rcs_model::magnitude_at_spacing(&spacings, &mags, slot * LAMBDA_CENTER_M);
+            let m = rcs_model::magnitude_at_spacing(spacings, mags, slot * LAMBDA_CENTER_M);
             s.row(vec![
                 f(*slot, 1),
                 format!("{}", bits[k] as u8),

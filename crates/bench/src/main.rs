@@ -36,6 +36,7 @@ mod serve;
 mod util;
 
 use figures::*;
+use ros_cache::GeomCache;
 
 fn main() {
     ros_obs::init_from_env();
@@ -84,13 +85,17 @@ fn main() {
         args.iter().map(String::as_str).collect()
     };
 
+    // One geometry/EM table cache shared by every figure job: repeated
+    // designs (fig4a's VAA azimuth table reappears in fig5b, the 8-row
+    // shaping profile spans fig8a/fig8b) build exactly once per run.
+    let cache = GeomCache::new();
     if parallel {
         // Figure jobs are independent (each writes its own CSVs), so
         // they fan out across the executor's thread pool.
-        ros_exec::par_map(&which, |name| run_one(name));
+        ros_exec::par_map(&which, |name| run_one(name, &cache));
     } else {
         for name in which {
-            run_one(name);
+            run_one(name, &cache);
         }
     }
     ros_obs::flush();
@@ -130,20 +135,21 @@ fn smoke() {
 }
 
 /// Dispatches one experiment by name (the unit of figure-level
-/// parallelism).
-fn run_one(name: &str) {
+/// parallelism). `cache` is the run-wide geometry/EM table cache;
+/// figures that evaluate memoizable tables draw from it.
+fn run_one(name: &str, cache: &GeomCache) {
     match name {
-        "fig3" => fig03_06::fig3(),
-        "fig4a" => fig03_06::fig4a(),
+        "fig3" => fig03_06::fig3(cache),
+        "fig4a" => fig03_06::fig4a(cache),
         "fig4b" => fig03_06::fig4b(),
-        "fig5a" => fig03_06::fig5(true),
-        "fig5b" => fig03_06::fig5(false),
+        "fig5a" => fig03_06::fig5(cache, true),
+        "fig5b" => fig03_06::fig5(cache, false),
         "fig6a" => fig03_06::fig6(true),
         "fig6b" => fig03_06::fig6(false),
-        "fig8a" => fig08::fig8a(),
-        "fig8b" => fig08::fig8b(),
+        "fig8a" => fig08::fig8a(cache),
+        "fig8b" => fig08::fig8b(cache),
         "fig10b" => fig10::fig10b(),
-        "fig10c" => fig10::fig10c(),
+        "fig10c" => fig10::fig10c(cache),
         "fig11b" => fig11_13::fig11b(),
         "fig11c" => fig11_13::fig11c(),
         "fig11d" => fig11_13::fig11d(),

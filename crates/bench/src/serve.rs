@@ -34,7 +34,10 @@
 //! scenario, not of the sharding.
 
 use crate::util::should_overwrite;
-use ros_serve::{run_corridor, CorridorConfig, ServeReport};
+use ros_cache::GeomCache;
+use ros_serve::{
+    run_corridor, run_corridor_uncached, run_corridor_with, CorridorConfig, ServeReport,
+};
 
 /// Corridor shape for the full benchmark (the ISSUE acceptance
 /// scenario): 3 radars × 8 vehicles × 2 tags = 48 passes.
@@ -43,6 +46,19 @@ fn full_corridor() -> CorridorConfig {
         n_radars: 3,
         n_vehicles: 8,
         n_tags: 2,
+        channel_capacity: 256,
+        ..CorridorConfig::default()
+    }
+}
+
+/// Corridor shape for the cache comparison (the ISSUE 9 acceptance
+/// scenario): K = 4 tags, 5 radars × 10 vehicles × 4 tags = 200
+/// encounters over at most 20 distinct mounted-tag designs.
+fn cache_corridor() -> CorridorConfig {
+    CorridorConfig {
+        n_radars: 5,
+        n_vehicles: 10,
+        n_tags: 4,
         channel_capacity: 256,
         ..CorridorConfig::default()
     }
@@ -143,9 +159,28 @@ pub fn run(smoke: bool, require_valid: bool, force: bool) {
         if equal { "logs identical" } else { "LOGS DIVERGE" },
     );
 
+    // Cache-temperature comparison: cold shared cache, the same cache
+    // pre-warmed (a second corridor in the same process — the
+    // verify.sh cache stage greps this run's nonzero `cache.hit`), and
+    // the no-memoization baseline.
+    let ccfg = if smoke { smoke_corridor() } else { cache_corridor() };
+    let cb = run_cache_bench(&ccfg);
+    let ratio = cb.hit_miss_ratio();
+    println!(
+        "  cache: {} passes x2, {} hits / {} misses (ratio {ratio:.0}x)",
+        cb.passes, cb.hits, cb.misses
+    );
+    println!(
+        "  cache decodes/s: cold {:.1}, warm {:.1}, uncached {:.1} ({})",
+        cb.cold_dps,
+        cb.warm_dps,
+        cb.uncached_dps,
+        if cb.logs_equal { "logs identical" } else { "LOGS DIVERGE" },
+    );
+
     let json = render_json(
         requested, effective, available, valid, &cfg, passes, &report, fps, dps, p50, p99, &lo,
-        &hi, equal,
+        &hi, equal, &cb,
     );
     // The smoke matrix is a CI check, not a benchmark record: its
     // artifact goes under target/ so a verify run can never touch the
@@ -180,6 +215,11 @@ pub fn run(smoke: bool, require_valid: bool, force: bool) {
         ros_obs::flush();
         std::process::exit(1);
     }
+    if !cb.logs_equal {
+        eprintln!("error: read log diverged across cache temperatures — memoization bug.");
+        ros_obs::flush();
+        std::process::exit(1);
+    }
     if require_valid && !valid {
         eprintln!(
             "error: --require-valid was set and this record is \"valid\": false \
@@ -187,6 +227,63 @@ pub fn run(smoke: bool, require_valid: bool, force: bool) {
         );
         ros_obs::flush();
         std::process::exit(1);
+    }
+}
+
+/// Results of the cache-temperature comparison: one corridor decoded
+/// with a cold shared cache, again with the (now warm) cache, and once
+/// with memoization disabled.
+struct CacheBench {
+    /// Encounters per corridor run.
+    passes: usize,
+    /// Cache hits across the cold + warm runs.
+    hits: u64,
+    /// Cache misses across the cold + warm runs (the distinct tables).
+    misses: u64,
+    /// Decodes/sec of the cold-cache run.
+    cold_dps: f64,
+    /// Decodes/sec of the warm-cache run.
+    warm_dps: f64,
+    /// Decodes/sec of the uncached baseline.
+    uncached_dps: f64,
+    /// Whether all three read logs are bit-identical (they must be:
+    /// cache temperature is not allowed to change physics).
+    logs_equal: bool,
+}
+
+impl CacheBench {
+    fn hit_miss_ratio(&self) -> f64 {
+        if self.misses == 0 {
+            f64::INFINITY
+        } else {
+            self.hits as f64 / self.misses as f64 // lint: allow-cast(counters to float for a ratio)
+        }
+    }
+}
+
+/// Runs the corridor three times — cold cache, warm cache, no cache —
+/// and gathers the comparison.
+fn run_cache_bench(cfg: &CorridorConfig) -> CacheBench {
+    let decodes_per_sec = |r: &ServeReport| {
+        let secs = r.elapsed_ns as f64 / 1e9; // lint: allow-cast(elapsed ns to float seconds for a rate)
+        if secs > 0.0 {
+            r.decodes as f64 / secs // lint: allow-cast(decode count to float for a rate)
+        } else {
+            f64::NAN
+        }
+    };
+    let cache = GeomCache::new();
+    let cold = run_corridor_with(cfg, 0, &cache);
+    let warm = run_corridor_with(cfg, 0, &cache);
+    let uncached = run_corridor_uncached(cfg, 0);
+    CacheBench {
+        passes: cfg.encounters().len(),
+        hits: cold.cache_hits + warm.cache_hits,
+        misses: cold.cache_misses + warm.cache_misses,
+        cold_dps: decodes_per_sec(&cold),
+        warm_dps: decodes_per_sec(&warm),
+        uncached_dps: decodes_per_sec(&uncached),
+        logs_equal: cold.log() == warm.log() && cold.log() == uncached.log(),
     }
 }
 
@@ -207,6 +304,7 @@ fn render_json(
     lo: &ServeReport,
     hi: &ServeReport,
     equal: bool,
+    cb: &CacheBench,
 ) -> String {
     let q = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x:.1}"));
     let mut s = String::from("{\n");
@@ -249,9 +347,21 @@ fn render_json(
         report.capacity, report.peak_open, report.peak_buffered
     ));
     s.push_str(&format!(
-        "  \"worker_invariance\": {{\"digest_lo\": \"{:016x}\", \"digest_hi\": \"{:016x}\", \"equal\": {equal}}}\n",
+        "  \"worker_invariance\": {{\"digest_lo\": \"{:016x}\", \"digest_hi\": \"{:016x}\", \"equal\": {equal}}},\n",
         lo.log_digest(),
         hi.log_digest()
+    ));
+    let ratio = cb.hit_miss_ratio();
+    let ratio_json = if ratio.is_finite() {
+        format!("{ratio:.1}")
+    } else {
+        "null".to_string()
+    };
+    s.push_str(&format!(
+        "  \"cache\": {{\"passes\": {}, \"hits\": {}, \"misses\": {}, \"hit_miss_ratio\": {ratio_json}, \
+         \"cold_decodes_per_sec\": {:.2}, \"warm_decodes_per_sec\": {:.2}, \
+         \"uncached_decodes_per_sec\": {:.2}, \"logs_equal\": {}}}\n",
+        cb.passes, cb.hits, cb.misses, cb.cold_dps, cb.warm_dps, cb.uncached_dps, cb.logs_equal
     ));
     s.push_str("}\n");
     s

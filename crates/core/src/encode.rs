@@ -15,6 +15,7 @@
 //! — so secondary peaks can never masquerade as coding peaks.
 
 use crate::tag::Tag;
+use ros_cache::GeomCache;
 use ros_em::constants::LAMBDA_CENTER_M;
 use ros_em::units::cast::AsF64;
 
@@ -134,6 +135,22 @@ impl SpatialCode {
     /// Bit `k` (index `k−1`) mounts a stack in slot `k`. The reference
     /// stack is always present.
     pub fn encode(&self, bits: &[bool]) -> Result<Tag, EncodeError> {
+        let positions = self.mounted_positions_m(bits)?;
+        Ok(Tag::new(*self, positions, bits.to_vec()))
+    }
+
+    /// [`SpatialCode::encode`] with the tag's stack geometry resolved
+    /// through an injected cache (see [`Tag::new_with`]): the
+    /// DE-optimized shaping profile builds once per cache, and the tag
+    /// memoizes its per-frequency scatterer tables there. The encoded
+    /// layout and physics are bit-identical to the uncached path.
+    pub fn encode_with(&self, cache: &GeomCache, bits: &[bool]) -> Result<Tag, EncodeError> {
+        let positions = self.mounted_positions_m(bits)?;
+        Ok(Tag::new_with(cache, *self, positions, bits.to_vec()))
+    }
+
+    /// Mounted stack positions for `bits` (reference stack first).
+    fn mounted_positions_m(&self, bits: &[bool]) -> Result<Vec<f64>, EncodeError> {
         if bits.len() != self.capacity_bits() {
             return Err(EncodeError::WrongBitCount {
                 got: bits.len(),
@@ -146,7 +163,7 @@ impl SpatialCode {
                 positions.push(self.slot_position_m(i + 1));
             }
         }
-        Ok(Tag::new(*self, positions, bits.to_vec()))
+        Ok(positions)
     }
 
     /// Overall tag width `D = (4M − 7)·c + 3` wavelengths (§5.3),

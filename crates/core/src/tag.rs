@@ -12,10 +12,12 @@ use crate::encode::SpatialCode;
 use ros_antenna::shaping;
 use ros_antenna::stack::PsvaaStack;
 use ros_antenna::vaa::{ArrayKind, VanAttaArray};
+use ros_cache::GeomCache;
 use ros_em::jones::Polarization;
+use ros_em::units::cast::{self, AsF64};
 use ros_em::{Complex64, Vec3};
 use ros_scene::reflector::{EchoContext, Reflector, SceneEcho};
-use ros_em::units::cast::{self, AsF64};
+use std::sync::Arc;
 
 /// One mounted PSVAA stack of a tag.
 #[derive(Clone, Debug)]
@@ -47,6 +49,11 @@ pub struct Tag {
     bow_m: f64,
     /// Seed for the per-column bow realization.
     bow_seed: u64,
+    /// Injected geometry/EM memo store; when present, per-frame
+    /// scatterer exports read shared cached tables instead of
+    /// recomputing (bit-identical either way). Never a global —
+    /// attached explicitly from a composition root.
+    cache: Option<GeomCache>,
 }
 
 impl Tag {
@@ -58,6 +65,34 @@ impl Tag {
         } else {
             PsvaaStack::uniform(code.rows_per_stack)
         };
+        Tag::from_shared_stack(code, stack, positions_m, bits)
+    }
+
+    /// [`Tag::new`] with the stack geometry resolved through an
+    /// injected cache: the DE-optimized shaping profile for
+    /// `code.rows_per_stack` builds once per cache, and the returned
+    /// tag keeps the cache handle so per-frame scatterer exports read
+    /// shared tables. The physics are bit-identical to [`Tag::new`].
+    pub(crate) fn new_with(
+        cache: &GeomCache,
+        code: SpatialCode,
+        positions_m: Vec<f64>,
+        bits: Vec<bool>,
+    ) -> Self {
+        let stack = if code.beam_shaped {
+            shaping::shaped_stack_in(cache, code.rows_per_stack)
+        } else {
+            PsvaaStack::uniform(code.rows_per_stack)
+        };
+        Tag::from_shared_stack(code, stack, positions_m, bits).with_table_cache(cache)
+    }
+
+    fn from_shared_stack(
+        code: SpatialCode,
+        stack: PsvaaStack,
+        positions_m: Vec<f64>,
+        bits: Vec<bool>,
+    ) -> Self {
         let stacks = positions_m
             .iter()
             .map(|&x| TagStack {
@@ -74,7 +109,16 @@ impl Tag {
             yaw: 0.0,
             bow_m: 0.0,
             bow_seed: 0,
+            cache: None,
         }
+    }
+
+    /// Attaches an injected table cache: subsequent scatterer exports
+    /// memoize their per-(layout, frequency) row tables in it. Results
+    /// are bit-identical with or without a cache attached.
+    pub(crate) fn with_table_cache(mut self, cache: &GeomCache) -> Self {
+        self.cache = Some(cache.clone());
+        self
     }
 
     /// Builds a tag from heterogeneous stacks (per-slot row counts —
@@ -99,6 +143,7 @@ impl Tag {
             yaw: 0.0,
             bow_m: 0.0,
             bow_seed: 0,
+            cache: None,
         }
     }
 
@@ -196,7 +241,10 @@ impl Tag {
         let mut out = Vec::new();
         for (si, ts) in self.stacks.iter().enumerate() {
             let xs = ts.x_m;
-            let rows = ts.stack.row_scatterers(freq_hz);
+            let rows: Arc<Vec<(f64, Complex64)>> = match &self.cache {
+                Some(cache) => ts.stack.row_scatterers_table_in(cache, freq_hz),
+                None => Arc::new(ts.stack.row_scatterers(freq_hz)),
+            };
             let z_center = ts.stack.center_z_m();
             let half_h = (ts.stack.height_m() / 2.0).max(1e-9);
             // Per-column bow: deterministic pseudo-random deflection.
@@ -211,7 +259,7 @@ impl Tag {
             } else {
                 0.0
             };
-            for &(z, w) in &rows {
+            for &(z, w) in rows.iter() {
                 let zc = z - z_center;
                 // Parabolic deflection toward/away from the road,
                 // maximal at the column centre, zero at the clamped ends.

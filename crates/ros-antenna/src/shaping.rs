@@ -16,12 +16,11 @@
 //! * penalize beams that stay narrow.
 
 use crate::stack::PsvaaStack;
+use ros_cache::{GeomCache, Key, KeyBuilder, TableKind};
 use ros_em::geom::deg_to_rad;
-use ros_optim::{minimize, DeConfig, Strategy};
-use std::collections::BTreeMap;
-use std::sync::Mutex;
-use std::sync::OnceLock;
 use ros_em::units::cast::{self, AsF64};
+use ros_optim::{minimize, DeConfig, Strategy};
+use std::sync::Arc;
 
 /// A beam-shaping profile: per-row TL phase weights \[rad\].
 #[derive(Clone, Debug, PartialEq)]
@@ -184,29 +183,45 @@ pub fn optimize_flat_top_with_budget(
     }
 }
 
-/// Cached flat-top profile for the common stack sizes, optimized for
-/// the paper's 10° target. Optimization runs once per size per
-/// process; every experiment then shares the same layout, exactly like
-/// reusing one fabricated PCB.
+/// Standard flat-top profile for `n_rows`, optimized for the paper's
+/// 10° target. Pure: every call re-runs the (deterministic) DE search.
+/// There is deliberately **no** process-global memo here — the PR 5
+/// incident showed an implicit cache makes golden traces depend on
+/// cache temperature. Loop-heavy callers should pass an explicit
+/// [`GeomCache`] to [`standard_profile_in`] instead.
 pub fn standard_profile(n_rows: usize) -> ShapingProfile {
-    // BTreeMap, not HashMap: the map is keyed lookup today, but a
-    // hash container one refactor away from an iteration is exactly
-    // how order nondeterminism leaks into pinned fixtures (and the
-    // `nondet-iter` lint would flag that refactor).
-    static CACHE: OnceLock<Mutex<BTreeMap<usize, ShapingProfile>>> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
-    // A poisoned cache only means another thread panicked mid-insert;
-    // the map itself is still usable.
-    let mut guard = cache.lock().unwrap_or_else(|poison| poison.into_inner());
-    guard
-        .entry(n_rows)
-        .or_insert_with(|| optimize_flat_top(n_rows, deg_to_rad(10.0)))
-        .clone()
+    optimize_flat_top(n_rows, deg_to_rad(10.0))
 }
 
-/// Builds the standard beam-shaped stack of `n_rows` PSVAAs.
+/// Structural cache key for the standard profile: the domain plus
+/// every input the DE search depends on.
+fn standard_profile_key(n_rows: usize) -> Key {
+    KeyBuilder::new("antenna.shaping.standard_profile")
+        .usize(n_rows)
+        .f64(deg_to_rad(10.0))
+        .finish()
+}
+
+/// [`standard_profile`] memoized in an injected cache: optimization
+/// runs once per size per cache, and every experiment sharing the
+/// cache then shares the same layout, exactly like reusing one
+/// fabricated PCB. Bit-identical to the uncached path by construction
+/// (the build closure *is* `standard_profile`).
+pub fn standard_profile_in(cache: &GeomCache, n_rows: usize) -> Arc<ShapingProfile> {
+    cache.get_or_build(TableKind::Shaping, standard_profile_key(n_rows), || {
+        standard_profile(n_rows)
+    })
+}
+
+/// Builds the standard beam-shaped stack of `n_rows` PSVAAs (pure; see
+/// [`standard_profile`] for the no-global rationale).
 pub fn shaped_stack(n_rows: usize) -> PsvaaStack {
     standard_profile(n_rows).build()
+}
+
+/// [`shaped_stack`] with the profile memoized in an injected cache.
+pub fn shaped_stack_in(cache: &GeomCache, n_rows: usize) -> PsvaaStack {
+    standard_profile_in(cache, n_rows).build()
 }
 
 #[cfg(test)]
@@ -263,21 +278,28 @@ mod tests {
 
     #[test]
     fn cache_returns_same_profile() {
-        let a = standard_profile(8);
-        let b = standard_profile(8);
-        assert_eq!(a, b);
+        let cache = GeomCache::new();
+        let a = standard_profile_in(&cache, 8);
+        let b = standard_profile_in(&cache, 8);
+        assert_eq!(*a, *b);
+        // And the second lookup is a genuine hit, not a rebuild.
+        let snap = cache.snapshot();
+        assert_eq!(snap.kind(TableKind::Shaping).misses, 1);
+        assert_eq!(snap.kind(TableKind::Shaping).hits, 1);
     }
 
     #[test]
     fn standard_profile_order_is_bit_stable() {
         // Regression for the nondet-iter arc: the cached profile must
         // be bit-identical to a fresh optimization, in row order —
-        // cache container choice (BTreeMap) must never reorder or
-        // perturb what callers see.
-        let cached = standard_profile(6);
+        // the cache (container choice, eviction, temperature) must
+        // never reorder or perturb what callers see.
+        let cache = GeomCache::new();
+        let cached = standard_profile_in(&cache, 6);
         let fresh = optimize_flat_top(6, deg_to_rad(10.0));
         let bits = |p: &ShapingProfile| p.phases.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(&cached), bits(&fresh));
+        assert_eq!(bits(&cached), bits(&standard_profile_in(&cache, 6)));
         assert_eq!(bits(&cached), bits(&standard_profile(6)));
     }
 

@@ -17,9 +17,11 @@
 
 use crate::patch;
 use crate::vaa::{ArrayKind, VanAttaArray};
+use ros_cache::{GeomCache, Key, KeyBuilder, TableKind};
 use ros_em::jones::Polarization;
 use ros_em::prelude::*;
 use ros_em::units::cast::AsF64;
+use std::sync::Arc;
 
 /// Baseline row pitch: 0.725λ at 79 GHz (Fig. 8a) \[m\].
 pub fn base_row_pitch_m() -> f64 {
@@ -185,6 +187,46 @@ impl PsvaaStack {
         hi - lo
     }
 
+    /// Structural layout key of this stack: the exact row geometry and
+    /// phase weights — everything [`Self::elevation_array_factor`]
+    /// reads. Two stacks share cached tables iff this key is equal.
+    pub(crate) fn layout_key(&self) -> Key {
+        let z: Vec<f64> = self.rows.iter().map(|r| r.z_m).collect();
+        let phi: Vec<f64> = self.rows.iter().map(|r| r.phase_rad).collect();
+        KeyBuilder::new("antenna.stack.layout")
+            .f64s(&z)
+            .f64s(&phi)
+            .finish()
+    }
+
+    /// Elevation pattern cut \[dB\] sampled at `epsilons`, memoized in
+    /// an injected cache. Bit-identical to calling
+    /// [`Self::elevation_pattern_db`] per sample, but the boresight
+    /// peak scan runs once per table instead of once per sample, and
+    /// repeated cuts of the same layout are free.
+    pub fn elevation_pattern_table_in(
+        &self,
+        cache: &GeomCache,
+        epsilons: &[f64],
+        freq_hz: f64,
+    ) -> Arc<Vec<f64>> {
+        let key = KeyBuilder::new("antenna.stack.elevation_pattern")
+            .nested(&self.layout_key())
+            .f64(freq_hz)
+            .f64s(epsilons)
+            .finish();
+        cache.get_or_build(TableKind::Pattern, key, || {
+            let peak = self.peak_elevation_power(freq_hz);
+            epsilons
+                .iter()
+                .map(|&eps| {
+                    let p = self.elevation_array_factor(eps, freq_hz).norm_sqr();
+                    10.0 * (p / peak).max(1e-12).log10()
+                })
+                .collect()
+        })
+    }
+
     /// Complete monostatic stack response: the row's azimuth PSVAA
     /// response times the far-field elevation array factor.
     ///
@@ -204,6 +246,22 @@ impl PsvaaStack {
         let row = VanAttaArray::new(ArrayKind::Psvaa, 3);
         let row_field = row.monostatic_field(az, freq_hz, tx, rx);
         row_field * self.elevation_array_factor(el, freq_hz)
+    }
+
+    /// [`Self::row_scatterers`] memoized in an injected cache: one
+    /// table per exact (layout, frequency). The reader's per-pass
+    /// frequency is fixed, so a drive-by pays one build and every
+    /// subsequent frame reads the shared table.
+    pub fn row_scatterers_table_in(
+        &self,
+        cache: &GeomCache,
+        freq_hz: f64,
+    ) -> Arc<Vec<(f64, Complex64)>> {
+        let key = KeyBuilder::new("antenna.stack.row_scatterers")
+            .nested(&self.layout_key())
+            .f64(freq_hz)
+            .finish();
+        cache.get_or_build(TableKind::Pattern, key, || self.row_scatterers(freq_hz))
     }
 
     /// Per-row scatterer export for exact near-field sums: pairs of

@@ -15,9 +15,11 @@
 //! The strip-line is non-dispersive to first order (TEM-like), so
 //! `λg(f) = λg(f_c)·f_c/f` — i.e. constant effective permittivity.
 
+use ros_cache::{GeomCache, KeyBuilder, TableKind};
 use ros_em::constants::{F_CENTER_HZ, LAMBDA_GUIDED_79GHZ_M, TL_LOSS_DB_PER_M};
-use ros_em::Complex64;
 use ros_em::units::cast::AsF64;
+use ros_em::Complex64;
+use std::sync::Arc;
 
 /// Guided wavelength at frequency `freq_hz` \[m\].
 #[inline]
@@ -106,6 +108,33 @@ pub fn feed_phase_compensation(pair: usize) -> f64 {
     } else {
         0.0
     }
+}
+
+/// Complex TL transfer (dispersion) table over a frequency grid,
+/// memoized in an injected cache: entry `i * freq_grid_hz.len() + j`
+/// is line `i`'s [`TransmissionLine::transfer`] at `freq_grid_hz[j]`
+/// (line-major). One table per distinct (lengths, grid) pair — the
+/// §4.1 misalignment analysis reuses it across pair counts because
+/// the design-rule length sets nest.
+pub fn dispersion_table_in(
+    cache: &GeomCache,
+    lengths_m: &[f64],
+    freq_grid_hz: &[f64],
+) -> Arc<Vec<Complex64>> {
+    let key = KeyBuilder::new("antenna.tl.dispersion")
+        .f64s(lengths_m)
+        .f64s(freq_grid_hz)
+        .finish();
+    cache.get_or_build(TableKind::Dispersion, key, || {
+        let mut table = Vec::with_capacity(lengths_m.len() * freq_grid_hz.len());
+        for &len in lengths_m {
+            let line = TransmissionLine::new(len);
+            for &freq in freq_grid_hz {
+                table.push(line.transfer(freq));
+            }
+        }
+        table
+    })
 }
 
 /// Ideal TL lengths for an `n_pairs` Van Atta array following the §4.1

@@ -22,10 +22,11 @@
 
 use crate::patch;
 use crate::tl::{self, TransmissionLine};
+use ros_cache::{GeomCache, Key, KeyBuilder, TableKind};
 use ros_em::jones::Polarization;
 use ros_em::prelude::*;
-use std::sync::OnceLock;
 use ros_em::units::cast::AsF64;
+use std::sync::{Arc, OnceLock};
 
 /// Which of the three array types to model.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -283,6 +284,65 @@ impl VanAttaArray {
     ) -> f64 {
         let sigma = self.monostatic_field(theta, freq_hz, tx, rx).norm_sqr();
         10.0 * sigma.max(1e-30).log10()
+    }
+
+    /// Structural layout key of this array: kind, exact element
+    /// geometry and polarizations, every pair's line length and feed
+    /// phase, and the uniform extra line — everything
+    /// [`Self::bistatic_field`] reads. Two arrays share cached tables
+    /// iff this key is equal.
+    pub(crate) fn layout_key(&self) -> Key {
+        let kind = match self.kind {
+            ArrayKind::VanAtta => 0u64,
+            ArrayKind::Psvaa => 1,
+            ArrayKind::Ula => 2,
+        };
+        let pols: Vec<bool> = self
+            .element_pol
+            .iter()
+            .map(|&p| p == Polarization::H)
+            .collect();
+        let mut b = KeyBuilder::new("antenna.vaa.layout")
+            .u64(kind)
+            .f64s(&self.element_x)
+            .bools(&pols)
+            .f64(self.extra_line_m);
+        for pair in &self.pairs {
+            b = b
+                .usize(pair.a)
+                .usize(pair.b)
+                .f64(pair.line.length_m)
+                .f64(pair.feed_phase);
+        }
+        b.finish()
+    }
+
+    /// Monostatic RCS azimuth cut \[dBsm\] sampled at `thetas`,
+    /// memoized in an injected cache. Bit-identical to calling
+    /// [`Self::monostatic_rcs_dbsm`] per sample; repeated cuts of the
+    /// same layout (e.g. the VAA baseline shared by Figs. 4a and 5b)
+    /// build once.
+    pub fn monostatic_rcs_table_in(
+        &self,
+        cache: &GeomCache,
+        thetas: &[f64],
+        freq_hz: f64,
+        tx: Polarization,
+        rx: Polarization,
+    ) -> Arc<Vec<f64>> {
+        let key = KeyBuilder::new("antenna.vaa.monostatic_rcs")
+            .nested(&self.layout_key())
+            .f64(freq_hz)
+            .bool(tx == Polarization::H)
+            .bool(rx == Polarization::H)
+            .f64s(thetas)
+            .finish();
+        cache.get_or_build(TableKind::Pattern, key, || {
+            thetas
+                .iter()
+                .map(|&th| self.monostatic_rcs_dbsm(th, freq_hz, tx, rx))
+                .collect()
+        })
     }
 
     /// Bistatic RCS \[dBsm\].

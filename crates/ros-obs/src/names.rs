@@ -64,6 +64,19 @@ pub const ALL: &[(&str, Kind)] = &[
     ("serve.backpressure_stalls", Kind::Counter),
     ("serve.channel_max_occupancy", Kind::Gauge),
     ("serve.decode_latency_ns", Kind::Histogram),
+    // Geometry/EM memo store (ros-cache). Deltas are exported by
+    // `GeomCache::emit_obs` from serial epilogues only, so values are
+    // thread-count invariant; per-kind miss counters let a smoke test
+    // assert "exactly one build per table kind" for a K=1 corridor.
+    ("cache.hit", Kind::Counter),
+    ("cache.miss", Kind::Counter),
+    ("cache.insert", Kind::Counter),
+    ("cache.evict", Kind::Counter),
+    ("cache.entries", Kind::Gauge),
+    ("cache.rcs_factor.miss", Kind::Counter),
+    ("cache.pattern.miss", Kind::Counter),
+    ("cache.dispersion.miss", Kind::Counter),
+    ("cache.shaping.miss", Kind::Counter),
     // Reader.
     ("reader.frames", Kind::Counter),
     ("reader.cloud_points", Kind::Gauge),

@@ -8,8 +8,10 @@
 //! config, so any sharding of the list across workers reproduces the
 //! same physics.
 
+use ros_cache::GeomCache;
 use ros_core::reader::{DriveBy, ReaderConfig};
 use ros_core::stream::{DriveBySource, PassId};
+use ros_core::tag::Tag;
 use ros_core::SpatialCode;
 use ros_exec::ParSeed;
 
@@ -91,8 +93,14 @@ impl CorridorConfig {
                     let seed = seeds.substream(SEED_DOMAIN, index);
                     // Word bits come from the same substream family so
                     // corridors with different seeds show different
-                    // sign populations.
-                    let w = seeds.substream(SEED_DOMAIN ^ 0xb17, index);
+                    // sign populations. Keyed by (radar, tag) — a
+                    // physically mounted tag encodes one word, so every
+                    // vehicle passing radar r sees tag t's same word
+                    // (and a K-tag corridor has at most K·n_radars
+                    // distinct designs, which is what makes table
+                    // caching scale with designs, not encounters).
+                    let tag_index = u64::from(radar) * u64::from(self.n_tags) + u64::from(tag);
+                    let w = seeds.substream(SEED_DOMAIN ^ 0xb17, tag_index);
                     let word = [
                         w & 1 != 0,
                         w & 2 != 0,
@@ -112,26 +120,55 @@ impl CorridorConfig {
         out
     }
 
-    /// The drive-by scenario of one encounter.
-    // lint: allow-dead-pub(scenario API for external drivers; the service consumes it via source_for)
-    pub fn drive_for(&self, e: &Encounter) -> DriveBy {
-        let tag = SpatialCode {
+    /// The spatial code every corridor tag is fabricated from (8-row
+    /// stacks: the paper geometry at streaming-friendly size).
+    fn code() -> SpatialCode {
+        SpatialCode {
             rows_per_stack: 8,
             ..SpatialCode::paper_4bit()
         }
-        .encode(&e.word)
-        // paper_4bit with 8 rows encodes any 4-bit word; the config
-        // space cannot make this fail.
-        .unwrap_or_else(|err| unreachable!("4-bit encode is total: {err}")); // lint: allow-panic(encode of a 4-bit word into a 4-bit code is total)
+    }
+
+    fn drive_with_tag(&self, e: &Encounter, tag: Tag) -> DriveBy {
         DriveBy::new(tag, self.standoff_m)
             .with_speed(e.speed_mps)
             .with_seed(e.seed)
+    }
+
+    /// The drive-by scenario of one encounter.
+    // lint: allow-dead-pub(scenario API for external drivers; the service consumes it via source_for)
+    pub fn drive_for(&self, e: &Encounter) -> DriveBy {
+        let tag = Self::code()
+            .encode(&e.word)
+            // paper_4bit with 8 rows encodes any 4-bit word; the config
+            // space cannot make this fail.
+            .unwrap_or_else(|err| unreachable!("4-bit encode is total: {err}")); // lint: allow-panic(encode of a 4-bit word into a 4-bit code is total)
+        self.drive_with_tag(e, tag)
+    }
+
+    /// [`CorridorConfig::drive_for`] with the tag built through an
+    /// injected [`GeomCache`]: the shaping profile and per-frequency
+    /// scatterer tables of each distinct (radar, tag) design build
+    /// once per cache — bit-identical physics either way.
+    // lint: allow-dead-pub(cached twin of drive_for; external drivers pick per cache policy)
+    pub fn drive_for_with(&self, e: &Encounter, cache: &GeomCache) -> DriveBy {
+        let tag = Self::code()
+            .encode_with(cache, &e.word)
+            .unwrap_or_else(|err| unreachable!("4-bit encode is total: {err}")); // lint: allow-panic(encode of a 4-bit word into a 4-bit code is total)
+        self.drive_with_tag(e, tag)
     }
 
     /// A streaming frame source for one encounter.
     // lint: allow-dead-pub(per-encounter source factory; in-crate producers and external drivers share it)
     pub fn source_for(&self, e: &Encounter) -> DriveBySource {
         DriveBySource::new(self.drive_for(e), &self.reader, e.pass)
+    }
+
+    /// [`CorridorConfig::source_for`] with the tag design memoized in
+    /// an injected cache (see [`CorridorConfig::drive_for_with`]).
+    // lint: allow-dead-pub(cached twin of source_for; the service consumes it in-crate)
+    pub fn source_for_with(&self, e: &Encounter, cache: &GeomCache) -> DriveBySource {
+        DriveBySource::new(self.drive_for_with(e, cache), &self.reader, e.pass)
     }
 }
 
@@ -159,6 +196,29 @@ mod tests {
         let mut sorted: Vec<_> = a.iter().map(|e| e.pass).collect();
         sorted.sort();
         assert_eq!(sorted, a.iter().map(|e| e.pass).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn word_is_a_property_of_the_mounted_tag() {
+        // A fabricated tag encodes one word: every vehicle passing
+        // radar r must read tag t's same word.
+        let cfg = CorridorConfig {
+            n_radars: 2,
+            n_vehicles: 3,
+            n_tags: 2,
+            ..CorridorConfig::default()
+        };
+        let es = cfg.encounters();
+        for a in &es {
+            for b in &es {
+                if a.pass.radar == b.pass.radar && a.pass.tag == b.pass.tag {
+                    assert_eq!(a.word, b.word, "{:?} vs {:?}", a.pass, b.pass);
+                }
+            }
+        }
+        // And different mounted tags do not all share one word.
+        let words: std::collections::BTreeSet<[bool; 4]> = es.iter().map(|e| e.word).collect();
+        assert!(words.len() > 1, "degenerate word population");
     }
 
     #[test]

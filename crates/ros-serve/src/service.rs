@@ -28,6 +28,7 @@
 //! canonical form; `tests/serve_stream.rs` pins 1 ≡ 2 ≡ 8 workers.
 
 use crate::corridor::CorridorConfig;
+use ros_cache::GeomCache;
 use ros_core::stream::{FrameSource, SignRead, StreamEvent, StreamingReader};
 use ros_em::units::cast::AsF64;
 use ros_exec::channel::{bounded, ChannelStats};
@@ -61,6 +62,13 @@ pub struct ServeReport {
     pub elapsed_ns: u64,
     /// Shard/worker count the run used.
     pub workers: usize,
+    /// Geometry/EM table-cache hits during this run (0 when the run
+    /// was uncached).
+    pub cache_hits: u64,
+    /// Geometry/EM table-cache misses (= tables built) during this
+    /// run. Worker-count invariant: each distinct key builds exactly
+    /// once per cache regardless of sharding.
+    pub cache_misses: u64,
 }
 
 impl ServeReport {
@@ -110,12 +118,40 @@ struct ShardOutcome {
 /// Blocks until every pass has decoded; returns the aggregate report
 /// with the `serve.*` metric family emitted as a side effect.
 pub fn run_corridor(cfg: &CorridorConfig, workers: usize) -> ServeReport {
+    // This composition root owns a fresh cache per run: a K-tag
+    // corridor builds each distinct design's tables exactly once and
+    // every encounter after the first reuses them.
+    run_corridor_with(cfg, workers, &GeomCache::new())
+}
+
+/// [`run_corridor`] sharing an *injected* cache: all per-radar workers
+/// read one snapshot, and tables survive across runs that pass the
+/// same handle (the `bench serve` cache section and the streaming
+/// service reuse path). Reads are bit-identical to the uncached run at
+/// any cache temperature — `tests/cache_determinism.rs` pins this.
+pub fn run_corridor_with(cfg: &CorridorConfig, workers: usize, cache: &GeomCache) -> ServeReport {
+    run_corridor_impl(cfg, workers, Some(cache))
+}
+
+/// [`run_corridor`] with table caching disabled — every encounter
+/// recomputes its design's tables from scratch. The no-cache baseline
+/// of the `bench serve` comparison.
+pub fn run_corridor_uncached(cfg: &CorridorConfig, workers: usize) -> ServeReport {
+    run_corridor_impl(cfg, workers, None)
+}
+
+fn run_corridor_impl(
+    cfg: &CorridorConfig,
+    workers: usize,
+    cache: Option<&GeomCache>,
+) -> ServeReport {
     let workers = if workers == 0 {
         ros_exec::threads()
     } else {
         workers
     }
     .max(1);
+    let cache_before = cache.map(|c| c.snapshot());
     let t0 = ros_obs::clock::now_ns();
     let encounters = cfg.encounters();
     let cap = cfg.channel_capacity.max(1);
@@ -131,11 +167,17 @@ pub fn run_corridor(cfg: &CorridorConfig, workers: usize) -> ServeReport {
                 .filter(|e| usize::try_from(e.pass.radar).unwrap_or(0) % workers == shard)
                 .copied()
                 .collect();
+            // Every producer shares the same store (cloning a
+            // `GeomCache` clones the handle, not the tables).
+            let shard_cache = cache.cloned();
             let producer = s.spawn(move || {
                 let mut produced = 0u64;
                 let mut buf: Vec<StreamEvent> = Vec::with_capacity(chunk);
                 for e in &shard_encounters {
-                    let mut src = cfg.source_for(e);
+                    let mut src = match &shard_cache {
+                        Some(cache) => cfg.source_for_with(e, cache),
+                        None => cfg.source_for(e),
+                    };
                     loop {
                         buf.clear();
                         let more = src.next_events(chunk, &mut buf);
@@ -237,6 +279,8 @@ pub fn run_corridor(cfg: &CorridorConfig, workers: usize) -> ServeReport {
         peak_buffered: 0,
         elapsed_ns: ros_obs::clock::now_ns().saturating_sub(t0),
         workers,
+        cache_hits: 0,
+        cache_misses: 0,
     };
     for sh in &shards {
         report.frames_produced += sh.produced;
@@ -255,6 +299,14 @@ pub fn run_corridor(cfg: &CorridorConfig, workers: usize) -> ServeReport {
     ros_obs::count("serve.reads", report.reads.len());
     ros_obs::count("serve.backpressure_stalls", usize::try_from(report.stalls).unwrap_or(usize::MAX));
     ros_obs::gauge("serve.channel_max_occupancy", report.max_occupancy.as_f64());
+    if let (Some(cache), Some(before)) = (cache, cache_before) {
+        // Delta export from the same serial epilogue, so `cache.*`
+        // totals are worker-count invariant too.
+        cache.emit_obs(&before);
+        let after = cache.snapshot();
+        report.cache_hits = after.hits().saturating_sub(before.hits());
+        report.cache_misses = after.misses().saturating_sub(before.misses());
+    }
     report
 }
 

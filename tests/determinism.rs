@@ -222,7 +222,7 @@ fn drive_by_outcome(cfg: &ReaderConfig) -> Outcome {
         ..SpatialCode::paper_4bit()
     };
     let tag = code
-        .encode(&[true, false, true, true])
+        .encode_with(ros_tests::fixture_cache(), &[true, false, true, true])
         .expect("valid 4-bit word");
     DriveBy::new(tag, 2.0).with_seed(0xD811).run(cfg)
 }
@@ -329,7 +329,7 @@ fn planned_decode_bit_identical_across_thread_counts() {
         rows_per_stack: 8,
         ..SpatialCode::paper_4bit()
     }
-    .encode(&[true, false, true, true])
+    .encode_with(ros_tests::fixture_cache(), &[true, false, true, true])
     .expect("valid 4-bit word")
     .mounted_at(Vec3::new(0.0, 2.0, 0.0));
     let trace = planned_decode_trace(&tag);

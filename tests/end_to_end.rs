@@ -25,7 +25,7 @@ fn all_16_bit_patterns_roundtrip() {
             word & 4 != 0,
             word & 8 != 0,
         ];
-        let tag = code(8).encode(&bits).unwrap();
+        let tag = code(8).encode_with(ros_tests::fixture_cache(), &bits).unwrap();
         let outcome = DriveBy::new(tag, 2.5)
             .with_seed(word as u64)
             .run(&ReaderConfig::fast());
@@ -43,7 +43,7 @@ fn snr_exceeds_paper_floor_in_typical_conditions() {
     // §7: "the decoding SNR of RoS consistently exceeds 14 dB in
     // typical scenarios".
     for (rows, standoff) in [(8, 2.0), (8, 3.0), (16, 3.0), (32, 3.0), (32, 4.0)] {
-        let tag = code(rows).encode(&[true; 4]).unwrap();
+        let tag = code(rows).encode_with(ros_tests::fixture_cache(), &[true; 4]).unwrap();
         let mut drive = DriveBy::new(tag, standoff).with_seed(7);
         drive.half_span_m = 8.0;
         let outcome = drive.run(&ReaderConfig::fast());
@@ -59,7 +59,7 @@ fn snr_exceeds_paper_floor_in_typical_conditions() {
 fn decode_fails_gracefully_beyond_range() {
     // An 8-row tag at 6 m is under the noise floor (Fig. 15) — the
     // reader must not hallucinate the all-ones pattern.
-    let tag = code(8).encode(&[true; 4]).unwrap();
+    let tag = code(8).encode_with(ros_tests::fixture_cache(), &[true; 4]).unwrap();
     let mut drive = DriveBy::new(tag, 6.0).with_seed(11);
     drive.half_span_m = 8.0;
     let outcome = drive.run(&ReaderConfig::fast());
@@ -70,7 +70,7 @@ fn decode_fails_gracefully_beyond_range() {
 fn full_pipeline_detects_and_decodes_among_clutter() {
     let bits = [true, false, true, true];
     let tag = code(32)
-        .encode(&bits)
+        .encode_with(ros_tests::fixture_cache(), &bits)
         .unwrap()
         .with_column_bow(0.0004, 5);
     let mut drive = DriveBy::new(tag, 3.0)
@@ -114,14 +114,14 @@ fn six_bit_code_needs_far_field_and_a_better_radar() {
     let bits = [true, true, false, true, false, true];
 
     // Near field with the TI radar: at least one bit corrupted.
-    let tag = code6.encode(&bits).unwrap();
+    let tag = code6.encode_with(ros_tests::fixture_cache(), &bits).unwrap();
     let mut near = DriveBy::new(tag, 4.0).with_seed(66);
     near.half_span_m = 10.0;
     let near_out = near.run(&ReaderConfig::fast());
     assert_ne!(near_out.bits(), bits.to_vec(), "near-field read should fail");
 
     // Far field with the commercial radar: clean decode.
-    let tag = code6.encode(&bits).unwrap();
+    let tag = code6.encode_with(ros_tests::fixture_cache(), &bits).unwrap();
     let mut far = DriveBy::new(tag, 8.5).with_seed(66);
     far.half_span_m = 14.0;
     far.radar.budget = ros_em::radar_eq::RadarLinkBudget::commercial();
@@ -135,9 +135,9 @@ fn full_pipeline_reads_advertising_board() {
     // pipeline must classify BOTH clusters as tags and decode each.
     let bits_a = [true, false, true, true];
     let bits_b = [true, true, false, true];
-    let tag_a = code(32).encode(&bits_a).unwrap().with_column_bow(0.0004, 1);
+    let tag_a = code(32).encode_with(ros_tests::fixture_cache(), &bits_a).unwrap().with_column_bow(0.0004, 1);
     let tag_b = code(32)
-        .encode(&bits_b)
+        .encode_with(ros_tests::fixture_cache(), &bits_b)
         .unwrap()
         .with_column_bow(0.0004, 2)
         .mounted_at(Vec3::new(1.8, 3.0, 1.0));
@@ -163,7 +163,7 @@ fn full_pipeline_reads_advertising_board() {
 fn crowded_scene_preset_still_decodes() {
     use ros_scene::scenario::ScenePreset;
     let bits = [true, false, false, true];
-    let tag = code(32).encode(&bits).unwrap().with_column_bow(0.0004, 9);
+    let tag = code(32).encode_with(ros_tests::fixture_cache(), &bits).unwrap().with_column_bow(0.0004, 9);
     let mut drive = DriveBy::new(tag, 3.0)
         .with_scene(ScenePreset::UrbanCurb, 77)
         .with_seed(909);
@@ -191,7 +191,7 @@ fn lane_change_pass_still_decodes() {
     // absorb it.
     use ros_scene::trajectory::LateralProfile;
     let bits = [true, true, false, true];
-    let tag = code(32).encode(&bits).unwrap();
+    let tag = code(32).encode_with(ros_tests::fixture_cache(), &bits).unwrap();
     let mut drive = DriveBy::new(tag, 3.5)
         .with_lateral(LateralProfile::LaneChange { offset_m: 1.0 })
         .with_seed(707);
@@ -205,7 +205,7 @@ fn lane_change_pass_still_decodes() {
 fn curved_road_pass_still_decodes() {
     use ros_scene::trajectory::LateralProfile;
     let bits = [true, false, true, true];
-    let tag = code(32).encode(&bits).unwrap();
+    let tag = code(32).encode_with(ros_tests::fixture_cache(), &bits).unwrap();
     let mut drive = DriveBy::new(tag, 3.5)
         .with_lateral(LateralProfile::Curve { sagitta_m: 0.7 })
         .with_seed(708);
@@ -221,7 +221,7 @@ fn decodes_over_reflective_asphalt() {
     // rough on the wavelength scale (Rayleigh criterion), so the
     // specular coefficient is small (|Γ| ≈ 0.2).
     let bits = [true, false, true, true];
-    let tag = code(32).encode(&bits).unwrap();
+    let tag = code(32).encode_with(ros_tests::fixture_cache(), &bits).unwrap();
     let mut drive = DriveBy::new(tag, 3.0).with_ground(-0.2).with_seed(313);
     drive.half_span_m = 8.0;
     let outcome = drive.run(&ReaderConfig::fast());
@@ -233,7 +233,7 @@ fn partial_blockage_tolerated_full_blockage_fails() {
     use ros_core::reader::Blockage;
     let bits = [true, false, true, true];
     // A truck shadows ~20% of the usable (±30° FoV) window.
-    let tag = code(32).encode(&bits).unwrap();
+    let tag = code(32).encode_with(ros_tests::fixture_cache(), &bits).unwrap();
     let mut drive = DriveBy::new(tag, 3.0)
         .with_blockage(Blockage {
             t_start_s: 3.13,
@@ -247,7 +247,7 @@ fn partial_blockage_tolerated_full_blockage_fails() {
 
     // Full-pass metal blockage: §7.3 says decoding fails — and it must
     // not hallucinate the message.
-    let tag = code(32).encode(&bits).unwrap();
+    let tag = code(32).encode_with(ros_tests::fixture_cache(), &bits).unwrap();
     let mut drive = DriveBy::new(tag, 3.0)
         .with_blockage(Blockage {
             t_start_s: 0.0,
@@ -262,7 +262,7 @@ fn partial_blockage_tolerated_full_blockage_fails() {
 
 #[test]
 fn deterministic_given_seed() {
-    let tag = code(8).encode(&[true, false, false, true]).unwrap();
+    let tag = code(8).encode_with(ros_tests::fixture_cache(), &[true, false, false, true]).unwrap();
     let a = DriveBy::new(tag.clone(), 3.0)
         .with_seed(123)
         .run(&ReaderConfig::fast());

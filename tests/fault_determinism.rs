@@ -24,7 +24,7 @@ fn tag8(bits: &[bool]) -> Tag {
         rows_per_stack: 8,
         ..SpatialCode::paper_4bit()
     }
-    .encode(bits)
+    .encode_with(ros_tests::fixture_cache(), bits)
     .unwrap()
 }
 
@@ -34,7 +34,7 @@ fn full_fixture() -> (DriveBy, ReaderConfig) {
         rows_per_stack: 32,
         ..SpatialCode::paper_4bit()
     };
-    let tag = code.encode(&[true, false, true, true]).unwrap();
+    let tag = code.encode_with(ros_tests::fixture_cache(), &[true, false, true, true]).unwrap();
     let mut drive = DriveBy::new(tag, 3.0).with_seed(90125);
     drive.half_span_m = 3.0;
     let mut cfg = ReaderConfig::full();

@@ -90,7 +90,7 @@ fn run_traced(threads: usize) -> Vec<String> {
         rows_per_stack: 32,
         ..SpatialCode::paper_4bit()
     };
-    let tag = code.encode(&[true, false, true, true]).expect("word encodes");
+    let tag = code.encode_with(ros_tests::fixture_cache(), &[true, false, true, true]).expect("word encodes");
 
     let buffer = ros_obs::install_memory_sink();
     ros_obs::reset_metrics();

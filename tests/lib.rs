@@ -1,1 +1,18 @@
 //! Shared helpers for RoS integration tests.
+
+use ros_cache::GeomCache;
+use std::sync::OnceLock;
+
+/// Process-wide fixture cache for expensive tag geometry.
+///
+/// The library crates carry no global caches (DESIGN.md §16): every
+/// memoized table lives in an explicitly injected [`GeomCache`]. Test
+/// binaries, however, build the same 32-row DE-optimized shaping
+/// profile dozens of times across unrelated `#[test]` functions, so
+/// they share one fixture cache the way a production composition root
+/// would. Cached reads are bit-identical to uncached ones (proved by
+/// `cache_determinism.rs`), so sharing cannot couple tests.
+pub fn fixture_cache() -> &'static GeomCache {
+    static CACHE: OnceLock<GeomCache> = OnceLock::new();
+    CACHE.get_or_init(GeomCache::new)
+}

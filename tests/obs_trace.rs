@@ -87,7 +87,7 @@ fn run_traced(threads: usize) -> Vec<String> {
         ..SpatialCode::paper_4bit()
     };
     let bits = [true, false, true, true];
-    let tag = code.encode(&bits).expect("4-bit word encodes");
+    let tag = code.encode_with(ros_tests::fixture_cache(), &bits).expect("4-bit word encodes");
 
     let buffer = ros_obs::install_memory_sink();
     ros_obs::reset_metrics();

@@ -33,7 +33,7 @@ fn psvaa_stack_of_paper_tag_is_about_10cm() {
     // Fig. 12a: "the height of a 32-array PSVAA stack is about 10.8 cm"
     // (beam-shaped — the phase weights add height over the 8.8 cm
     // uniform baseline).
-    let shaped = shaping::shaped_stack(32);
+    let shaped = shaping::shaped_stack_in(ros_tests::fixture_cache(), 32);
     let h = shaped.height_m();
     assert!(h > 0.088 && h < 0.125, "shaped 32-stack height {h} m");
     let uniform = PsvaaStack::uniform(32);
@@ -61,7 +61,7 @@ fn detection_ranges_scale_with_stack_size() {
             rows_per_stack: rows,
             ..SpatialCode::paper_4bit()
         }
-        .encode(&[true; 4])
+        .encode_with(ros_tests::fixture_cache(), &[true; 4])
         .unwrap()
     };
     let mut drive8 = DriveBy::new(mk(8), 6.0).with_seed(2);
@@ -85,7 +85,7 @@ fn beam_shaping_stabilizes_elevation_mismatch() {
             beam_shaped: shaped,
             ..SpatialCode::paper_4bit()
         }
-        .encode(&[true; 4])
+        .encode_with(ros_tests::fixture_cache(), &[true; 4])
         .unwrap()
     };
     let dz = 3.0 * deg_to_rad(4.0).tan();
@@ -111,7 +111,7 @@ fn beam_shaping_stabilizes_elevation_mismatch() {
 #[test]
 fn fog_does_not_break_decoding() {
     // Fig. 16c.
-    let tag = SpatialCode::paper_4bit().encode(&[true; 4]).unwrap();
+    let tag = SpatialCode::paper_4bit().encode_with(ros_tests::fixture_cache(), &[true; 4]).unwrap();
     let mut drive = DriveBy::new(tag, 3.0).with_fog(FogLevel::Heavy).with_seed(3);
     drive.half_span_m = 8.0;
     let outcome = drive.run(&ReaderConfig::fast());
@@ -122,7 +122,7 @@ fn fog_does_not_break_decoding() {
 #[test]
 fn sixty_degree_fov_is_sufficient() {
     // Fig. 17 / §7.3.
-    let tag = SpatialCode::paper_4bit().encode(&[true; 4]).unwrap();
+    let tag = SpatialCode::paper_4bit().encode_with(ros_tests::fixture_cache(), &[true; 4]).unwrap();
     let mut cfg = ReaderConfig::fast();
     cfg.decoder.fov_rad = deg_to_rad(60.0);
     let mut drive = DriveBy::new(tag, 3.0).with_seed(4);
@@ -134,7 +134,7 @@ fn sixty_degree_fov_is_sufficient() {
 #[test]
 fn driving_speed_does_not_break_decoding() {
     // Fig. 18: 30 mph with every frame kept.
-    let tag = SpatialCode::paper_4bit().encode(&[true; 4]).unwrap();
+    let tag = SpatialCode::paper_4bit().encode_with(ros_tests::fixture_cache(), &[true; 4]).unwrap();
     let mut cfg = ReaderConfig::fast();
     cfg.frame_stride = 1;
     let mut drive = DriveBy::new(tag, 3.0)
@@ -150,7 +150,7 @@ fn driving_speed_does_not_break_decoding() {
 fn mild_tracking_drift_is_tolerated() {
     // Fig. 16d: ≤2% drift (what Wheel-INS-class dead reckoning
     // delivers) leaves decoding intact.
-    let tag = SpatialCode::paper_4bit().encode(&[true; 4]).unwrap();
+    let tag = SpatialCode::paper_4bit().encode_with(ros_tests::fixture_cache(), &[true; 4]).unwrap();
     let mut drive = DriveBy::new(tag, 3.0)
         .with_tracking(ros_scene::tracking::TrackingError::drift(0.02))
         .with_seed(6);
@@ -187,7 +187,7 @@ fn near_field_decoder_extends_capacity() {
 
     let code6 = SpatialCode::with_bits(6, 8);
     let bits = [true, true, false, true, false, true];
-    let tag = code6.encode(&bits).unwrap();
+    let tag = code6.encode_with(ros_tests::fixture_cache(), &bits).unwrap();
     let mut drive = DriveBy::new(tag, 4.0).with_seed(66);
     drive.half_span_m = 10.0;
     let outcome = drive.run(&ReaderConfig::fast());

@@ -100,7 +100,7 @@ proptest! {
             word & 8 != 0,
         ];
         let code = SpatialCode { rows_per_stack: 8, ..SpatialCode::paper_4bit() };
-        let tag = code.encode(&bits).unwrap();
+        let tag = code.encode_with(ros_tests::fixture_cache(), &bits).unwrap();
         let pos = tag.stack_positions_m();
         // Reference stack always first, at 0.
         prop_assert!((pos[0]).abs() < 1e-12);

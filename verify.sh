@@ -113,6 +113,25 @@ grep -q '"name":"serve\.' "$SERVE_TRACE" || {
     exit 1
 }
 
+# Geometry-cache stage: the serve smoke above already runs its
+# corridor twice against one shared GeomCache in a single process (the
+# cold/warm halves of the cache comparison), so the trace must carry
+# nonzero cache.hit traffic, a per-kind miss breakdown, and the
+# console must prove the cached/uncached read logs bit-identical.
+echo "==> geometry cache smoke (cache.* counters from the serve run)"
+grep -Eq '"name":"cache\.hit","kind":"counter","value":[1-9]' "$SERVE_TRACE" || {
+    echo "verify: serve trace has no nonzero cache.hit counter" >&2
+    exit 1
+}
+grep -Eq '"name":"cache\.(shaping|pattern)\.miss","kind":"counter","value":[1-9]' "$SERVE_TRACE" || {
+    echo "verify: serve trace missing per-kind cache miss counters" >&2
+    exit 1
+}
+echo "$SERVE_OUT" | grep -q "cache decodes/s:.*logs identical" || {
+    echo "verify: serve smoke: cache-temperature invariance failed" >&2
+    exit 1
+}
+
 # Benchmark-record hygiene: every BENCH_*.json checked in at the root
 # is either "valid": true or explicitly waived (with a reason) in
 # .bench-waivers. An invalid record can document a limitation, but

@@ -110,14 +110,14 @@ pub fn run(smoke: bool, require_valid: bool, force: bool) {
     }
 
     let report = run_corridor(&cfg, 0);
-    let secs = report.elapsed_ns as f64 / 1e9; // lint: allow-cast(elapsed ns to float seconds for a rate)
+    let secs = report.elapsed_ns as f64 / 1e9;
     let fps = if secs > 0.0 {
-        report.frames_consumed as f64 / secs // lint: allow-cast(frame count to float for a rate)
+        report.frames_consumed as f64 / secs
     } else {
         f64::NAN
     };
     let dps = if secs > 0.0 {
-        report.decodes as f64 / secs // lint: allow-cast(decode count to float for a rate)
+        report.decodes as f64 / secs
     } else {
         f64::NAN
     };
@@ -256,7 +256,7 @@ impl CacheBench {
         if self.misses == 0 {
             f64::INFINITY
         } else {
-            self.hits as f64 / self.misses as f64 // lint: allow-cast(counters to float for a ratio)
+            self.hits as f64 / self.misses as f64
         }
     }
 }
@@ -265,9 +265,9 @@ impl CacheBench {
 /// and gathers the comparison.
 fn run_cache_bench(cfg: &CorridorConfig) -> CacheBench {
     let decodes_per_sec = |r: &ServeReport| {
-        let secs = r.elapsed_ns as f64 / 1e9; // lint: allow-cast(elapsed ns to float seconds for a rate)
+        let secs = r.elapsed_ns as f64 / 1e9;
         if secs > 0.0 {
-            r.decodes as f64 / secs // lint: allow-cast(decode count to float for a rate)
+            r.decodes as f64 / secs
         } else {
             f64::NAN
         }

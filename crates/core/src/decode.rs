@@ -327,8 +327,8 @@ pub fn decode_into(
 /// The §6 decode flow proper, against pre-resolved plans and scratch
 /// buffers. Allocation-free once the buffers have grown to capacity;
 /// observability stays in [`decode_into`]'s prologue/epilogue.
-// lint: hot-path
 #[allow(clippy::too_many_arguments)]
+// lint: hot-path
 fn decode_core(
     samples: &[RssSample],
     tag_center: Vec3,

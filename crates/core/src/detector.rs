@@ -81,16 +81,10 @@ pub struct ScoredCluster {
     pub is_tag: bool,
 }
 
-/// Clusters a merged point cloud into geometric summaries (first stage
-/// of scoring; exposed so callers can resolve cluster-vs-cluster
-/// occlusion before probing RSS).
-pub fn cluster_geometry(cloud: &PointCloud, cfg: &DetectorConfig) -> Vec<ClusterSummary> {
-    cluster_members(cloud, cfg).into_iter().map(|(s, _)| s).collect()
-}
-
-/// Like [`cluster_geometry`], additionally returning each cluster's
-/// member point indices into the cloud (for per-point RSS statistics).
-pub fn cluster_members(
+/// Clusters a merged point cloud into geometric summaries plus each
+/// cluster's member point indices into the cloud (for per-point RSS
+/// statistics).
+pub(crate) fn cluster_members(
     cloud: &PointCloud,
     cfg: &DetectorConfig,
 ) -> Vec<(ClusterSummary, Vec<usize>)> {

@@ -47,7 +47,7 @@
 pub mod ask;
 pub mod capacity;
 pub mod decode;
-pub mod detector;
+pub(crate) mod detector;
 pub mod encode;
 pub mod fec;
 pub mod fusion;

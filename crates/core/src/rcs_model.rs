@@ -158,8 +158,8 @@ pub fn rcs_spectrum_windowed(
 /// precomputed window table and FFT plan (the plan must be sized for
 /// `(rcs.len() · zero_pad_factor).next_power_of_two()`).
 /// Allocation-free once the buffers have grown to capacity.
-// lint: hot-path
 #[allow(clippy::too_many_arguments)]
+// lint: hot-path
 pub fn rcs_spectrum_windowed_into(
     rcs: &[f64],
     u_max: f64,
@@ -229,8 +229,8 @@ pub fn czt_zoom_params(
 /// mags)` via a precomputed window table and a [`CztPlan`] resolved
 /// from [`czt_zoom_params`]. Allocation-free once the buffers have
 /// grown to capacity.
-// lint: hot-path
 #[allow(clippy::too_many_arguments)]
+// lint: hot-path
 pub fn rcs_spectrum_czt_into(
     rcs: &[f64],
     max_spacing_m: f64,

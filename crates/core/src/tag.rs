@@ -127,7 +127,7 @@ impl Tag {
     ///
     /// # Panics
     /// Panics when `stacks` is empty or the first stack is off-origin.
-    pub fn from_stacks(code: SpatialCode, stacks: Vec<TagStack>, bits: Vec<bool>) -> Self {
+    pub(crate) fn from_stacks(code: SpatialCode, stacks: Vec<TagStack>, bits: Vec<bool>) -> Self {
         assert!(!stacks.is_empty(), "a tag needs at least the reference stack");
         assert!(
             stacks[0].x_m.abs() < 1e-12,
@@ -299,7 +299,7 @@ impl Tag {
 /// return \[dB\] — §7.2/Fig. 13a: the tag's median polarization RSS
 /// loss is ≈13 dB (board strips, frame and edge scattering reflect
 /// co-polarized energy that the PSVAAs do not switch).
-pub const BOARD_COPOL_EXCESS_DB: f64 = 11.0;
+pub(crate) const BOARD_COPOL_EXCESS_DB: f64 = 11.0;
 
 impl Tag {
     /// The tag's structural co-polarized ("board") echoes: wide-angle

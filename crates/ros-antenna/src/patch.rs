@@ -16,12 +16,6 @@
 
 use ros_em::constants::{BAND_HI_HZ, BAND_LO_HZ, F_CENTER_HZ};
 
-/// Patch width (x, along the array) \[m\] — Fig. 7a.
-pub const PATCH_WIDTH_M: f64 = 1.2e-3;
-
-/// Patch height (y) \[m\] — Fig. 7a.
-pub const PATCH_HEIGHT_M: f64 = 1.06e-3;
-
 /// Element grid pitch within a VAA: λ/2 at 79 GHz \[m\].
 pub const ELEMENT_PITCH_M: f64 = ros_em::constants::LAMBDA_CENTER_M / 2.0;
 

@@ -149,7 +149,7 @@ pub fn optimize_flat_top(n_rows: usize, target_width_rad: f64) -> ShapingProfile
 ///
 /// # Panics
 /// Panics when `n_rows < 2`.
-pub fn optimize_flat_top_with_budget(
+pub(crate) fn optimize_flat_top_with_budget(
     n_rows: usize,
     target_width_rad: f64,
     population: usize,

@@ -46,11 +46,11 @@ pub const VAA_BROADSIDE_RCS_DBSM: f64 = -37.0;
 /// Amplitude cross-polarization leakage of a patch (−18 dB power),
 /// which sets the original VAA's cross-pol floor ≈12 dB below the
 /// PSVAA's response in Fig. 5a.
-pub const PATCH_XPOL_LEAK: f64 = 0.126;
+pub(crate) const PATCH_XPOL_LEAK: f64 = 0.126;
 
 /// Amplitude cross-pol leakage of the *structural* (specular) patch
 /// reflection — metal patches barely depolarize (−30 dB power).
-pub const STRUCT_XPOL_LEAK: f64 = 0.0316;
+pub(crate) const STRUCT_XPOL_LEAK: f64 = 0.0316;
 
 /// Excess meander/bend loss of the routed Van Atta lines \[dB per λg\].
 ///
@@ -60,18 +60,18 @@ pub const STRUCT_XPOL_LEAK: f64 = 0.0316;
 /// superlinear penalty on the outer (longer) pairs is what makes the
 /// *per-pair* RCS contribution peak at 3 pairs in Fig. 3 rather than
 /// grow indefinitely.
-pub const MEANDER_LOSS_DB_PER_LAMBDA_G: f64 = 1.0;
+pub(crate) const MEANDER_LOSS_DB_PER_LAMBDA_G: f64 = 1.0;
 
 /// Structural (specular) reflection amplitude of a patch whose port is
 /// terminated into a matched Van Atta line, relative to the radiating
 /// element amplitude. Matched patches mostly absorb and re-radiate
 /// through the line; only a small structural mode scatters specularly.
-pub const STRUCT_AMP_CONNECTED: f64 = 0.2;
+pub(crate) const STRUCT_AMP_CONNECTED: f64 = 0.2;
 
 /// Structural reflection amplitude of a *disconnected* ULA patch
 /// (open port ⇒ full re-reflection), relative to the radiating
 /// element amplitude.
-pub const STRUCT_AMP_ULA: f64 = 1.0;
+pub(crate) const STRUCT_AMP_ULA: f64 = 1.0;
 
 /// One interconnected antenna pair.
 #[derive(Clone, Copy, Debug)]
@@ -201,7 +201,7 @@ impl VanAttaArray {
     }
 
     /// Extra line length currently applied \[m\].
-    pub fn extra_line_m(&self) -> f64 {
+    pub(crate) fn extra_line_m(&self) -> f64 {
         self.extra_line_m
     }
 

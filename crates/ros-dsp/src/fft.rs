@@ -168,7 +168,6 @@ impl FftPlan {
 
     /// True only for the degenerate length-0 plan (which cannot exist:
     /// `new` rejects 0). Present for API completeness.
-    // lint: allow-dead-pub(len/is_empty API pair)
     pub fn is_empty(&self) -> bool {
         self.n == 0
     }

@@ -111,7 +111,6 @@ impl WindowTable {
     }
 
     /// True when built for length 0.
-    // lint: allow-dead-pub(len/is_empty API pair)
     pub fn is_empty(&self) -> bool {
         self.coeffs.is_empty()
     }

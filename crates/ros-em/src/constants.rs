@@ -12,7 +12,7 @@ pub const C: f64 = 299_792_458.0;
 /// The paper (§5.3) uses −173.9 dBm; the textbook kT value is
 /// −173.98 dBm/Hz at 290 K. We keep the paper's constant so link-budget
 /// numbers match the published ones.
-pub const THERMAL_NOISE_DBM_PER_HZ: f64 = -173.9;
+pub(crate) const THERMAL_NOISE_DBM_PER_HZ: f64 = -173.9;
 
 /// Lower edge of the automotive radar band \[Hz\] (76 GHz).
 pub const BAND_LO_HZ: f64 = 76.0e9;
@@ -35,10 +35,6 @@ pub const LAMBDA_GUIDED_79GHZ_M: f64 = 2027.0e-6;
 /// Derived from §4.3: a 10.8 cm transmission line incurs ≈11 dB loss on
 /// the chosen substrate, i.e. ≈101.9 dB/m.
 pub const TL_LOSS_DB_PER_M: f64 = 11.0 / 0.108;
-
-/// Effective sampled bandwidth of the reference TI radar \[Hz\] (§3.2:
-/// B = 4 GHz giving a 3.75 cm range resolution).
-pub const TI_RADAR_BANDWIDTH_HZ: f64 = 4.0e9;
 
 /// Converts a frequency to its free-space wavelength \[m\].
 #[inline]

@@ -32,7 +32,7 @@
 
 pub mod atten;
 pub mod circular;
-pub mod complex;
+pub(crate) mod complex;
 pub mod constants;
 pub mod db;
 pub mod fresnel;

@@ -46,11 +46,6 @@ pub fn trihedral_edge_for_rcs_m(sigma_m2: f64, lambda_m: f64) -> f64 {
     (3.0 * lambda_m * lambda_m * sigma_m2 / (4.0 * std::f64::consts::PI)).powf(0.25)
 }
 
-/// Half-power angular width of a trihedral's retroreflective response
-/// \[rad\] — wide (≈40°) but *fixed*: a corner cannot encode anything,
-/// which is the §2 motivation for the reconfigurable RoS surface.
-pub const TRIHEDRAL_HALF_POWER_RAD: f64 = 0.70;
-
 #[cfg(test)]
 mod tests {
     use super::*;

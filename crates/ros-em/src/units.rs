@@ -309,7 +309,6 @@ impl Hertz {
 impl Meters {
     /// Ratio of two lengths (dimensionless).
     #[inline]
-    // lint: allow-dead-pub(unit-algebra API completing Meters arithmetic)
     pub fn per(self, o: Meters) -> f64 {
         self.0 / o.0
     }

@@ -83,6 +83,25 @@ pub struct Receiver<T> {
     shared: Arc<Shared<T>>,
 }
 
+/// Construction-time channel errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChannelError {
+    /// The requested capacity was 0 — a zero-capacity buffer could
+    /// never accept a send, so [`try_bounded`] refuses to build one.
+    ZeroCapacity,
+}
+
+/// Fallible twin of [`bounded`]: rejects `cap == 0` with a typed error
+/// instead of clamping. Use this where the capacity is configuration
+/// input and a silent clamp would mask a misconfiguration; keep
+/// [`bounded`] where the capacity is a computed internal constant.
+pub fn try_bounded<T>(cap: usize) -> Result<(Sender<T>, Receiver<T>), ChannelError> {
+    if cap == 0 {
+        return Err(ChannelError::ZeroCapacity);
+    }
+    Ok(bounded(cap))
+}
+
 /// Creates a bounded blocking channel with room for `cap` items.
 ///
 /// `cap` is clamped to at least 1 (a zero-capacity buffer could never
@@ -308,5 +327,17 @@ mod tests {
         tx.send(7).map_err(|_| "receiver gone").unwrap();
         assert_eq!(rx.stats().capacity, 1);
         assert_eq!(rx.recv(), Some(7));
+    }
+
+    #[test]
+    fn try_bounded_rejects_zero_capacity_with_typed_error() {
+        assert_eq!(
+            try_bounded::<u32>(0).map(|_| ()),
+            Err(ChannelError::ZeroCapacity)
+        );
+        let (tx, rx) = try_bounded::<u32>(2).map_err(|e| format!("{e:?}")).unwrap();
+        tx.send(9).map_err(|_| "receiver gone").unwrap();
+        assert_eq!(rx.stats().capacity, 2);
+        assert_eq!(rx.recv(), Some(9));
     }
 }

@@ -60,6 +60,13 @@ impl Judged {
 }
 
 impl Baseline {
+    /// Distinct rule IDs carrying baseline debt, in sorted order.
+    pub fn rules(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.counts.keys().map(|(r, _, _)| r.clone()).collect();
+        out.dedup();
+        out
+    }
+
     /// Total grandfathered debt for one rule, summed across entries.
     pub fn rule_debt(&self, rule: &str) -> usize {
         self.counts
@@ -232,6 +239,47 @@ pub fn judge_ratchet(baseline: &Baseline, ceilings: &BTreeMap<String, usize>) ->
     violations
 }
 
+/// Cross-checks the baseline and ratchet against the rule registry.
+/// Returns one violation string per drift; an empty vector is a pass.
+/// Three invariants: every baselined rule is registered (a rename or
+/// deletion must clean its debt out), every ceiling names a registered
+/// rule, and every registered rule carries a ceiling (new rules cannot
+/// ship without a ratchet entry — the gate would otherwise let their
+/// debt float).
+pub fn check_registry_drift(
+    baseline: &Baseline,
+    ceilings: &BTreeMap<String, usize>,
+) -> Vec<String> {
+    let registry: std::collections::BTreeSet<&str> =
+        crate::rules::RULES.iter().map(|r| r.id).collect();
+    let mut violations = Vec::new();
+    for rule in baseline.rules() {
+        if !registry.contains(rule.as_str()) {
+            violations.push(format!(
+                "baseline carries debt for unregistered rule `{rule}`; the rule was \
+                 renamed or removed — purge its entries from {BASELINE_FILE}"
+            ));
+        }
+    }
+    for rule in ceilings.keys() {
+        if !registry.contains(rule.as_str()) {
+            violations.push(format!(
+                "ratchet has a ceiling for unregistered rule `{rule}`; remove the \
+                 entry from {RATCHET_FILE} or restore the rule"
+            ));
+        }
+    }
+    for id in &registry {
+        if !ceilings.contains_key(*id) {
+            violations.push(format!(
+                "registered rule `{id}` has no ratchet ceiling; add `{{\"rule\": \
+                 \"{id}\", \"max\": <debt>}}` to {RATCHET_FILE}"
+            ));
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,6 +397,47 @@ mod tests {
 
         std::fs::write(&path, "{ not json").expect("write");
         assert!(load_ratchet(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn registry_drift_catches_unknown_rules_and_missing_ceilings() {
+        // A fully covered registry with a real baselined rule: clean.
+        let bl_src = render(&[finding("float-eq", "a.rs", 3, "m1")]);
+        let dir = std::env::temp_dir().join(format!("ros-lint-drift-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join(BASELINE_FILE);
+        std::fs::write(&path, &bl_src).expect("write");
+        let bl = load(&path).expect("load");
+        assert_eq!(bl.rules(), vec!["float-eq".to_string()]);
+
+        let full: BTreeMap<String, usize> = crate::rules::RULES
+            .iter()
+            .map(|r| (r.id.to_string(), 0usize))
+            .collect();
+        assert!(check_registry_drift(&bl, &full).is_empty());
+
+        // A ceiling for a rule that does not exist: drift.
+        let mut with_ghost = full.clone();
+        with_ghost.insert("no-such-rule".to_string(), 3);
+        let v = check_registry_drift(&bl, &with_ghost);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("no-such-rule"), "{}", v[0]);
+
+        // A registered rule with no ceiling: drift.
+        let mut missing = full.clone();
+        missing.remove("lock-order");
+        let v = check_registry_drift(&bl, &missing);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("lock-order"), "{}", v[0]);
+
+        // Baseline debt for an unregistered rule: drift.
+        let ghost_bl = render(&[finding("retired-rule", "a.rs", 1, "m")]);
+        std::fs::write(&path, &ghost_bl).expect("write");
+        let ghost = load(&path).expect("load");
+        let v = check_registry_drift(&ghost, &full);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("retired-rule"), "{}", v[0]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -26,11 +26,11 @@
 //! that reaches it — so `alloc-in-hot-path` messages are stable
 //! baseline keys.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::engine::FileAnalysis;
 use crate::scan::ItemKind;
-use crate::syntax::{calls_in, CodeView};
+use crate::syntax::{calls_in, CallSite, CodeView};
 
 /// One `fn` node of the graph.
 #[derive(Clone, Debug)]
@@ -80,6 +80,60 @@ impl CallGraph {
 /// The annotation that marks a hot-path entry point.
 pub const HOT_PATH_MARKER: &str = "lint: hot-path";
 
+/// Name-based call resolution over a node set — the one implementation
+/// of the over-approximation documented at the top of this module,
+/// shared by [`build`] and by [`crate::lockgraph`] (which resolves the
+/// same call sites a second time to propagate may-lock sets).
+pub struct Resolver<'a> {
+    free: BTreeMap<&'a str, Vec<usize>>,
+    methods: BTreeMap<&'a str, Vec<usize>>,
+    owned: BTreeMap<&'a str, BTreeMap<&'a str, Vec<usize>>>,
+    known_owner: BTreeSet<&'a str>,
+}
+
+impl<'a> Resolver<'a> {
+    /// Indexes `nodes` for by-name lookup.
+    pub fn new(nodes: &'a [FnNode]) -> Self {
+        let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut owned: BTreeMap<&str, BTreeMap<&str, Vec<usize>>> = BTreeMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            match &n.owner {
+                Some(o) => {
+                    methods.entry(n.name.as_str()).or_default().push(i);
+                    owned
+                        .entry(o.as_str())
+                        .or_default()
+                        .entry(n.name.as_str())
+                        .or_default()
+                        .push(i);
+                }
+                None => free.entry(n.name.as_str()).or_default().push(i),
+            }
+        }
+        let known_owner: BTreeSet<&str> =
+            nodes.iter().filter_map(|n| n.owner.as_deref()).collect();
+        Resolver { free, methods, owned, known_owner }
+    }
+
+    /// Candidate callee node indices for one call site (resolution
+    /// precedence documented at the top of the module).
+    pub fn resolve(&self, call: &CallSite) -> &[usize] {
+        match (&call.qualifier, call.method) {
+            (Some(q), _) if self.known_owner.contains(q.as_str()) => self
+                .owned
+                .get(q.as_str())
+                .and_then(|m| m.get(call.name.as_str()))
+                .map_or(&[], Vec::as_slice),
+            // Module-qualified free call, or a std/external type:
+            // the free namespace decides (std finds nothing).
+            (Some(_), _) => self.free.get(call.name.as_str()).map_or(&[], Vec::as_slice),
+            (None, true) => self.methods.get(call.name.as_str()).map_or(&[], Vec::as_slice),
+            (None, false) => self.free.get(call.name.as_str()).map_or(&[], Vec::as_slice),
+        }
+    }
+}
+
 /// Builds the call graph over `files`. Only library files contribute
 /// nodes (harness and reference code is neither annotated nor judged);
 /// test-region fns are excluded outright.
@@ -115,21 +169,8 @@ pub fn build(files: &[FileAnalysis]) -> CallGraph {
         }
     }
 
-    // Name-resolution maps (BTreeMap: edge order must be stable).
-    let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-    let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-    let mut owned: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
-    for (i, n) in nodes.iter().enumerate() {
-        match &n.owner {
-            Some(o) => {
-                methods.entry(n.name.as_str()).or_default().push(i);
-                owned.entry((o.as_str(), n.name.as_str())).or_default().push(i);
-            }
-            None => free.entry(n.name.as_str()).or_default().push(i),
-        }
-    }
-    let known_owner: std::collections::BTreeSet<&str> =
-        nodes.iter().filter_map(|n| n.owner.as_deref()).collect();
+    // Name-resolution maps (BTreeMap inside: edge order must be stable).
+    let resolver = Resolver::new(&nodes);
 
     let mut edges: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
     for (i, n) in nodes.iter().enumerate() {
@@ -138,17 +179,7 @@ pub fn build(files: &[FileAnalysis]) -> CallGraph {
         let (cs, ce) = (view.ci_at_or_after(bs), view.ci_at_or_after(be));
         let mut out = Vec::new();
         for call in calls_in(&view, cs, ce) {
-            let callees: &[usize] = match (&call.qualifier, call.method) {
-                (Some(q), _) if known_owner.contains(q.as_str()) => owned
-                    .get(&(q.as_str(), call.name.as_str()))
-                    .map_or(&[], Vec::as_slice),
-                // Module-qualified free call, or a std/external type:
-                // the free namespace decides (std finds nothing).
-                (Some(_), _) => free.get(call.name.as_str()).map_or(&[], Vec::as_slice),
-                (None, true) => methods.get(call.name.as_str()).map_or(&[], Vec::as_slice),
-                (None, false) => free.get(call.name.as_str()).map_or(&[], Vec::as_slice),
-            };
-            out.extend_from_slice(callees);
+            out.extend_from_slice(resolver.resolve(&call));
         }
         out.sort_unstable();
         out.dedup();

@@ -5,7 +5,8 @@
 //! renders the human and JSON reports. It never prints and never
 //! exits — `xtask` owns the terminal and the exit code.
 
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
 use std::path::{Path, PathBuf};
 
 use crate::baseline::{self, Baseline};
@@ -50,6 +51,10 @@ pub struct FileAnalysis {
     /// The file opens with module-level inner docs (`//!` / `/*!`),
     /// the repo's convention for documenting file modules.
     pub has_module_docs: bool,
+    /// Marker lines that suppressed at least one rule probe this run —
+    /// what `stale-suppression` subtracts from the declared markers.
+    /// Interior mutability because rules hold `&FileAnalysis`.
+    pub used_markers: RefCell<BTreeSet<usize>>,
 }
 
 impl FileAnalysis {
@@ -57,6 +62,19 @@ impl FileAnalysis {
     pub fn new(rel: String, crate_name: String, role: FileRole, text: String) -> Self {
         let tokens = lexer::lex(&text);
         let facts = scan::analyze(&text, &tokens);
+        Self::from_parts(rel, crate_name, role, text, tokens, facts)
+    }
+
+    /// Assembles the analysis from an already lexed and scanned file
+    /// (the timed loader measures those two passes separately).
+    fn from_parts(
+        rel: String,
+        crate_name: String,
+        role: FileRole,
+        text: String,
+        tokens: Vec<Token>,
+        facts: FileFacts,
+    ) -> Self {
         let mut markers: HashMap<usize, Vec<String>> = HashMap::new();
         for t in tokens.iter().filter(|t| t.is_trivia()) {
             let body = t.text(&text);
@@ -74,18 +92,28 @@ impl FileAnalysis {
             facts,
             markers,
             has_module_docs,
+            used_markers: RefCell::new(BTreeSet::new()),
         }
     }
 
     /// True when `line` (or the line above it) carries a
-    /// `lint: allow-<which>(` marker.
+    /// `lint: allow-<which>(` marker. A hit records the marker line as
+    /// used, so rules must only probe once the finding would otherwise
+    /// be reported (`stale-suppression` audits the leftovers).
     pub fn has_marker(&self, line: usize, which: &str) -> bool {
         let probe = |l: usize| {
-            self.markers
+            let hit = self
+                .markers
                 .get(&l)
-                .is_some_and(|ms| ms.iter().any(|m| m.contains(which)))
+                .is_some_and(|ms| ms.iter().any(|m| m.contains(which)));
+            if hit {
+                self.used_markers.borrow_mut().insert(l);
+            }
+            hit
         };
-        probe(line) || (line > 1 && probe(line - 1))
+        let same = probe(line);
+        let above = line > 1 && probe(line - 1);
+        same || above
     }
 
     /// True for files where the library-API rules apply.
@@ -118,6 +146,21 @@ where
 /// `crates/*/src` (rule targets) plus `crates/*/tests`, `tests/`, and
 /// `examples/` (reference corpus). Files come back sorted by path.
 pub fn load_workspace(root: &Path) -> std::io::Result<Vec<FileAnalysis>> {
+    Ok(load_workspace_timed(root, None)?.0)
+}
+
+/// Reads `clock` when injected; a missing clock reads as a frozen zero
+/// so every duration degrades to zero instead of branching everywhere.
+fn now(clock: Option<fn() -> u64>) -> u64 {
+    clock.map_or(0, |c| c())
+}
+
+/// [`load_workspace`] plus per-pass wall time: total nanoseconds spent
+/// lexing and scanning across all files.
+fn load_workspace_timed(
+    root: &Path,
+    clock: Option<fn() -> u64>,
+) -> std::io::Result<(Vec<FileAnalysis>, u64, u64)> {
     let mut paths: Vec<(PathBuf, String, FileRole)> = Vec::new();
 
     let crates_dir = root.join("crates");
@@ -153,6 +196,7 @@ pub fn load_workspace(root: &Path) -> std::io::Result<Vec<FileAnalysis>> {
     paths.sort();
 
     let mut out = Vec::with_capacity(paths.len());
+    let (mut lex_ns, mut scan_ns) = (0u64, 0u64);
     for (path, crate_name, role) in paths {
         let text = std::fs::read_to_string(&path)?;
         let rel = path
@@ -160,9 +204,16 @@ pub fn load_workspace(root: &Path) -> std::io::Result<Vec<FileAnalysis>> {
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        out.push(FileAnalysis::new(rel, crate_name, role, text));
+        let t0 = now(clock);
+        let tokens = lexer::lex(&text);
+        let t1 = now(clock);
+        let facts = scan::analyze(&text, &tokens);
+        let t2 = now(clock);
+        lex_ns += t1.saturating_sub(t0);
+        scan_ns += t2.saturating_sub(t1);
+        out.push(FileAnalysis::from_parts(rel, crate_name, role, text, tokens, facts));
     }
-    Ok(out)
+    Ok((out, lex_ns, scan_ns))
 }
 
 fn collect_rs(
@@ -192,6 +243,28 @@ pub struct GateOptions {
     pub update_baseline: bool,
     /// Ignore the baseline entirely (every finding is "new").
     pub no_baseline: bool,
+    /// Monotonic nanosecond clock injected by the driver; `None`
+    /// leaves every reported pass time at zero (the engine itself
+    /// never reads the OS clock — that is the driver's edge).
+    pub clock: Option<fn() -> u64>,
+}
+
+/// Wall time of each analyzer pass, nanoseconds. All zero unless the
+/// driver injects a clock via [`GateOptions::clock`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PassTimings {
+    /// Lexing every workspace file.
+    pub lex_ns: u64,
+    /// Item/test-region scanning.
+    pub scan_ns: u64,
+    /// Call-graph construction.
+    pub callgraph_ns: u64,
+    /// Lock-graph construction.
+    pub lockgraph_ns: u64,
+    /// Rule execution (everything else in `check_all`).
+    pub rules_ns: u64,
+    /// The whole gate run, load to report.
+    pub total_ns: u64,
 }
 
 /// The outcome of one gate run, ready for the driver to print.
@@ -202,6 +275,8 @@ pub struct GateOutcome {
     pub human_report: String,
     /// Actions the engine performed (file writes), for the driver log.
     pub notes: Vec<String>,
+    /// Per-pass wall time (zeros without an injected clock).
+    pub timings: PassTimings,
 }
 
 /// Runs the full gate: load → analyze → baseline → report.
@@ -209,9 +284,19 @@ pub struct GateOutcome {
 /// `root` is the workspace root (the directory holding `crates/` and
 /// `lint-baseline.json`).
 pub fn run_gate(root: &Path, opts: &GateOptions) -> Result<GateOutcome, String> {
-    let files =
-        load_workspace(root).map_err(|e| format!("cannot walk {}: {e}", root.display()))?;
-    let findings = rules::check_all(&files);
+    let t0 = now(opts.clock);
+    let (files, lex_ns, scan_ns) = load_workspace_timed(root, opts.clock)
+        .map_err(|e| format!("cannot walk {}: {e}", root.display()))?;
+    let (findings, callgraph_ns, lockgraph_ns, rules_ns) =
+        rules::check_all_timed(&files, opts.clock);
+    let mut timings = PassTimings {
+        lex_ns,
+        scan_ns,
+        callgraph_ns,
+        lockgraph_ns,
+        rules_ns,
+        total_ns: 0,
+    };
 
     let baseline_path = root.join(baseline::BASELINE_FILE);
     let mut notes = Vec::new();
@@ -238,8 +323,9 @@ pub fn run_gate(root: &Path, opts: &GateOptions) -> Result<GateOutcome, String> 
         .iter()
         .filter(|f| f.role != FileRole::Reference)
         .count();
+    timings.total_ns = now(opts.clock).saturating_sub(t0);
     if let Some(json_path) = &opts.json_path {
-        let artifact = report::json_report(&judged, n_files);
+        let artifact = report::json_report(&judged, n_files, &timings);
         if let Some(parent) = json_path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)
@@ -257,6 +343,7 @@ pub fn run_gate(root: &Path, opts: &GateOptions) -> Result<GateOutcome, String> 
         passed,
         human_report,
         notes,
+        timings,
     })
 }
 

@@ -31,6 +31,7 @@ pub mod callgraph;
 pub mod engine;
 pub mod json;
 pub mod lexer;
+pub mod lockgraph;
 pub mod report;
 pub mod rules;
 pub mod scan;

@@ -5,6 +5,7 @@
 use std::collections::BTreeMap;
 
 use crate::baseline::Judged;
+use crate::engine::PassTimings;
 use crate::json;
 use crate::rules::RULES;
 
@@ -92,13 +93,25 @@ pub fn human_report(judged: &Judged, n_files: usize) -> String {
     s
 }
 
-/// Renders the machine-readable findings artifact.
-pub fn json_report(judged: &Judged, n_files: usize) -> String {
+/// Renders the machine-readable findings artifact. `timings` lands as
+/// a flat nanosecond object — verify.sh reads `total_ns` to fail on
+/// analyzer-runtime regressions (all zeros without an injected clock).
+pub fn json_report(judged: &Judged, n_files: usize, timings: &PassTimings) -> String {
     let map = tallies(judged);
     let mut s = String::from("{\n");
     s.push_str("  \"version\": 1,\n");
     s.push_str(&format!("  \"files_scanned\": {n_files},\n"));
     s.push_str(&format!("  \"clean\": {},\n", judged.new_count() == 0));
+    s.push_str(&format!(
+        "  \"timings\": {{\"lex_ns\": {}, \"scan_ns\": {}, \"callgraph_ns\": {}, \
+         \"lockgraph_ns\": {}, \"rules_ns\": {}, \"total_ns\": {}}},\n",
+        timings.lex_ns,
+        timings.scan_ns,
+        timings.callgraph_ns,
+        timings.lockgraph_ns,
+        timings.rules_ns,
+        timings.total_ns
+    ));
     s.push_str("  \"rules\": [\n");
     for (i, r) in RULES.iter().enumerate() {
         let t = map.get(r.id).copied().unwrap_or_default();
@@ -198,10 +211,21 @@ mod tests {
 
     #[test]
     fn json_report_round_trips_through_own_parser() {
-        let s = json_report(&judged(), 42);
+        let timings = PassTimings {
+            lex_ns: 10,
+            scan_ns: 20,
+            callgraph_ns: 30,
+            lockgraph_ns: 40,
+            rules_ns: 50,
+            total_ns: 160,
+        };
+        let s = json_report(&judged(), 42, &timings);
         let v = crate::json::parse(&s).expect("self-produced JSON must parse");
         assert_eq!(v.get("version").and_then(|x| x.as_f64()), Some(1.0));
         assert_eq!(v.get("files_scanned").and_then(|x| x.as_f64()), Some(42.0));
+        let t = v.get("timings").expect("timings object");
+        assert_eq!(t.get("lockgraph_ns").and_then(|x| x.as_f64()), Some(40.0));
+        assert_eq!(t.get("total_ns").and_then(|x| x.as_f64()), Some(160.0));
         assert_eq!(v.get("clean"), Some(&crate::json::Value::Bool(false)));
         let rules = v.get("rules").and_then(|x| x.as_arr()).expect("rules");
         assert_eq!(rules.len(), RULES.len());

@@ -16,6 +16,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use crate::callgraph;
 use crate::engine::{leading_inner_docs, FileAnalysis, FileRole};
 use crate::lexer::TokenKind;
+use crate::lockgraph;
 use crate::scan::{Item, ItemKind, Visibility};
 use crate::syntax::{self, CodeView as View};
 
@@ -187,6 +188,60 @@ pub const RULES: &[RuleInfo] = &[
               `lint: allow-alloc(reason)` for setup-only code. Baselined findings \
               are the quantified zero-alloc debt.",
     },
+    RuleInfo {
+        id: "lock-order",
+        severity: Severity::Error,
+        summary: "two locks acquired in opposite orders somewhere in the workspace",
+        rationale: "Inconsistent acquisition order is the classic deadlock: each \
+                    thread holds one lock and waits forever for the other. The \
+                    sharded corridor workers share the geometry cache and channels at \
+                    production rates, so an ordering bug that never fires under test \
+                    load will fire on the road. The lock graph sees both direct \
+                    nesting and locks taken inside callees (may-lock closure).",
+        fix: "Pick one global acquisition order for the two locks and restructure \
+              the deviating path (or release the first guard before taking the \
+              second); a reviewed exception may mark \
+              `lint: allow-lock-order(reason)`.",
+    },
+    RuleInfo {
+        id: "blocking-under-lock",
+        severity: Severity::Error,
+        summary: "channel send/recv, Condvar wait, or a transitively-locking call \
+                  while a guard from a different lock is live",
+        rationale: "A bounded-channel send can block until a consumer drains; doing \
+                    that while holding an unrelated guard stalls every thread queued \
+                    on that lock — and if the consumer needs the same lock, the \
+                    system deadlocks. Guard liveness comes from the brace tree; \
+                    `Condvar::wait(g)` is exempt for `g`'s own lock because wait \
+                    atomically releases it.",
+        fix: "Drop the guard (end its scope or call drop) before the blocking \
+              operation, or move the blocking call out of the critical section; a \
+              reviewed exception may mark `lint: allow-blocking-under-lock(reason)`.",
+    },
+    RuleInfo {
+        id: "guard-across-hot-call",
+        severity: Severity::Error,
+        summary: "a live lock guard spans a call into a `lint: hot-path` region",
+        rationale: "The hot path is budgeted to run at hardware speed with zero \
+                    steady-state allocation; entering it with a lock held serializes \
+                    the parallel pipeline behind that lock and inverts the latency \
+                    budget (ROADMAP item 2).",
+        fix: "Copy what the critical section needs, release the guard, then call \
+              into the hot region; setup-only code may mark \
+              `lint: allow-guard-across-hot-call(reason)`.",
+    },
+    RuleInfo {
+        id: "stale-suppression",
+        severity: Severity::Error,
+        summary: "a `lint: allow-*` or `lint: hot-path` marker no longer does anything",
+        rationale: "A suppression that outlives its finding is a silent hole: the \
+                    next real violation on that line inherits the stale excuse. \
+                    Auditing markers keeps the escape hatches as honest as the \
+                    baseline (which already fails on stale entries).",
+        fix: "Delete the marker, or move it onto the line (or fn, for hot-path) it \
+              was meant to annotate. Unknown `allow-<name>` markers are typos: fix \
+              the rule name.",
+    },
 ];
 
 /// Looks a rule up by ID.
@@ -227,6 +282,23 @@ const NUMERIC_TYPES: &[&str] = &[
 /// Runs every rule over the analyzed workspace; findings come back
 /// sorted by (file, line, rule).
 pub fn check_all(files: &[FileAnalysis]) -> Vec<Finding> {
+    check_all_timed(files, None).0
+}
+
+/// [`check_all`] plus per-pass wall time: `(findings, callgraph_ns,
+/// lockgraph_ns, rules_ns)`. The clock is injected by the driver
+/// (see `GateOptions::clock`); `None` reports zeros.
+pub fn check_all_timed(
+    files: &[FileAnalysis],
+    clock: Option<fn() -> u64>,
+) -> (Vec<Finding>, u64, u64, u64) {
+    let now = |c: Option<fn() -> u64>| c.map_or(0, |f| f());
+    let t0 = now(clock);
+    let graph = callgraph::build(files);
+    let t1 = now(clock);
+    let lg = lockgraph::build(files, &graph);
+    let t2 = now(clock);
+
     let mut out = Vec::new();
     let mod_docs: HashMap<&str, bool> = files
         .iter()
@@ -238,11 +310,21 @@ pub fn check_all(files: &[FileAnalysis]) -> Vec<Finding> {
     }
     dead_pub(files, &mut out);
     obs_names(files, &mut out);
-    alloc_in_hot_path(files, &mut out);
+    alloc_in_hot_path(files, &graph, &mut out);
+    lock_rules(files, &graph, &lg, &mut out);
+    // Must run after every other rule: it audits which markers the
+    // probes above actually consumed.
+    stale_suppression(files, &mut out);
     out.sort_by(|a, b| {
         (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
     });
-    out
+    let t3 = now(clock);
+    (
+        out,
+        t1.saturating_sub(t0),
+        t2.saturating_sub(t1),
+        t3.saturating_sub(t2),
+    )
 }
 
 fn push(out: &mut Vec<Finding>, id: &'static str, fa: &FileAnalysis, line: usize, message: String) {
@@ -568,10 +650,6 @@ fn float_eq(v: &View<'_>, out: &mut Vec<Finding>) {
         if !prev_float && !next_float {
             continue;
         }
-        let line = v.line(ci);
-        if v.fa.has_marker(line, "lint: allow-float-eq(") {
-            continue;
-        }
         // Approx helpers (assertion utilities comparing with a
         // tolerance they define) are the sanctioned home for float
         // comparison plumbing.
@@ -580,6 +658,12 @@ fn float_eq(v: &View<'_>, out: &mut Vec<Finding>) {
             .enclosing_fn(v.tok_idx(ci))
             .is_some_and(|f| f.name.contains("approx"))
         {
+            continue;
+        }
+        // Marker probe last: a consumed marker must mean a real
+        // finding was suppressed (stale-suppression audits the rest).
+        let line = v.line(ci);
+        if v.fa.has_marker(line, "lint: allow-float-eq(") {
             continue;
         }
         push(
@@ -740,8 +824,7 @@ const ALLOC_METHODS: &[&str] = &["clone", "collect", "to_vec"];
 /// for allocation idioms. Messages carry the enclosing fn and the
 /// deterministic witness entry, not the line, so the baseline key
 /// survives reformatting.
-fn alloc_in_hot_path(files: &[FileAnalysis], out: &mut Vec<Finding>) {
-    let graph = callgraph::build(files);
+fn alloc_in_hot_path(files: &[FileAnalysis], graph: &callgraph::CallGraph, out: &mut Vec<Finding>) {
     for (i, node) in graph.nodes.iter().enumerate() {
         let Some(witness) = graph.hot_witness(i) else { continue };
         let Some((bs, be)) = node.body else { continue };
@@ -782,6 +865,259 @@ fn alloc_in_hot_path(files: &[FileAnalysis], out: &mut Vec<Finding>) {
                     witness.qualified_name()
                 ),
             );
+        }
+    }
+}
+
+/// The three lock-graph rules — `lock-order`, `blocking-under-lock`,
+/// `guard-across-hot-call` — over the events [`lockgraph::build`]
+/// recovered. Messages name fns and canonical lock ids, never lines,
+/// so the baseline key survives reformatting.
+fn lock_rules(
+    files: &[FileAnalysis],
+    graph: &callgraph::CallGraph,
+    lg: &lockgraph::LockGraph,
+    out: &mut Vec<Finding>,
+) {
+    // Union of may-lock sets over a call's resolved callees.
+    let callee_locks = |callees: &[usize]| -> BTreeSet<&str> {
+        callees
+            .iter()
+            .flat_map(|&c| lg.may_lock[c].iter().map(String::as_str))
+            .collect()
+    };
+
+    // lock-order: collect every directed (held, then-acquired) pair in
+    // the workspace — direct nesting and acquisition inside a callee —
+    // then flag the sites of any pair whose reverse also exists.
+    let mut pairs: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut sites: BTreeSet<(usize, usize, String, String, Option<String>)> = BTreeSet::new();
+    for (i, nl) in lg.per_node.iter().enumerate() {
+        for acq in &nl.acquires {
+            for h in &acq.held {
+                if h.lock != acq.lock {
+                    pairs.insert((h.lock.clone(), acq.lock.clone()));
+                    sites.insert((i, acq.line, h.lock.clone(), acq.lock.clone(), None));
+                }
+            }
+        }
+        for cu in &nl.calls_under {
+            for l in callee_locks(&cu.callees) {
+                for h in &cu.held {
+                    if h.lock != l {
+                        pairs.insert((h.lock.clone(), l.to_string()));
+                        sites.insert((
+                            i,
+                            cu.line,
+                            h.lock.clone(),
+                            l.to_string(),
+                            Some(cu.callee.clone()),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    for (i, line, first, second, via) in &sites {
+        if !pairs.contains(&(second.clone(), first.clone())) {
+            continue;
+        }
+        let node = &graph.nodes[*i];
+        let fa = &files[node.file];
+        if fa.has_marker(*line, "lint: allow-lock-order(") {
+            continue;
+        }
+        let how = match via {
+            Some(callee) => format!("may be acquired via `{callee}(…)`"),
+            None => "is acquired".to_string(),
+        };
+        push(
+            out,
+            "lock-order",
+            fa,
+            *line,
+            format!(
+                "`{second}` {how} while `{first}` is held in `{}`, but the opposite \
+                 order exists elsewhere in the workspace (potential deadlock); pick \
+                 one global acquisition order or mark `lint: allow-lock-order(reason)`",
+                node.qualified_name()
+            ),
+        );
+    }
+
+    // blocking-under-lock and guard-across-hot-call, per node.
+    for (i, nl) in lg.per_node.iter().enumerate() {
+        let node = &graph.nodes[i];
+        let fa = &files[node.file];
+        for b in &nl.blocking {
+            // `Condvar::wait(g)` atomically releases `g`'s own lock:
+            // only *other* live guards make the wait a finding.
+            let held: Vec<&lockgraph::Held> = b
+                .held
+                .iter()
+                .filter(|h| !(b.op == "wait" && b.wait_arg.is_some() && h.guard == b.wait_arg))
+                .collect();
+            let Some(h) = held.first() else { continue };
+            if fa.has_marker(b.line, "lint: allow-blocking-under-lock(") {
+                continue;
+            }
+            push(
+                out,
+                "blocking-under-lock",
+                fa,
+                b.line,
+                format!(
+                    "blocking `.{}(…)` on `{}` while a guard on `{}` is live in `{}`; \
+                     the consumer may need that lock (deadlock) and every thread \
+                     queued on it stalls — drop the guard first or mark \
+                     `lint: allow-blocking-under-lock(reason)`",
+                    b.op,
+                    b.recv_name,
+                    h.lock,
+                    node.qualified_name()
+                ),
+            );
+        }
+        for cu in &nl.calls_under {
+            let held_ids: BTreeSet<&str> = cu.held.iter().map(|h| h.lock.as_str()).collect();
+            let extra: Vec<&str> = callee_locks(&cu.callees)
+                .into_iter()
+                .filter(|l| !held_ids.contains(l))
+                .collect();
+            if let (Some(first_extra), Some(h)) = (extra.first(), cu.held.first()) {
+                if !fa.has_marker(cu.line, "lint: allow-blocking-under-lock(") {
+                    push(
+                        out,
+                        "blocking-under-lock",
+                        fa,
+                        cu.line,
+                        format!(
+                            "call to `{}(…)` (which may acquire or block on \
+                             `{first_extra}`) while a guard on `{}` is live in `{}`; \
+                             drop the guard before the call or mark \
+                             `lint: allow-blocking-under-lock(reason)`",
+                            cu.callee,
+                            h.lock,
+                            node.qualified_name()
+                        ),
+                    );
+                }
+            }
+            let hot = cu.callees.iter().find_map(|&c| graph.hot_witness(c));
+            if let (Some(witness), Some(h)) = (hot, cu.held.first()) {
+                if !fa.has_marker(cu.line, "lint: allow-guard-across-hot-call(") {
+                    push(
+                        out,
+                        "guard-across-hot-call",
+                        fa,
+                        cu.line,
+                        format!(
+                            "guard on `{}` is live across a call to `{}(…)` on the \
+                             hot path from `{}` in `{}`; release the guard before \
+                             entering the hot region or mark \
+                             `lint: allow-guard-across-hot-call(reason)`",
+                            h.lock,
+                            cu.callee,
+                            witness.qualified_name(),
+                            node.qualified_name()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Marker names the rules consult, with the owning rule id —
+/// `stale-suppression`'s registry for spotting typos.
+const KNOWN_MARKERS: &[(&str, &str)] = &[
+    ("alloc", "alloc-in-hot-path"),
+    ("blocking-under-lock", "blocking-under-lock"),
+    ("cast", "no-raw-cast"),
+    ("dead-pub", "dead-pub"),
+    ("float-eq", "float-eq"),
+    ("guard-across-hot-call", "guard-across-hot-call"),
+    ("lock-order", "lock-order"),
+    ("nondet-iter", "nondet-iter"),
+    ("panic", "no-panic"),
+    ("wallclock", "no-wallclock"),
+];
+
+/// Audits the suppression surface: every `lint: allow-*` marker whose
+/// line no rule probe consumed this run, every `allow-<name>` naming
+/// no known rule, and every `lint: hot-path` marker annotating no fn.
+/// Runs last in [`check_all`] (marker use is recorded by the other
+/// rules' probes). Doc comments are exempt — prose *about* markers is
+/// not a marker — and so are test regions.
+fn stale_suppression(files: &[FileAnalysis], out: &mut Vec<Finding>) {
+    for fa in files.iter().filter(|f| f.role != FileRole::Reference) {
+        let used = fa.used_markers.borrow();
+        for (ti, t) in fa.tokens.iter().enumerate() {
+            if !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+                continue;
+            }
+            if fa.facts.in_test.get(ti).copied().unwrap_or(false) {
+                continue;
+            }
+            let body = t.text(&fa.text);
+            let mut rest = body;
+            while let Some(at) = rest.find("lint: allow-") {
+                let after = &rest[at + "lint: allow-".len()..];
+                let name: String = after
+                    .chars()
+                    .take_while(|c| c.is_ascii_lowercase() || *c == '-')
+                    .collect();
+                rest = &after[name.len()..];
+                match KNOWN_MARKERS.iter().find(|(m, _)| *m == name) {
+                    None => push(
+                        out,
+                        "stale-suppression",
+                        fa,
+                        t.line,
+                        format!(
+                            "unknown suppression marker `lint: allow-{name}(…)`; no \
+                             rule consults it — fix the marker name or remove it"
+                        ),
+                    ),
+                    Some((_, rule_id)) => {
+                        if !used.contains(&t.line) {
+                            push(
+                                out,
+                                "stale-suppression",
+                                fa,
+                                t.line,
+                                format!(
+                                    "`lint: allow-{name}(…)` suppresses nothing (rule \
+                                     `{rule_id}` reports no finding on this line or \
+                                     the one below); remove the stale marker"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            if fa.is_library() && body.contains(callgraph::HOT_PATH_MARKER) {
+                let l = t.line;
+                let annotates = fa.facts.items.iter().any(|it| {
+                    it.kind == ItemKind::Fn
+                        && !it.in_test
+                        && !it.name.is_empty()
+                        && (it.line == l || it.line == l + 1)
+                });
+                if !annotates {
+                    push(
+                        out,
+                        "stale-suppression",
+                        fa,
+                        l,
+                        format!(
+                            "`{}` marker annotates no function (no fn on this line \
+                             or the next); move it onto the entry fn or remove it",
+                            callgraph::HOT_PATH_MARKER
+                        ),
+                    );
+                }
+            }
         }
     }
 }
@@ -890,15 +1226,17 @@ fn dead_pub(files: &[FileAnalysis], out: &mut Vec<Finding>) {
 
     for fa in files.iter().filter(|f| f.is_library()) {
         for item in fa.facts.items.iter().filter(|i| is_api_item(i)) {
-            if fa.has_marker(item.line, "lint: allow-dead-pub(") {
-                continue;
-            }
             let name = item.name.as_str();
             let referenced = testref.contains(name)
                 || nontest
                     .iter()
                     .any(|(&c, set)| c != fa.crate_name && set.contains(name));
             if referenced {
+                continue;
+            }
+            // Marker probe after the reference check: a marker on a
+            // referenced item suppresses nothing and must read stale.
+            if fa.has_marker(item.line, "lint: allow-dead-pub(") {
                 continue;
             }
             push(
@@ -1495,7 +1833,7 @@ mod tests {
             assert!(!r.fix.is_empty(), "{} has no fix guidance", r.id);
             assert_eq!(r.severity.as_str(), "error");
         }
-        assert_eq!(RULES.len(), 14);
+        assert_eq!(RULES.len(), 18);
     }
 
     // ---- nondet-iter ----
@@ -1640,5 +1978,312 @@ fn unrelated() { let v = Vec::with_capacity(8); }
 ";
         let f = fa("crates/ros-dsp/src/s.rs", src);
         assert!(alloc_hits(&[f]).is_empty());
+    }
+
+    // ---- lock-order ----
+
+    fn rule_hits(files: &[FileAnalysis], id: &str) -> Vec<Finding> {
+        check_all(files).into_iter().filter(|v| v.rule == id).collect()
+    }
+
+    #[test]
+    fn lock_order_flags_inconsistent_acquisition_order() {
+        let src = "\
+//! m
+fn first(a: &M, b: &M) {
+    let ga = a.lock();
+    let gb = b.lock();
+}
+fn second(a: &M, b: &M) {
+    let gb = b.lock();
+    let ga = a.lock();
+}
+";
+        let f = fa("crates/ros-dsp/src/s.rs", src);
+        let hits = rule_hits(&[f], "lock-order");
+        assert_eq!(hits.len(), 2, "both conflicting sites flagged: {hits:?}");
+        assert!(hits[0].message.contains("`ros-dsp:a`"), "{}", hits[0].message);
+        assert!(hits[0].message.contains("`ros-dsp:b`"), "{}", hits[0].message);
+        assert!(hits[0].message.contains("in `first`"), "{}", hits[0].message);
+        assert!(hits[1].message.contains("in `second`"), "{}", hits[1].message);
+    }
+
+    #[test]
+    fn lock_order_clean_cases() {
+        // Consistent order everywhere: no pair conflict.
+        let src = "\
+//! m
+fn first(a: &M, b: &M) {
+    let ga = a.lock();
+    let gb = b.lock();
+}
+fn second(a: &M, b: &M) {
+    let ga = a.lock();
+    let gb = b.lock();
+}
+";
+        let f = fa("crates/ros-dsp/src/s.rs", src);
+        assert!(rule_hits(&[f], "lock-order").is_empty());
+        // Dropping the first guard before the second acquisition means
+        // no order pair at all.
+        let src = "\
+//! m
+fn first(a: &M, b: &M) {
+    let ga = a.lock();
+    drop(ga);
+    let gb = b.lock();
+}
+fn second(a: &M, b: &M) {
+    let gb = b.lock();
+    drop(gb);
+    let ga = a.lock();
+}
+";
+        let f = fa("crates/ros-dsp/src/s.rs", src);
+        assert!(rule_hits(&[f], "lock-order").is_empty());
+    }
+
+    #[test]
+    fn lock_order_marker_suppresses() {
+        let src = "\
+//! m
+fn first(a: &M, b: &M) {
+    let ga = a.lock();
+    // lint: allow-lock-order(init-only path, never concurrent)
+    let gb = b.lock();
+}
+fn second(a: &M, b: &M) {
+    let gb = b.lock();
+    // lint: allow-lock-order(init-only path, never concurrent)
+    let ga = a.lock();
+}
+";
+        let f = fa("crates/ros-dsp/src/s.rs", src);
+        assert!(rule_hits(&[f], "lock-order").is_empty());
+        // The consumed markers are not stale.
+        assert!(rule_hits(&[fa("crates/ros-dsp/src/s.rs", src)], "stale-suppression").is_empty());
+    }
+
+    // ---- blocking-under-lock ----
+
+    #[test]
+    fn blocking_flags_channel_op_under_guard() {
+        let src = "\
+//! m
+fn f(q: &Chan, m: &M) {
+    let g = m.lock();
+    q.tx.send(1);
+}
+";
+        let f = fa("crates/ros-dsp/src/s.rs", src);
+        let hits = rule_hits(&[f], "blocking-under-lock");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].line, 4);
+        assert!(hits[0].message.contains("`.send(\u{2026})`"), "{}", hits[0].message);
+        assert!(hits[0].message.contains("`ros-dsp:m`"), "{}", hits[0].message);
+    }
+
+    #[test]
+    fn blocking_flags_transitively_locking_call_under_guard() {
+        let src = "\
+//! m
+fn f(m: &M, x: &X) {
+    let g = m.lock();
+    helper(x);
+}
+fn helper(x: &X) {
+    let g2 = SINK.lock();
+}
+";
+        let f = fa("crates/ros-dsp/src/s.rs", src);
+        let hits = rule_hits(&[f], "blocking-under-lock");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].line, 4);
+        assert!(hits[0].message.contains("`helper(\u{2026})`"), "{}", hits[0].message);
+        assert!(hits[0].message.contains("`ros-dsp:SINK`"), "{}", hits[0].message);
+    }
+
+    #[test]
+    fn blocking_clean_cases() {
+        // Condvar wait that consumes the held guard is the sanctioned
+        // blocking-while-locked idiom, not a deadlock.
+        let src = "\
+//! m
+fn f(cv: &Condvar, m: &M) {
+    let g = m.lock().unwrap();
+    let g = cv.wait(g);
+}
+";
+        let f = fa("crates/ros-dsp/src/s.rs", src);
+        assert!(rule_hits(&[f], "blocking-under-lock").is_empty());
+        // Guard dropped before the send.
+        let src = "\
+//! m
+fn f(q: &Chan, m: &M) {
+    let g = m.lock();
+    drop(g);
+    q.tx.send(1);
+}
+";
+        let f = fa("crates/ros-dsp/src/s.rs", src);
+        assert!(rule_hits(&[f], "blocking-under-lock").is_empty());
+        // Marker escape on the blocking line.
+        let src = "\
+//! m
+fn f(q: &Chan, m: &M) {
+    let g = m.lock();
+    // lint: allow-blocking-under-lock(bounded queue, consumer never takes m)
+    q.tx.send(1);
+}
+";
+        let f = fa("crates/ros-dsp/src/s.rs", src);
+        assert!(rule_hits(&[f], "blocking-under-lock").is_empty());
+    }
+
+    // ---- guard-across-hot-call ----
+
+    #[test]
+    fn guard_across_hot_call_flags_live_guard_spanning_hot_callee() {
+        let src = "\
+//! m
+// lint: hot-path
+pub fn entry() { inner(); }
+fn inner() {}
+fn cold(m: &M) {
+    let g = m.lock();
+    inner();
+}
+";
+        let f = fa("crates/ros-dsp/src/s.rs", src);
+        let hits = rule_hits(&[f], "guard-across-hot-call");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].line, 7);
+        assert!(hits[0].message.contains("`inner(\u{2026})`"), "{}", hits[0].message);
+        assert!(hits[0].message.contains("from `entry`"), "{}", hits[0].message);
+        assert!(hits[0].message.contains("`ros-dsp:m`"), "{}", hits[0].message);
+    }
+
+    #[test]
+    fn guard_across_hot_call_clean_cases() {
+        // Guard released before the hot call.
+        let src = "\
+//! m
+// lint: hot-path
+pub fn entry() { inner(); }
+fn inner() {}
+fn cold(m: &M) {
+    let g = m.lock();
+    drop(g);
+    inner();
+}
+";
+        let f = fa("crates/ros-dsp/src/s.rs", src);
+        assert!(rule_hits(&[f], "guard-across-hot-call").is_empty());
+        // Callee not on any hot path.
+        let src = "\
+//! m
+fn inner() {}
+fn cold(m: &M) {
+    let g = m.lock();
+    inner();
+}
+";
+        let f = fa("crates/ros-dsp/src/s.rs", src);
+        assert!(rule_hits(&[f], "guard-across-hot-call").is_empty());
+        // Marker escape.
+        let src = "\
+//! m
+// lint: hot-path
+pub fn entry() { inner(); }
+fn inner() {}
+fn cold(m: &M) {
+    let g = m.lock();
+    // lint: allow-guard-across-hot-call(read-mostly lock, ns-scale hold)
+    inner();
+}
+";
+        let f = fa("crates/ros-dsp/src/s.rs", src);
+        assert!(rule_hits(&[f], "guard-across-hot-call").is_empty());
+    }
+
+    // ---- stale-suppression ----
+
+    #[test]
+    fn stale_suppression_flags_unconsumed_and_unknown_markers() {
+        let src = "\
+//! m
+// lint: allow-panic(legacy shim)
+/// D.
+pub fn quiet() {}
+";
+        let f = fa("crates/ros-dsp/src/s.rs", src);
+        let hits = rule_hits(&[f], "stale-suppression");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].line, 2);
+        assert!(hits[0].message.contains("suppresses nothing"), "{}", hits[0].message);
+        assert!(hits[0].message.contains("no-panic"), "{}", hits[0].message);
+
+        let src = "//! m\n// lint: allow-pancake(typo)\nfn f() {}\n";
+        let f = fa("crates/ros-dsp/src/s.rs", src);
+        let hits = rule_hits(&[f], "stale-suppression");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("unknown suppression marker"), "{}", hits[0].message);
+    }
+
+    #[test]
+    fn stale_suppression_flags_hot_path_marker_on_nothing() {
+        let src = "//! m\n// lint: hot-path\npub struct S;\n";
+        let f = fa("crates/ros-dsp/src/s.rs", src);
+        let hits = rule_hits(&[f], "stale-suppression");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("annotates no function"), "{}", hits[0].message);
+        // An attribute between the marker and the fn silently detaches
+        // the annotation — the exact bug this rule exists to catch.
+        let src = "\
+//! m
+// lint: hot-path
+#[allow(clippy::too_many_arguments)]
+pub fn entry(a: u32, b: u32) {}
+";
+        let f = fa("crates/ros-dsp/src/s.rs", src);
+        let hits = rule_hits(&[f], "stale-suppression");
+        assert_eq!(hits.len(), 1, "marker above an attribute annotates nothing: {hits:?}");
+        // Below the attribute it binds.
+        let src = "\
+//! m
+#[allow(clippy::too_many_arguments)]
+// lint: hot-path
+pub fn entry(a: u32, b: u32) {}
+";
+        let f = fa("crates/ros-dsp/src/s.rs", src);
+        assert!(rule_hits(&[f], "stale-suppression").is_empty());
+    }
+
+    #[test]
+    fn stale_suppression_clean_cases() {
+        // A consumed marker is live, not stale (and the panic stays
+        // suppressed).
+        let src = "//! m\n// lint: allow-panic(unreachable invariant)\nfn f() { panic!(\"x\"); }\n";
+        let f = fa("crates/ros-dsp/src/s.rs", src);
+        let hits = all_hits(&[f]);
+        assert!(hits.is_empty(), "{hits:?}");
+        // Markers in test regions are the test's business.
+        let src = "\
+//! m
+#[cfg(test)]
+mod tests {
+    // lint: allow-panic(never fires)
+    fn t() {}
+}
+";
+        let f = fa("crates/ros-dsp/src/s.rs", src);
+        assert!(rule_hits(&[f], "stale-suppression").is_empty());
+        // Reference files are not audited.
+        let f = fa("tests/e2e.rs", "// lint: allow-panic(stale here)\nfn t() {}\n");
+        assert!(rule_hits(&[f], "stale-suppression").is_empty());
+        // A hot-path marker that annotates a fn is live.
+        let src = "//! m\n// lint: hot-path\npub fn entry() {}\n";
+        let f = fa("crates/ros-dsp/src/s.rs", src);
+        assert!(rule_hits(&[f], "stale-suppression").is_empty());
     }
 }

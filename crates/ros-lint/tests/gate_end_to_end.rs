@@ -70,6 +70,7 @@ fn gate_passes_on_clean_tree_and_artifact_parses() {
         json_path: Some(json_path.clone()),
         update_baseline: false,
         no_baseline: true,
+        clock: None,
     };
     let outcome: GateOutcome = run_gate(&ws.root, &opts).expect("gate runs");
     assert!(outcome.passed, "clean tree must pass:\n{}", outcome.human_report);
@@ -102,6 +103,7 @@ fn new_violation_fails_gate_until_baselined() {
         json_path: None,
         update_baseline: false,
         no_baseline: false,
+        clock: None,
     };
     let outcome = run_gate(&ws.root, &opts).expect("gate runs");
     assert!(!outcome.passed);
@@ -112,6 +114,7 @@ fn new_violation_fails_gate_until_baselined() {
         json_path: None,
         update_baseline: true,
         no_baseline: false,
+        clock: None,
     };
     let outcome = run_gate(&ws.root, &opts).expect("baseline update");
     assert!(outcome.passed);
@@ -137,6 +140,7 @@ fn new_violation_fails_gate_until_baselined() {
         json_path: None,
         update_baseline: false,
         no_baseline: false,
+        clock: None,
     };
     let outcome = run_gate(&ws.root, &opts).expect("gate runs");
     assert!(!outcome.passed);
@@ -195,6 +199,7 @@ fn alloc_findings_propagate_transitively_and_respect_allow_markers() {
         json_path: None,
         update_baseline: false,
         no_baseline: true,
+        clock: None,
     };
     let outcome = run_gate(&ws.root, &opts).expect("gate runs");
     assert!(!outcome.passed, "{}", outcome.human_report);
@@ -214,4 +219,194 @@ fn alloc_findings_propagate_transitively_and_respect_allow_markers() {
         "unexpected finding line: {}",
         alloc_lines[0]
     );
+}
+
+/// Runs the gate baseline-free and returns the `[rule-id]` finding
+/// lines from the human report, plus whether the gate passed.
+fn gate_rule_lines(ws: &TempWs, rule: &str) -> (bool, Vec<String>) {
+    let opts = GateOptions {
+        json_path: None,
+        update_baseline: false,
+        no_baseline: true,
+        clock: None,
+    };
+    let outcome = run_gate(&ws.root, &opts).expect("gate runs");
+    let tag = format!("[{rule}]");
+    let lines = outcome
+        .human_report
+        .lines()
+        .filter(|l| l.contains(&tag))
+        .map(str::to_string)
+        .collect();
+    (outcome.passed, lines)
+}
+
+#[test]
+fn lock_order_e2e_catches_inversion_and_passes_after_fix() {
+    let ws = TempWs::new("lockorder");
+    // Two fns take the pair (journal, index) in opposite orders.
+    ws.write(
+        "crates/gamma/src/lib.rs",
+        "//! Gamma crate.\n\n\
+         /// Appends under both locks, journal first.\n\
+         pub fn append(journal: &Slot, index: &Slot) {\n\
+             let gj = journal.lock();\n\
+             let gi = index.lock();\n\
+         }\n\n\
+         /// Compacts under both locks, index first: inverted.\n\
+         pub fn compact(journal: &Slot, index: &Slot) {\n\
+             let gi = index.lock();\n\
+             let gj = journal.lock();\n\
+         }\n\n\
+         #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        super::append(&j(), &i());\n        super::compact(&j(), &i());\n    }\n}\n",
+    );
+    let (passed, lines) = gate_rule_lines(&ws, "lock-order");
+    assert!(!passed);
+    assert_eq!(lines.len(), 2, "{lines:?}");
+    assert!(lines.iter().all(|l| l.contains("gamma:journal") && l.contains("gamma:index")), "{lines:?}");
+
+    // Same workspace with `compact` brought into the global order.
+    ws.write(
+        "crates/gamma/src/lib.rs",
+        "//! Gamma crate.\n\n\
+         /// Appends under both locks, journal first.\n\
+         pub fn append(journal: &Slot, index: &Slot) {\n\
+             let gj = journal.lock();\n\
+             let gi = index.lock();\n\
+         }\n\n\
+         /// Compacts under both locks, journal first too.\n\
+         pub fn compact(journal: &Slot, index: &Slot) {\n\
+             let gj = journal.lock();\n\
+             let gi = index.lock();\n\
+         }\n\n\
+         #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        super::append(&j(), &i());\n        super::compact(&j(), &i());\n    }\n}\n",
+    );
+    let (passed, lines) = gate_rule_lines(&ws, "lock-order");
+    assert!(passed, "{lines:?}");
+    assert!(lines.is_empty(), "{lines:?}");
+}
+
+#[test]
+fn blocking_under_lock_e2e_catches_send_and_passes_after_fix() {
+    let ws = TempWs::new("blocking");
+    ws.write(
+        "crates/delta/src/lib.rs",
+        "//! Delta crate.\n\n\
+         /// Publishes the current state to the consumer queue.\n\
+         pub fn publish(state: &Slot, out: &Port) {\n\
+             let g = state.lock();\n\
+             out.tx.send(1);\n\
+         }\n\n\
+         #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { super::publish(&s(), &p()); }\n}\n",
+    );
+    let (passed, lines) = gate_rule_lines(&ws, "blocking-under-lock");
+    assert!(!passed);
+    assert_eq!(lines.len(), 1, "{lines:?}");
+    assert!(
+        lines[0].contains("crates/delta/src/lib.rs:6") && lines[0].contains("delta:state"),
+        "{lines:?}"
+    );
+
+    // Fixed: snapshot under the lock, send after releasing it.
+    ws.write(
+        "crates/delta/src/lib.rs",
+        "//! Delta crate.\n\n\
+         /// Publishes the current state to the consumer queue.\n\
+         pub fn publish(state: &Slot, out: &Port) {\n\
+             let g = state.lock();\n\
+             let snapshot = g.value;\n\
+             drop(g);\n\
+             out.tx.send(snapshot);\n\
+         }\n\n\
+         #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { super::publish(&s(), &p()); }\n}\n",
+    );
+    let (passed, lines) = gate_rule_lines(&ws, "blocking-under-lock");
+    assert!(passed, "{lines:?}");
+    assert!(lines.is_empty(), "{lines:?}");
+}
+
+#[test]
+fn guard_across_hot_call_e2e_catches_cross_crate_span_and_passes_after_fix() {
+    let ws = TempWs::new("hotguard");
+    // The hot path lives in one crate; the guard that spans a call
+    // into it lives in another.
+    ws.write(
+        "crates/hot/src/lib.rs",
+        "//! Hot crate.\n\n\
+         /// Steady-state entry.\n\
+         // lint: hot-path\n\
+         pub fn entry() {\n    step();\n}\n\n\
+         /// One pipeline step.\n\
+         pub fn step() {}\n\n\
+         #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { super::entry(); super::step(); }\n}\n",
+    );
+    let seeded = "//! Cold crate.\n\n\
+         /// Maintenance entry: calls into the pipeline while locked.\n\
+         pub fn maintain(cfg: &Slot) {\n\
+             let g = cfg.lock();\n\
+             hot::step();\n\
+         }\n\n\
+         #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { super::maintain(&c()); }\n}\n";
+    ws.write("crates/cold/src/lib.rs", seeded);
+    let (passed, lines) = gate_rule_lines(&ws, "guard-across-hot-call");
+    assert!(!passed);
+    assert_eq!(lines.len(), 1, "{lines:?}");
+    assert!(
+        lines[0].contains("crates/cold/src/lib.rs:6")
+            && lines[0].contains("cold:cfg")
+            && lines[0].contains("`entry`"),
+        "{lines:?}"
+    );
+
+    // Fixed: the guard is released before entering the hot region.
+    ws.write(
+        "crates/cold/src/lib.rs",
+        "//! Cold crate.\n\n\
+         /// Maintenance entry: releases the lock before the pipeline.\n\
+         pub fn maintain(cfg: &Slot) {\n\
+             let g = cfg.lock();\n\
+             drop(g);\n\
+             hot::step();\n\
+         }\n\n\
+         #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { super::maintain(&c()); }\n}\n",
+    );
+    let (passed, lines) = gate_rule_lines(&ws, "guard-across-hot-call");
+    assert!(passed, "{lines:?}");
+    assert!(lines.is_empty(), "{lines:?}");
+}
+
+#[test]
+fn stale_suppression_e2e_catches_dead_marker_and_passes_after_removal() {
+    let ws = TempWs::new("stale");
+    ws.write(
+        "crates/eps/src/lib.rs",
+        "//! Eps crate.\n\n\
+         /// Compares within tolerance; the marker outlived the `==`.\n\
+         // lint: allow-float-eq(legacy comparison)\n\
+         pub fn close(a: f64, b: f64) -> bool {\n\
+             (a - b).abs() < 1e-9\n\
+         }\n\n\
+         #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { assert!(super::close(0.0, 0.0)); }\n}\n",
+    );
+    let (passed, lines) = gate_rule_lines(&ws, "stale-suppression");
+    assert!(!passed);
+    assert_eq!(lines.len(), 1, "{lines:?}");
+    assert!(
+        lines[0].contains("crates/eps/src/lib.rs:4") && lines[0].contains("float-eq"),
+        "{lines:?}"
+    );
+
+    // Fixed: the marker is gone.
+    ws.write(
+        "crates/eps/src/lib.rs",
+        "//! Eps crate.\n\n\
+         /// Compares within tolerance.\n\
+         pub fn close(a: f64, b: f64) -> bool {\n\
+             (a - b).abs() < 1e-9\n\
+         }\n\n\
+         #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { assert!(super::close(0.0, 0.0)); }\n}\n",
+    );
+    let (passed, lines) = gate_rule_lines(&ws, "stale-suppression");
+    assert!(passed, "{lines:?}");
+    assert!(lines.is_empty(), "{lines:?}");
 }

@@ -1,0 +1,221 @@
+//! Golden corpus for the ros-lint lock/channel graph.
+//!
+//! Mirrors `syntax_corpus.rs` one level up the stack: where that file
+//! pins the brace tree and call-site extraction, this one pins what
+//! [`ros_lint::lockgraph`] recovers from them — acquisition sites and
+//! their canonical lock ids, guard liveness (scope-bound vs
+//! statement-temporary, `drop` truncation), blocking-op capture, and
+//! may-lock propagation through [`ros_lint::callgraph::Resolver`] —
+//! as compact per-fn summary strings so a behaviour shift in any layer
+//! below moves a pinned expectation here.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ros_lint::callgraph::{self, Resolver};
+use ros_lint::lockgraph::{
+    self, AcquireUnder, BlockingUnder, CallUnder, Held, LockGraph, NodeLocks, BLOCKING_METHODS,
+    LOCK_METHODS, UBIQUITOUS_CALLEES,
+};
+use ros_lint::rules;
+use ros_lint::syntax::CallSite;
+use ros_lint::{FileAnalysis, FileRole};
+
+fn fa(rel: &str, src: &str) -> FileAnalysis {
+    let crate_name = rel.split('/').nth(1).unwrap_or("x").to_string();
+    FileAnalysis::new(rel.to_string(), crate_name, FileRole::Library, src.to_string())
+}
+
+fn graph_and_locks(src: &str) -> (callgraph::CallGraph, LockGraph) {
+    let files = [fa("crates/demo/src/lib.rs", src)];
+    let g = callgraph::build(&files);
+    let lg = lockgraph::build(&files, &g);
+    (g, lg)
+}
+
+fn fmt_held(held: &[Held]) -> String {
+    let ids: Vec<&str> = held.iter().map(|h| h.lock.as_str()).collect();
+    format!("[{}]", ids.join(","))
+}
+
+/// One fn's lock behaviour as a pinnable line: acquisitions, blocking
+/// ops, then guarded calls, each with the lock ids live at the event.
+fn node_summary(nl: &NodeLocks) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for a in &nl.acquires {
+        let a: &AcquireUnder = a;
+        parts.push(format!("acq {} {}", a.lock, fmt_held(&a.held)));
+    }
+    for b in &nl.blocking {
+        let b: &BlockingUnder = b;
+        parts.push(format!("{} {} {}", b.op, b.recv_name, fmt_held(&b.held)));
+    }
+    for c in &nl.calls_under {
+        let c: &CallUnder = c;
+        parts.push(format!("call {} {}", c.callee, fmt_held(&c.held)));
+    }
+    parts.join("; ")
+}
+
+fn summary_of(src: &str, fn_name: &str) -> String {
+    let (g, lg) = graph_and_locks(src);
+    let i = g
+        .nodes
+        .iter()
+        .position(|n| n.name == fn_name)
+        .unwrap_or_else(|| panic!("no node `{fn_name}`"));
+    node_summary(&lg.per_node[i])
+}
+
+/// The golden corpus: `(source, fn, pinned summary)`. These are the
+/// shapes the three lock rules stand on.
+const GOLDEN: &[(&str, &str, &str)] = &[
+    // Nested guards accumulate in source order; the guarded call sees
+    // both.
+    (
+        "pub fn f(a: M, b: M) {\n    let ga = a.lock();\n    let gb = b.lock();\n    step();\n}\npub fn step() {}\n",
+        "f",
+        "acq demo:a []; acq demo:b [demo:a]; call step [demo:a,demo:b]",
+    ),
+    // A guard bound inside an inner brace dies at that brace's close.
+    (
+        "pub fn f(a: M) {\n    {\n        let g = a.lock();\n        step();\n    }\n    step();\n}\npub fn step() {}\n",
+        "f",
+        "acq demo:a []; call step [demo:a]",
+    ),
+    // `read`/`write` are acquisitions of the same lock; `drop` ends
+    // the first guard before the second site.
+    (
+        "pub fn f(s: S) {\n    let r = s.read();\n    drop(r);\n    let w = s.write();\n}\n",
+        "f",
+        "acq demo:s []; acq demo:s []",
+    ),
+    // A channel send while a guard is live records both the op and the
+    // held set.
+    (
+        "pub fn f(m: M, tx: Tx) {\n    let g = m.lock();\n    tx.send(1);\n}\n",
+        "f",
+        "acq demo:m []; send tx [demo:m]",
+    ),
+    // A wait whose argument is not a bare ident keeps `wait_arg: None`
+    // (and so stays a blocking op for the rules).
+    (
+        "pub fn f(cv: Cv, m: M) {\n    let g = m.lock();\n    cv.wait(g2());\n}\n",
+        "f",
+        "acq demo:m []; wait cv [demo:m]",
+    ),
+    // A self-rooted chain canonicalizes to the impl owner no matter
+    // how deep the field path is.
+    (
+        "pub struct Cache { inner: usize }\nimpl Cache {\n    pub fn get(&self) -> usize { let g = self.state.buf.lock(); 0 }\n}\n",
+        "get",
+        "acq demo:Cache []",
+    ),
+    // A path-rooted chain takes the ident nearest the call.
+    (
+        "pub fn f() { let g = crate::sink::SINK.lock(); emit(); }\npub fn emit() {}\n",
+        "f",
+        "acq demo:SINK []; call emit [demo:SINK]",
+    ),
+];
+
+#[test]
+fn golden_lock_summaries_are_pinned() {
+    for (src, fn_name, want) in GOLDEN {
+        let got = summary_of(src, fn_name);
+        assert_eq!(&got, want, "source:\n{src}");
+    }
+}
+
+#[test]
+fn may_lock_reaches_through_a_call_chain() {
+    let src = "\
+pub fn a() { b(); }
+pub fn b() { c(); }
+pub fn c() { let g = STATE.lock(); }
+";
+    let (g, lg) = graph_and_locks(src);
+    for name in ["a", "b", "c"] {
+        let i = g.nodes.iter().position(|n| n.name == name).expect("node");
+        assert!(
+            lg.may_lock[i].contains("demo:STATE"),
+            "`{name}` must carry the transitive lock: {:?}",
+            lg.may_lock[i]
+        );
+    }
+}
+
+#[test]
+fn resolver_precedence_is_owner_then_namespace() {
+    let src = "\
+pub fn free_fn() {}
+pub struct T;
+impl T { pub fn m(&self) {} }
+pub struct U;
+impl U { pub fn m(&self) {} }
+";
+    let files = [fa("crates/demo/src/lib.rs", src)];
+    let g = callgraph::build(&files);
+    let resolver = Resolver::new(&g.nodes);
+    let call = |name: &str, qualifier: Option<&str>, method: bool| CallSite {
+        name: name.to_string(),
+        qualifier: qualifier.map(str::to_string),
+        method,
+        line: 1,
+        ci: 0,
+    };
+    let names = |ids: &[usize]| -> Vec<String> {
+        ids.iter().map(|&i| g.nodes[i].qualified_name()).collect()
+    };
+    assert_eq!(names(resolver.resolve(&call("free_fn", None, false))), ["free_fn"]);
+    // An unqualified method call is ambiguous across impls: both.
+    assert_eq!(names(resolver.resolve(&call("m", None, true))), ["T::m", "U::m"]);
+    // A known-owner qualifier pins the impl.
+    assert_eq!(names(resolver.resolve(&call("m", Some("T"), false))), ["T::m"]);
+    // A module-ish qualifier falls back to the free namespace.
+    assert_eq!(names(resolver.resolve(&call("free_fn", Some("util"), false))), ["free_fn"]);
+    assert!(resolver.resolve(&call("nope", None, false)).is_empty());
+}
+
+#[test]
+fn lock_and_blocking_methods_are_denylisted_for_propagation() {
+    // The rules handle direct `.lock()`/`.send()` sites themselves;
+    // the call graph must not ALSO link such a call to some workspace
+    // fn that shares the name, or every site would double-report.
+    for m in LOCK_METHODS {
+        assert!(UBIQUITOUS_CALLEES.contains(m), "`{m}` missing from denylist");
+    }
+    for m in BLOCKING_METHODS {
+        assert!(UBIQUITOUS_CALLEES.contains(m), "`{m}` missing from denylist");
+    }
+}
+
+static TICKS: AtomicU64 = AtomicU64::new(0);
+
+fn fake_clock() -> u64 {
+    TICKS.fetch_add(7, Ordering::Relaxed)
+}
+
+#[test]
+fn check_all_timed_matches_check_all_and_measures_passes() {
+    let files = [fa(
+        "crates/demo/src/lib.rs",
+        "//! Demo.\n\n/// D.\npub fn f(a: M, b: M) {\n    let ga = a.lock();\n    let gb = b.lock();\n}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { super::f(m(), m()); }\n}\n",
+    )];
+    let plain = rules::check_all(&files);
+    let files2 = [fa(
+        "crates/demo/src/lib.rs",
+        "//! Demo.\n\n/// D.\npub fn f(a: M, b: M) {\n    let ga = a.lock();\n    let gb = b.lock();\n}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { super::f(m(), m()); }\n}\n",
+    )];
+    let (timed, callgraph_ns, lockgraph_ns, rules_ns) =
+        rules::check_all_timed(&files2, Some(fake_clock));
+    let fmt = |fs: &[ros_lint::Finding]| -> Vec<String> {
+        fs.iter().map(|f| format!("{}:{}:{}", f.rule, f.file, f.line)).collect()
+    };
+    assert_eq!(fmt(&plain), fmt(&timed), "timing must not change the verdict");
+    // The fake clock advances 7 per read, so each pass measures > 0.
+    assert!(callgraph_ns > 0 && lockgraph_ns > 0 && rules_ns > 0);
+    // Without a clock, timings are zero (the engine never reads the
+    // OS clock itself).
+    let (_, cg0, lg0, r0) = rules::check_all_timed(&files, None);
+    assert_eq!((cg0, lg0, r0), (0, 0, 0));
+}

@@ -24,7 +24,6 @@ static EPOCH: OnceLock<Instant> = OnceLock::new();
 /// call this (normally via [`crate::init_from_env`]); determinism tests
 /// rely on the default null clock so traces carry `dur_ns: 0` and stay
 /// bit-stable.
-// lint: allow-dead-pub(edge API; binaries reach it through init_from_env)
 pub fn install_monotonic_clock() {
     let _ = EPOCH.get_or_init(Instant::now);
     CLOCK.store(1, Ordering::Relaxed);

@@ -128,7 +128,7 @@ pub fn hist(name: &str, v: f64) {
         m.min = m.min.min(v);
         m.max = m.max.max(v);
         m.touched = true;
-        m.buckets.get_or_insert_with(|| Box::new([0u64; N_BUCKETS]))[bucket_index(v)] += 1; // lint: allow-alloc(one-time lazy bucket table per histogram name; zero per sample after first)
+        m.buckets.get_or_insert_with(|| Box::new([0u64; N_BUCKETS]))[bucket_index(v)] += 1;
     });
 }
 

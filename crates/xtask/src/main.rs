@@ -11,17 +11,21 @@
 //! cargo run -p xtask -- lint --no-baseline          # judge without the baseline
 //! cargo run -p xtask -- lint --explain RULE-ID      # rationale + fix guidance
 //! cargo run -p xtask -- lint-artifact target/lint.json   # validate + summarize artifact
+//! cargo run -p xtask -- lint-config                # baseline/ratchet vs registry drift
 //! ```
 //!
 //! The gate exits non-zero on any finding not covered by
 //! `lint-baseline.json` at the workspace root. `lint-artifact`
 //! re-parses a findings artifact written by `--json` (verify.sh uses
 //! it to assert the artifact is well-formed) and prints the per-rule
-//! counts.
+//! counts. `lint-config` cross-checks both config files against the
+//! rule registry so a renamed rule cannot orphan its debt entries and
+//! a new rule cannot ship without a ratchet ceiling.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use ros_lint::engine::PassTimings;
 use ros_lint::json::Value;
 use ros_lint::GateOptions;
 
@@ -30,6 +34,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
         Some("lint-artifact") => lint_artifact(&args[1..]),
+        Some("lint-config") => lint_config(),
         Some("ratchet") => ratchet(&args[1..]),
         Some(other) => {
             eprintln!("unknown task `{other}`");
@@ -48,6 +53,7 @@ fn usage() {
         "usage: cargo run -p xtask -- lint [--json PATH] [--update-baseline] [--no-baseline]\n\
                 cargo run -p xtask -- lint --explain RULE-ID\n\
                 cargo run -p xtask -- lint-artifact PATH\n\
+                cargo run -p xtask -- lint-config\n\
                 cargo run -p xtask -- ratchet [--tighten]"
     );
 }
@@ -81,8 +87,20 @@ fn workspace_root() -> PathBuf {
     PathBuf::from(".")
 }
 
+/// Monotonic nanoseconds since the first call — the clock xtask
+/// injects into the gate so `PassTimings` measures real wall time.
+/// The engine itself stays clock-free (its own `no-wallclock` rule).
+fn lint_clock_ns() -> u64 {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static START: OnceLock<Instant> = OnceLock::new();
+    let start = *START.get_or_init(Instant::now);
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 fn lint(args: &[String]) -> ExitCode {
     let mut opts = GateOptions::default();
+    opts.clock = Some(lint_clock_ns);
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -113,6 +131,17 @@ fn lint(args: &[String]) -> ExitCode {
     match ros_lint::run_gate(&workspace_root(), &opts) {
         Ok(outcome) => {
             print!("{}", outcome.human_report);
+            let t: PassTimings = outcome.timings;
+            println!(
+                "xtask lint: passes lex {}us scan {}us callgraph {}us lockgraph {}us \
+                 rules {}us (total {}us)",
+                t.lex_ns / 1_000,
+                t.scan_ns / 1_000,
+                t.callgraph_ns / 1_000,
+                t.lockgraph_ns / 1_000,
+                t.rules_ns / 1_000,
+                t.total_ns / 1_000,
+            );
             for note in &outcome.notes {
                 println!("xtask lint: {note}");
             }
@@ -197,6 +226,45 @@ fn ratchet(args: &[String]) -> ExitCode {
     } else {
         for v in &violations {
             eprintln!("xtask ratchet: {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Cross-checks `lint-baseline.json` and `lint-ratchet.json` against
+/// the compiled-in rule registry: no debt for unregistered rules, no
+/// ceiling for unregistered rules, and a ceiling for every registered
+/// rule. Keeps the three sources from drifting apart silently when a
+/// rule is added, renamed, or retired.
+fn lint_config() -> ExitCode {
+    let root = workspace_root();
+    let baseline = match ros_lint::baseline::load(&root.join(ros_lint::baseline::BASELINE_FILE)) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("xtask lint-config: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let ceilings = match ros_lint::baseline::load_ratchet(&root.join(ros_lint::baseline::RATCHET_FILE))
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("xtask lint-config: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let violations = ros_lint::baseline::check_registry_drift(&baseline, &ceilings);
+    if violations.is_empty() {
+        println!(
+            "lint config coherent: {} registered rules, {} with baseline debt, {} ceilings",
+            ros_lint::RULES.len(),
+            baseline.rules().len(),
+            ceilings.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("xtask lint-config: {v}");
         }
         ExitCode::FAILURE
     }

@@ -1,0 +1,59 @@
+//! Edge-case tests for the `ros_exec::channel` seams (ISSUE 10
+//! satellite 4): every disconnect and misconfiguration path returns a
+//! typed result — `Err(value)` handing the rejected item back, `None`
+//! on drain-after-disconnect, `ChannelError::ZeroCapacity` at
+//! construction — and none of them panics.
+
+use ros_exec::channel::{bounded, try_bounded, ChannelError};
+
+#[test]
+fn send_after_receiver_drop_hands_every_value_back() {
+    let (tx, rx) = bounded::<u64>(2);
+    drop(rx);
+    // Repeated sends keep failing fast with the value intact — no
+    // panic, no silent drop, no block on the full-buffer path.
+    for i in 0..10 {
+        assert_eq!(tx.send(i), Err(i));
+    }
+    // A clone of the sender sees the same disconnect.
+    let tx2 = tx.clone();
+    assert_eq!(tx2.send(99), Err(99));
+}
+
+#[test]
+fn recv_after_sender_drop_drains_buffer_then_signals_end() {
+    let (tx, rx) = bounded::<u64>(4);
+    tx.send(1).map_err(|_| "receiver gone").unwrap();
+    tx.send(2).map_err(|_| "receiver gone").unwrap();
+    let tx2 = tx.clone();
+    drop(tx);
+    tx2.send(3).map_err(|_| "receiver gone").unwrap();
+    drop(tx2);
+    // Buffered items survive the disconnect in order; only then does
+    // the channel report the end — and keeps reporting it.
+    assert_eq!(rx.recv(), Some(1));
+    assert_eq!(rx.recv(), Some(2));
+    assert_eq!(rx.recv(), Some(3));
+    assert_eq!(rx.recv(), None);
+    assert_eq!(rx.recv(), None, "end of stream is sticky");
+}
+
+#[test]
+fn zero_capacity_is_a_typed_construction_error() {
+    assert_eq!(
+        try_bounded::<u64>(0).map(|_| ()),
+        Err(ChannelError::ZeroCapacity)
+    );
+    // The error is plain data: comparable, copyable, debuggable.
+    let e = ChannelError::ZeroCapacity;
+    let e2 = e;
+    assert_eq!(format!("{e2:?}"), "ZeroCapacity");
+    // The infallible constructor keeps its clamping contract for
+    // internal call sites.
+    let (tx, rx) = bounded::<u64>(0);
+    assert_eq!(tx.stats().capacity, 1);
+    tx.send(5).map_err(|_| "receiver gone").unwrap();
+    drop(tx);
+    assert_eq!(rx.recv(), Some(5));
+    assert_eq!(rx.recv(), None);
+}

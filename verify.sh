@@ -33,9 +33,10 @@ echo "==> allocation budget (tests/alloc_budget.rs, release)"
 cargo test -q --release -p ros-tests --test alloc_budget
 
 # Debt ratchet: per-rule baselined lint debt may only decrease
-# through history (lint-ratchet.json pins the ceilings; currently
-# alloc-in-hot-path == 0). Fails on regression AND on an unlocked
-# improvement, forcing `xtask ratchet --tighten` commits.
+# through history (lint-ratchet.json pins a ceiling for every
+# registered rule; all are 0 except dead-pub). Fails on regression
+# AND on an unlocked improvement, forcing `xtask ratchet --tighten`
+# commits.
 echo "==> xtask ratchet (lint debt ceilings)"
 cargo run -q -p xtask -- ratchet
 
@@ -56,6 +57,39 @@ for rule in nondet-iter no-wallclock alloc-in-hot-path; do
         exit 1
     }
 done
+# Concurrency rules (DESIGN.md section 17): the lock/channel-graph
+# pass and the suppression audit must stay in the catalog too — the
+# deadlock and blocking-under-lock contracts are only as alive as
+# their rule IDs in the artifact.
+echo "==> lint lockgraph (concurrency rules present in artifact)"
+for rule in lock-order blocking-under-lock guard-across-hot-call stale-suppression; do
+    grep -q "\"id\": \"$rule\"" target/lint.json || {
+        echo "verify: lint artifact missing concurrency rule '$rule'" >&2
+        exit 1
+    }
+done
+
+# Lint self-runtime budget: the artifact carries per-pass wall times;
+# the whole gate (lex + scan + callgraph + lockgraph + rules) must
+# finish inside a generous ceiling so an accidentally quadratic pass
+# is caught before it makes verify unbearable. Observed total is
+# ~0.6 s debug; the ceiling is 120 s.
+echo "==> lint self-runtime (total_ns ceiling)"
+TOTAL_NS=$(sed -n 's/.*"total_ns": \([0-9][0-9]*\).*/\1/p' target/lint.json)
+if [ -z "$TOTAL_NS" ]; then
+    echo "verify: lint artifact missing timings.total_ns" >&2
+    exit 1
+fi
+if [ "$TOTAL_NS" -gt 120000000000 ]; then
+    echo "verify: lint gate took ${TOTAL_NS} ns (> 120 s ceiling)" >&2
+    exit 1
+fi
+
+# Registry drift: baseline and ratchet must agree with the compiled-in
+# rule registry (no debt or ceiling for unknown rules, a ceiling for
+# every registered rule).
+echo "==> xtask lint-config (registry vs baseline/ratchet drift)"
+cargo run -q -p xtask -- lint-config
 
 # Telemetry smoke: a full-pipeline drive-by with ROS_OBS=1 must emit a
 # parseable ndjson trace that covers every stage of the pipeline.
